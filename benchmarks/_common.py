@@ -1,0 +1,24 @@
+"""Helpers shared by the benchmark files (printing + artifacts)."""
+
+from __future__ import annotations
+
+import os
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's rendered artifact and save it under output/."""
+    print(f"\n===== {name} =====\n{text}\n")
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def compare_rows(title: str, rows: list[tuple[str, object, object]]) -> str:
+    """Format paper-vs-measured rows."""
+    lines = [title, f"{'metric':<42} {'paper':>16} {'measured':>16}"]
+    lines.append("-" * 76)
+    for metric, paper, measured in rows:
+        lines.append(f"{metric:<42} {paper!s:>16} {measured!s:>16}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Ablation — disk-arm scheduling under HTF-style interleaved streams.
+
+§3: minimizing and optimizing physical requests "by disk arm scheduling
+and request aggregation is the final responsibility of the file system
+and device drivers."  The HTF SCF phase hits each I/O node with eight
+interleaved per-node file streams; shortest-seek-time-first recovers
+locality FIFO destroys.
+"""
+
+from repro.machine import IONodeParams, MeshParams, Paragon, ParagonConfig
+from repro.pfs import PFS, CostModel
+from tests.conftest import drive
+
+from benchmarks._common import compare_rows, emit
+
+CLIENTS = 8
+READS_EACH = 12
+READ = 81_920
+
+
+def run_scheduler(scheduler: str) -> tuple[float, float]:
+    machine = Paragon(
+        ParagonConfig(
+            compute_nodes=CLIENTS,
+            io_nodes=1,  # concentrate the streams on one array
+            mesh=MeshParams(width=4, height=2),
+            ionode=IONodeParams(scheduler=scheduler),
+        )
+    )
+    # Strip the PFS server-software charge to isolate arm behavior.
+    fs = PFS(machine, costs=CostModel(read_chunk_extra_s=0.002))
+    for c in range(CLIENTS):
+        fs.ensure(f"/stream{c}", size=READS_EACH * READ)
+
+    def reader(node):
+        fd = yield from fs.open(node, f"/stream{node}")
+        for _ in range(READS_EACH):
+            yield from fs.read(node, fd, READ)
+
+    start = machine.env.now
+    drive(machine, *[reader(c) for c in range(CLIENTS)])
+    elapsed = machine.env.now - start
+    return elapsed, machine.ionodes[0].busy_time
+
+
+def test_ablation_arm_scheduling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {s: run_scheduler(s) for s in ("fifo", "sstf")},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (f"{s}: makespan (s) / array busy (s)", "-",
+         f"{results[s][0]:.2f} / {results[s][1]:.2f}")
+        for s in ("fifo", "sstf")
+    ]
+    rows.append(
+        ("sstf busy-time saving", ">0%",
+         f"{100 * (1 - results['sstf'][1] / results['fifo'][1]):.1f}%")
+    )
+    emit("ablation_arm_scheduling", compare_rows("Arm scheduling (8 streams)", rows))
+
+    assert results["sstf"][1] < results["fifo"][1]
+    assert results["sstf"][0] <= results["fifo"][0] * 1.01

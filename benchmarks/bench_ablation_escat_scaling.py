@@ -1,0 +1,65 @@
+"""Ablation — ESCAT contention vs. partition size.
+
+The expensive part of ESCAT's I/O is *contention*: per-file token
+serialization of the synchronized seek+write groups.  Sweeping the node
+count shows per-operation cost growing with partition size — the
+scalability wall the paper's developers were designing around — while
+per-node data volume stays constant.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import OperationTable
+from repro.apps import paper_escat
+from repro.apps.workloads import small_machine
+from repro.core import Experiment
+
+from benchmarks._common import compare_rows, emit
+
+NODE_COUNTS = (16, 32, 64, 128)
+
+
+def run_at(nodes: int):
+    config = replace(
+        paper_escat(),
+        nodes=nodes,
+        iterations=10,
+        cycle_compute_start_s=20.0,
+        cycle_compute_end_s=10.0,
+        init_compute_s=5.0,
+        phase3_compute_s=5.0,
+        phase4_compute_s=2.0,
+    )
+    result = Experiment(
+        "escat",
+        config=config,
+        machine_factory=lambda: small_machine(nodes=nodes, io_nodes=16),
+    ).run()
+    table = OperationTable(result.trace)
+    per_write = table.row("Write").node_time_s / table.row("Write").count
+    per_seek = table.row("Seek").node_time_s / max(table.row("Seek").count, 1)
+    return per_write, per_seek
+
+
+def test_ablation_escat_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: run_at(n) for n in NODE_COUNTS}, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            f"{n} nodes: per-write / per-seek (s)",
+            "grows with N",
+            f"{results[n][0]:.3f} / {results[n][1]:.3f}",
+        )
+        for n in NODE_COUNTS
+    ]
+    emit("ablation_escat_scaling", compare_rows("ESCAT contention scaling", rows))
+
+    writes = [results[n][0] for n in NODE_COUNTS]
+    seeks = [results[n][1] for n in NODE_COUNTS]
+    # Monotone growth with partition size...
+    assert writes == sorted(writes)
+    assert seeks == sorted(seeks)
+    # ...and superlinear overall: 8x nodes -> much more than 8x per-op cost
+    # would be linear-total; per-op cost alone grows >4x.
+    assert writes[-1] / writes[0] > 4

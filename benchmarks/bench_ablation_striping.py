@@ -1,0 +1,57 @@
+"""Ablation — striping width vs. aggregate throughput.
+
+§8: "high bandwidths are achieved through parallelism."  Sweeping the
+number of I/O nodes under a many-client large-read workload shows
+aggregate bandwidth scaling with the stripe group until a different
+resource binds — the reason RAID-striped PFS favors large requests.
+"""
+
+from repro.machine import MeshParams, Paragon, ParagonConfig
+from repro.pfs import PFS
+from tests.conftest import drive
+
+from benchmarks._common import compare_rows, emit
+
+IO_NODE_COUNTS = (1, 2, 4, 8, 16)
+CLIENTS = 16
+READ = 4 * 1024 * 1024
+READS_EACH = 2
+
+
+def run_width(io_nodes: int) -> float:
+    machine = Paragon(
+        ParagonConfig(
+            compute_nodes=CLIENTS,
+            io_nodes=io_nodes,
+            mesh=MeshParams(width=8, height=2),
+        )
+    )
+    fs = PFS(machine)
+    for c in range(CLIENTS):
+        fs.ensure(f"/data{c}", size=READS_EACH * READ)
+
+    def reader(node):
+        fd = yield from fs.open(node, f"/data{node}")
+        for _ in range(READS_EACH):
+            yield from fs.read(node, fd, READ)
+
+    start = machine.env.now
+    drive(machine, *[reader(c) for c in range(CLIENTS)])
+    elapsed = machine.env.now - start
+    return CLIENTS * READS_EACH * READ / elapsed / 1e6  # MB/s
+
+
+def test_ablation_striping(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: run_width(n) for n in IO_NODE_COUNTS}, rounds=1, iterations=1
+    )
+    rows = [
+        (f"{n} I/O node(s): aggregate read bandwidth", "scales with width",
+         f"{results[n]:.1f} MB/s")
+        for n in IO_NODE_COUNTS
+    ]
+    emit("ablation_striping", compare_rows("Striping-width sweep", rows))
+
+    bw = [results[n] for n in IO_NODE_COUNTS]
+    assert bw == sorted(bw)  # monotone in stripe width
+    assert bw[-1] / bw[0] > 4  # parallelism delivers the bandwidth

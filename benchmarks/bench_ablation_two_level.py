@@ -1,0 +1,55 @@
+"""Ablation — two-level buffering (§8).
+
+"This experience suggests that in some cases, two level buffering at
+compute nodes and input/output nodes can be beneficial."  The workload
+where the second level wins: many compute nodes reading the *same* data
+(ESCAT/RENDER-style shared input).  Client caches are per-node, so every
+node misses; a shared I/O-node cache serves one disk miss and N-1
+memory-speed hits.
+"""
+
+from repro.ppfs import PPFS, PPFSPolicies
+from tests.conftest import drive, make_machine
+
+from benchmarks._common import compare_rows, emit
+
+CLIENTS = 8
+READ = 256 * 1024
+
+
+def run_config(name: str) -> float:
+    policies = {
+        "client-only": PPFSPolicies(cache_blocks=64),
+        "two-level": PPFSPolicies(cache_blocks=64, server_cache_blocks=128),
+    }[name]
+    machine = make_machine(nodes=CLIENTS)
+    fs = PPFS(machine, policies=policies)
+    fs.ensure("/shared-input", size=2 * READ)
+    total = {"io": 0.0}
+
+    def reader(node, delay):
+        yield machine.env.timeout(delay)
+        fd = yield from fs.open(node, "/shared-input")
+        t0 = machine.env.now
+        yield from fs.read(node, fd, READ)
+        total["io"] += machine.env.now - t0
+
+    # Staggered arrivals: the first reader warms the server cache.
+    drive(machine, *[reader(n, 2.0 * n) for n in range(CLIENTS)])
+    return total["io"]
+
+
+def test_ablation_two_level(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: run_config(name) for name in ("client-only", "two-level")},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ("client-only: total read time (s)", "-", f"{results['client-only']:.3f}"),
+        ("two-level: total read time (s)", "-", f"{results['two-level']:.3f}"),
+        ("second-level benefit", ">1.5x",
+         f"{results['client-only'] / results['two-level']:.1f}x"),
+    ]
+    emit("ablation_two_level", compare_rows("§8 two-level buffering", rows))
+    assert results["two-level"] < results["client-only"] / 1.5

@@ -1,0 +1,93 @@
+"""Ablation — decomposing the §5.2 PPFS result into its two policies.
+
+The paper applied write-behind *and* global aggregation together.  This
+bench separates them on the ESCAT-style small-strided-write stream:
+
+* write-behind alone removes the cost from the application's critical
+  path (visible write time collapses) but still issues one transfer per
+  write (disk efficiency unchanged);
+* aggregation (with write-behind) additionally coalesces the transfers,
+  cutting I/O-node busy time — the §8 'aggregation increases disk
+  efficiency' claim.
+"""
+
+from repro.analysis import OperationTable
+from repro.pablo import InstrumentedPFS
+from repro.pfs import PFS
+from repro.ppfs import PPFS, PPFSPolicies
+from tests.conftest import drive, make_machine
+
+from benchmarks._common import compare_rows, emit
+
+NODES = 8
+WRITES = 40
+RECORD = 2048
+REGION = 2 * 64 * 1024
+
+
+def run_variant(variant: str):
+    machine = make_machine(nodes=NODES)
+    if variant == "pfs":
+        fs = PFS(machine)
+    else:
+        fs = PPFS(
+            machine,
+            policies=PPFSPolicies(
+                write_behind=True, aggregation=(variant == "both")
+            ),
+        )
+    instrumented = InstrumentedPFS(fs)
+    fs.ensure("/quad", size=NODES * REGION)
+    fds = {}
+
+    def setup():
+        for node in range(NODES):
+            fds[node] = yield from instrumented.open(node, "/quad")
+
+    drive(machine, setup())
+
+    def writer(node):
+        for it in range(WRITES):
+            yield from instrumented.seek(node, fds[node], node * REGION + it * RECORD)
+            yield from instrumented.write(node, fds[node], RECORD)
+        yield from instrumented.close(node, fds[node])
+
+    drive(machine, *[writer(n) for n in range(NODES)])
+    table = OperationTable(instrumented.trace)
+    app_time = table.row("Write").node_time_s + table.row("Seek").node_time_s
+    transfers = (
+        fs.writeback.transfers_issued
+        if getattr(fs, "writeback", None) is not None
+        else NODES * WRITES
+    )
+    busy = sum(ion.busy_time for ion in machine.ionodes)
+    return app_time, transfers, busy
+
+
+def test_ablation_writebehind_parts(benchmark):
+    results = benchmark.pedantic(
+        lambda: {v: run_variant(v) for v in ("pfs", "wb_only", "both")},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for variant, (app_time, transfers, busy) in results.items():
+        rows.append(
+            (
+                f"{variant}: app write+seek (s) / transfers / disk busy (s)",
+                "-",
+                f"{app_time:.2f} / {transfers} / {busy:.2f}",
+            )
+        )
+    emit("ablation_writebehind_parts", compare_rows("§5.2 decomposition", rows))
+
+    pfs_time, pfs_transfers, pfs_busy = results["pfs"]
+    wb_time, wb_transfers, wb_busy = results["wb_only"]
+    both_time, both_transfers, both_busy = results["both"]
+    # Write-behind removes the application-visible cost...
+    assert wb_time < 0.1 * pfs_time
+    # ...but without aggregation the transfer count stays per-write.
+    assert wb_transfers == NODES * WRITES
+    # Aggregation coalesces transfers and cuts disk busy time.
+    assert both_transfers < wb_transfers / 5
+    assert both_busy < 0.7 * wb_busy

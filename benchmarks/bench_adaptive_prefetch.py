@@ -1,0 +1,84 @@
+"""§10 — adaptive prefetching by access-pattern classification.
+
+The paper closes with "general, adaptive prefetching methods that can
+learn to hide input/output latency by automatically classifying and
+predicting access patterns."  The bench drives sequential, strided and
+random read streams against three policies (no prefetch, fixed
+sequential, adaptive Markov) and checks:
+
+* on sequential streams, adaptive matches fixed readahead;
+* on strided streams, only adaptive prefetches usefully;
+* on random streams, adaptive correctly refuses to prefetch.
+"""
+
+from repro.analysis import PatternKind
+from repro.ppfs import PPFS, PPFSPolicies
+from tests.conftest import drive, make_machine
+
+from benchmarks._common import compare_rows, emit
+
+BLOCK = 64 * 1024
+N_READS = 80
+
+
+def run_pattern(policy: PPFSPolicies, pattern: str):
+    machine = make_machine()
+    fs = PPFS(machine, policies=policy)
+    fs.ensure("/data", size=N_READS * 8 * BLOCK)
+
+    def go():
+        fd = yield from fs.open(0, "/data")
+        rng = machine.rngs.stream("bench.random")
+        for k in range(N_READS):
+            if pattern == "sequential":
+                block = k
+            elif pattern == "strided":
+                block = k * 4
+            else:
+                block = int(rng.integers(0, N_READS * 8))
+            yield from fs.seek(0, fd, block * BLOCK)
+            yield from fs.read(0, fd, BLOCK)
+            yield machine.env.timeout(0.05)  # compute between reads
+
+    drive(machine, go())
+    return fs
+
+
+POLICIES = {
+    "none": PPFSPolicies(),
+    "sequential": PPFSPolicies.sequential_reader(),
+    "adaptive": PPFSPolicies.adaptive(),
+}
+
+
+def test_adaptive_prefetch(benchmark):
+    def sweep():
+        return {
+            (pat, name): run_pattern(pol, pat)
+            for pat in ("sequential", "strided", "random")
+            for name, pol in POLICIES.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    def hits(pat, name):
+        return results[(pat, name)].cache_stats().prefetch_hits
+
+    adaptive_fs = results[("strided", "adaptive")]
+    classification = adaptive_fs.prefetcher.classify((0, adaptive_fs.lookup("/data").file_id))
+    rows = [
+        ("sequential: fixed readahead hits", ">0", hits("sequential", "sequential")),
+        ("sequential: adaptive hits", ">0", hits("sequential", "adaptive")),
+        ("strided: fixed readahead hits", "0 (defeated)", hits("strided", "sequential")),
+        ("strided: adaptive hits", ">0", hits("strided", "adaptive")),
+        ("random: adaptive hits", "0 (declines)", hits("random", "adaptive")),
+        ("strided stream classified", "strided", classification.value),
+    ]
+    emit("adaptive_prefetch", compare_rows("§10 adaptive prefetching", rows))
+
+    assert hits("sequential", "sequential") > 0
+    assert hits("sequential", "adaptive") > 0
+    assert hits("strided", "sequential") == 0
+    assert hits("strided", "adaptive") > 0
+    assert hits("random", "adaptive") == 0
+    assert classification is PatternKind.STRIDED

@@ -1,0 +1,74 @@
+"""Analysis-stack throughput on a large synthetic trace.
+
+The offline analyses are vectorized NumPy over structured event arrays
+(per the HPC guides); this bench documents the resulting throughput: a
+million-event trace — an order of magnitude beyond the largest paper
+trace (HTF pscf, ~53 K events) — flows through the Tables-1-6 machinery
+in tens of milliseconds.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    FileAccessMap,
+    OperationTable,
+    SizeTable,
+    Timeline,
+    detect_phases,
+)
+from repro.pablo import EVENT_DTYPE, Op, Trace
+
+from benchmarks._common import compare_rows, emit
+
+N_EVENTS = 1_000_000
+
+
+def synthetic_trace(n: int = N_EVENTS) -> Trace:
+    rng = np.random.default_rng(0)
+    ev = np.empty(n, dtype=EVENT_DTYPE)
+    ev["timestamp"] = np.sort(rng.uniform(0, 10_000, n))
+    ev["node"] = rng.integers(0, 128, n)
+    ev["op"] = rng.choice(
+        [int(Op.READ), int(Op.WRITE), int(Op.SEEK), int(Op.OPEN), int(Op.CLOSE)],
+        size=n,
+        p=[0.45, 0.35, 0.1, 0.05, 0.05],
+    )
+    ev["file_id"] = rng.integers(3, 40, n)
+    ev["offset"] = rng.integers(0, 1 << 30, n)
+    ev["nbytes"] = rng.choice([2048, 81920, 983040], size=n, p=[0.5, 0.4, 0.1])
+    ev["duration"] = rng.exponential(0.05, n)
+    trace = Trace("synthetic-large", nodes=128)
+    trace._rows = list(map(tuple, ev.tolist()))
+    trace._frozen = ev
+    return trace
+
+
+def full_analysis(trace: Trace):
+    table = OperationTable(trace)
+    sizes = SizeTable(trace)
+    reads = Timeline(trace, "read")
+    amap = FileAccessMap(trace)
+    phases = detect_phases(trace, window_s=100.0)
+    return table, sizes, reads, amap, phases
+
+
+def test_analysis_throughput(benchmark):
+    trace = synthetic_trace()
+    table, sizes, reads, amap, phases = benchmark(full_analysis, trace)
+    per_event_us = (
+        benchmark.stats.stats.mean / N_EVENTS * 1e6
+        if benchmark.stats is not None
+        else float("nan")
+    )
+    rows = [
+        ("events analyzed", f"{N_EVENTS:,}", f"{table.all_row.count:,}"),
+        ("analysis cost per event (us)", "< 5", f"{per_event_us:.2f}"),
+        ("files mapped", "~37", len(amap)),
+        ("phases detected", ">= 1", len(phases)),
+    ]
+    emit("analysis_throughput", compare_rows("Analysis throughput (1M events)", rows))
+
+    assert table.all_row.count == N_EVENTS
+    assert sizes.read.total + sizes.write.total > 0
+    assert len(reads) > 0
+    assert per_event_us < 5.0  # vectorization holds

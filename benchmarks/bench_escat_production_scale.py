@@ -1,0 +1,63 @@
+"""§5 production scale — ESCAT on the full 512-node Caltech machine.
+
+"Production data sets generate similar behavior, but with ten to twenty
+hour executions on 512 processors."  The bench runs the skeleton with a
+production-shaped configuration on the full CCSF machine and checks the
+paper's scaling statement: same behavioural signature (all-small writes,
+synchronized bursts, seek+write dominance), ~4x the op count of the
+128-node study, and a multi-hour run.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import BurstAnalysis, OperationTable, SizeTable, Timeline
+from repro.apps import paper_escat
+from repro.core import Experiment
+from repro.machine import CALTECH_CCSF, Paragon
+
+from benchmarks._common import compare_rows, emit
+
+
+def production_config():
+    # Production: larger quadrature sets -> longer compute cycles; the
+    # I/O structure (2 KB records, 2 staging files, 52 cycles) persists.
+    return replace(
+        paper_escat(),
+        nodes=512,
+        cycle_compute_start_s=900.0,
+        cycle_compute_end_s=360.0,
+        init_compute_s=300.0,
+        phase3_compute_s=600.0,
+    )
+
+
+def test_escat_production_scale(benchmark):
+    result = benchmark.pedantic(
+        lambda: Experiment(
+            "escat",
+            config=production_config(),
+            machine_factory=lambda: Paragon(CALTECH_CCSF),
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+    trace = result.trace
+    table = OperationTable(trace)
+    sizes = SizeTable(trace)
+    bursts = BurstAnalysis(Timeline(trace, "write"), gap_s=60.0)
+    hours = result.machine.now / 3600.0
+    rows = [
+        ("run length", "10-20 h", f"{hours:.1f} h"),
+        ("writes (vs 13,330 at 128 nodes)", "~4x", f"{table.row('Write').count:,}"),
+        ("all writes < 4 KB", "yes", sizes.write.buckets[0] == sizes.write.total),
+        ("seek+write share of I/O time", "~96%",
+         f"{100 * table.time_fraction('Seek', 'Write'):.0f}%"),
+        ("synchronized write bursts", "52 cycles", len(bursts.bursts)),
+    ]
+    emit("escat_production_scale", compare_rows("§5 production scale (512 nodes)", rows))
+
+    assert 8.0 < hours < 22.0
+    assert table.row("Write").count == 512 * 52 * 2 + 18
+    assert sizes.write.buckets[0] == sizes.write.total
+    assert table.time_fraction("Seek", "Write") > 0.9
+    assert 50 <= len(bursts.bursts) <= 55

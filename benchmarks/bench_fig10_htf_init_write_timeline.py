@@ -1,0 +1,24 @@
+"""Figure 10 — write operation timeline (HTF initialization).
+
+Shape: writes interleave with the reads across the run (the transform-
+and-write loop), in the same two small/medium size classes.
+"""
+
+import numpy as np
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import emit
+
+
+def test_fig10_htf_init_write_timeline(benchmark, htf_traces):
+    tl = benchmark(Timeline, htf_traces["psetup"], "write")
+    emit("fig10_htf_init_write_timeline", ascii_scatter(tl.times, tl.sizes))
+
+    assert len(tl) == 452
+    assert (tl.sizes < 64 * 1024).all()
+    # Interleaved with the reads: write activity overlaps read activity.
+    reads = Timeline(htf_traces["psetup"], "read")
+    r0, r1 = reads.span()
+    w0, w1 = tl.span()
+    assert w0 < r1 and r0 < w1

@@ -1,0 +1,20 @@
+"""Figure 11 — read operation timeline (HTF integral calculation).
+
+Shape: only a brief flurry of tiny input reads at the very start (node 0
+loading basis data); nothing afterwards.
+"""
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import emit
+
+
+def test_fig11_htf_integral_read_timeline(benchmark, htf_traces):
+    tl = benchmark(Timeline, htf_traces["pargos"], "read")
+    emit("fig11_htf_integral_read_timeline", ascii_scatter(tl.times, tl.sizes))
+
+    assert len(tl) == 145
+    start, end = tl.span()
+    # All reads within the first 5 % of the program.
+    assert end - start < 0.05 * htf_traces["pargos"].duration
+    assert (tl.sizes < 64 * 1024).all()

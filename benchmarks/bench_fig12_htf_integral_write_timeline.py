@@ -1,0 +1,32 @@
+"""Figure 12 — write operation timeline (HTF integral calculation).
+
+Shape: a continuous band of 80 KB integral-record writes from all nodes
+across the whole program — the write-intensive phase.
+"""
+
+import numpy as np
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import compare_rows, emit
+
+
+def test_fig12_htf_integral_write_timeline(benchmark, htf_traces):
+    tl = benchmark(Timeline, htf_traces["pargos"], "write")
+    records = tl.sizes == 81_920
+    rows = [
+        ("integral-record writes", 8_532, int(records.sum())),
+        ("per-node volume (~5 MB)", "~5,460,000", f"{int(tl.sizes[records].sum() / 128):,}"),
+    ]
+    emit(
+        "fig12_htf_integral_write_timeline",
+        compare_rows("Figure 12 (HTF integral writes)", rows)
+        + "\n\n"
+        + ascii_scatter(tl.times, tl.sizes, log_y=False),
+    )
+
+    assert int(records.sum()) == 8_532
+    assert len(set(tl.nodes[records])) == 128  # every node writes
+    # Continuous activity: no quiet gap longer than 10 % of the run.
+    gaps = np.diff(np.sort(tl.times[records]))
+    assert gaps.max() < 0.1 * htf_traces["pargos"].duration

@@ -1,0 +1,31 @@
+"""Figure 13 — read operation timeline (HTF self-consistent field).
+
+Shape: a dense band of 80 KB integral reads from all nodes across the
+entire program — the read-intensive phase, six passes over the files.
+"""
+
+import numpy as np
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import compare_rows, emit
+
+
+def test_fig13_htf_scf_read_timeline(benchmark, htf_traces):
+    tl = benchmark(Timeline, htf_traces["pscf"], "read")
+    records = tl.sizes == 81_920
+    rows = [
+        ("integral-record reads", 6 * 8_532, int(records.sum())),
+        ("distinct reading nodes", 128, len(set(tl.nodes[records]))),
+    ]
+    emit(
+        "fig13_htf_scf_read_timeline",
+        compare_rows("Figure 13 (HTF SCF reads)", rows)
+        + "\n\n"
+        + ascii_scatter(tl.times, tl.sizes, log_y=False),
+    )
+
+    assert int(records.sum()) == 6 * 8_532
+    assert len(set(tl.nodes[records])) == 128
+    gaps = np.diff(np.sort(tl.times[records]))
+    assert gaps.max() < 0.2 * htf_traces["pscf"].duration

@@ -1,0 +1,19 @@
+"""Figure 14 — write operation timeline (HTF self-consistent field).
+
+Shape: sparse, small result/checkpoint writes by node 0 only, scattered
+through the run — writes are a rounding error in this phase.
+"""
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import emit
+
+
+def test_fig14_htf_scf_write_timeline(benchmark, htf_traces):
+    tl = benchmark(Timeline, htf_traces["pscf"], "write")
+    emit("fig14_htf_scf_write_timeline", ascii_scatter(tl.times, tl.sizes))
+
+    assert len(tl) == 207
+    assert set(tl.nodes) == {0}  # all writes from node 0
+    reads = Timeline(htf_traces["pscf"], "read")
+    assert tl.sizes.sum() < 0.01 * reads.sizes.sum()

@@ -1,0 +1,25 @@
+"""Figure 15 — file access timeline (HTF initialization).
+
+Shape: one input file read throughout; three transform files written
+throughout; a handful of files in total.
+"""
+
+from repro.analysis import FileAccessMap, ascii_access_map
+
+from benchmarks._common import emit
+
+
+def test_fig15_htf_init_file_access(benchmark, htf_traces):
+    amap = benchmark(FileAccessMap, htf_traces["psetup"])
+    emit("fig15_htf_init_file_access", ascii_access_map(amap))
+
+    assert len(amap.files) == 4
+    read_only = [fa for fa in amap.files.values() if fa.read_only]
+    write_only = [fa for fa in amap.files.values() if fa.write_only]
+    assert len(read_only) == 1  # the input
+    assert len(write_only) == 3  # the setup outputs
+    # Input and outputs are active concurrently (read/transform/write).
+    inp, outs = read_only[0], write_only
+    assert all(
+        out.first_access < inp.last_access for out in outs
+    )

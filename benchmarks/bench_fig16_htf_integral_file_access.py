@@ -1,0 +1,32 @@
+"""Figure 16 — file access timeline (HTF integral calculation).
+
+Shape: each node writes its own integral file; 128 write-only files
+active in parallel through the whole program.
+"""
+
+from repro.analysis import FileAccessMap, ascii_access_map
+
+from benchmarks._common import compare_rows, emit
+
+
+def test_fig16_htf_integral_file_access(benchmark, htf_traces):
+    amap = benchmark(FileAccessMap, htf_traces["pargos"])
+    integral = [fa for fa in amap.files.values() if fa.bytes_written > 5_000_000]
+    rows = [
+        ("per-node integral files", 128, len(integral)),
+        ("all write-only in this phase", "yes", all(fa.write_only for fa in integral)),
+    ]
+    small = FileAccessMap(htf_traces["pargos"])
+    small.files = {fid: small.files[fid] for fid in sorted(small.files)[:24]}
+    emit(
+        "fig16_htf_integral_file_access",
+        compare_rows("Figure 16 (HTF integral files)", rows)
+        + "\n\n"
+        + ascii_access_map(small),
+    )
+
+    assert len(integral) == 128
+    assert all(fa.write_only for fa in integral)
+    # Written across the whole program (not a burst at the end).
+    duration = htf_traces["pargos"].duration
+    assert all(fa.access_span() > 0.8 * duration for fa in integral)

@@ -1,0 +1,37 @@
+"""Figure 17 — file access timeline (HTF self-consistent field).
+
+Shape: the 128 per-node integral files, written by pargos, are now
+read-only and cyclically re-read (six passes) through the whole run.
+"""
+
+import numpy as np
+
+from repro.analysis import FileAccessMap, ascii_access_map
+
+from benchmarks._common import compare_rows, emit
+
+
+def test_fig17_htf_scf_file_access(benchmark, htf_traces):
+    amap = benchmark(FileAccessMap, htf_traces["pscf"])
+    integral = [fa for fa in amap.files.values() if fa.bytes_read > 20_000_000]
+    reads_per_file = np.median([len(fa.read_times) for fa in integral]) if integral else 0
+    rows = [
+        ("per-node integral files re-read", 128, len(integral)),
+        ("passes over each file (reads / ~66.6 records)", 6, round(reads_per_file / 66.6)),
+    ]
+    small = FileAccessMap(htf_traces["pscf"])
+    small.files = {fid: small.files[fid] for fid in sorted(small.files)[:24]}
+    emit(
+        "fig17_htf_scf_file_access",
+        compare_rows("Figure 17 (HTF SCF file access)", rows)
+        + "\n\n"
+        + ascii_access_map(small),
+    )
+
+    assert len(integral) == 128
+    assert all(fa.read_only for fa in integral)
+    # Six passes: each file's reads = 6x its record count (66 or 67).
+    for fa in integral[:8]:
+        assert len(fa.read_times) in (6 * 66, 6 * 67)
+    duration = htf_traces["pscf"].duration
+    assert all(fa.access_span() > 0.7 * duration for fa in integral)

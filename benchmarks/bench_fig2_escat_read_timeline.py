@@ -1,0 +1,24 @@
+"""Figure 2 — read operation timeline (ESCAT).
+
+Shape: an initial spike of small/medium compulsory reads, a long quiet
+middle, and the phase-3 staging rereads (~128 KB) at the far right.
+"""
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import emit
+
+
+def test_fig2_escat_read_timeline(benchmark, escat_trace, escat_result):
+    tl = benchmark(Timeline, escat_trace, "read")
+    emit("fig2_escat_read_timeline", ascii_scatter(tl.times, tl.sizes))
+
+    app = escat_result.app
+    phase2, phase3 = app.phase_time("phase2"), app.phase_time("phase3")
+    early = tl.within(0.0, phase2)
+    middle = tl.within(phase2, phase3)
+    late = tl.within(phase3, float("inf"))
+    assert len(early) == 304  # compulsory input reads
+    assert len(middle) == 0  # no reads during the quadrature phase
+    assert len(late) == 256  # the staging rereads
+    assert late.sizes.min() == late.sizes.max() == 131_072

@@ -1,0 +1,25 @@
+"""Figure 3 — read operation detail, initial phase (ESCAT).
+
+Shape: within the compulsory-input window, a mix of request sizes (most
+~1 KB, a few 20 KB and 64 KB) with irregular temporal spacing.
+"""
+
+import numpy as np
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import emit
+
+
+def test_fig3_escat_read_detail(benchmark, escat_trace, escat_result):
+    app = escat_result.app
+    phase2 = app.phase_time("phase2")
+    tl = benchmark(lambda: Timeline(escat_trace, "read").within(0.0, phase2))
+    emit("fig3_escat_read_detail", ascii_scatter(tl.times, tl.sizes, log_y=True))
+
+    sizes = set(np.unique(tl.sizes).astype(int))
+    assert sizes == {1171, 20480, 65536}  # the three request classes
+    # Temporal irregularity: inter-request gaps vary by > 10x.
+    gaps = np.diff(tl.times)
+    gaps = gaps[gaps > 0]
+    assert gaps.max() / gaps.min() > 10

@@ -1,0 +1,32 @@
+"""Figure 4 — write operation timeline (ESCAT).
+
+Shape: tightly clustered 2 KB write groups, one per compute/write cycle,
+whose temporal spacing decays from ~160 s to roughly half that.
+"""
+
+from repro.analysis import BurstAnalysis, Timeline, ascii_scatter
+
+from benchmarks._common import compare_rows, emit
+
+
+def test_fig4_escat_write_timeline(benchmark, escat_trace):
+    analysis = benchmark(
+        lambda: BurstAnalysis(Timeline(escat_trace, "write"), gap_s=20.0)
+    )
+    tl = Timeline(escat_trace, "write")
+    early, late = analysis.spacing_trend()
+    rows = [
+        ("write bursts", "52 cycles", len(analysis.bursts)),
+        ("early burst spacing (s)", "~160", f"{early:.0f}"),
+        ("late burst spacing (s)", "~80", f"{late:.0f}"),
+    ]
+    emit(
+        "fig4_escat_write_timeline",
+        compare_rows("Figure 4 (ESCAT writes)", rows)
+        + "\n\n"
+        + ascii_scatter(tl.times, tl.sizes, log_y=False),
+    )
+    assert 50 <= len(analysis.bursts) <= 55
+    assert early > 1.4 * late
+    assert 120 <= early <= 200
+    assert 60 <= late <= 130

@@ -1,0 +1,28 @@
+"""Figure 5 — file access timeline (ESCAT).
+
+Shape: input files 9-11 read only at the start; staging files 7-8 written
+through the run then reread at the end; output files 3-5 written last.
+"""
+
+from repro.analysis import FileAccessMap, ascii_access_map
+
+from benchmarks._common import emit
+
+
+def test_fig5_escat_file_access(benchmark, escat_trace):
+    amap = benchmark(FileAccessMap, escat_trace)
+    emit("fig5_escat_file_access", ascii_access_map(amap))
+
+    assert set(amap.file_ids()) == {3, 4, 5, 7, 8, 9, 10, 11}
+    for fid in (9, 10, 11):  # inputs: read-only, early
+        assert amap.files[fid].read_only
+    for fid in (3, 4, 5):  # outputs: write-only, last
+        assert amap.files[fid].write_only
+    for fid in (7, 8):  # staging: written then reread
+        assert amap.files[fid].written_then_read()
+    # Temporal ordering: inputs finish before staging starts being read;
+    # outputs come after everything.
+    last_input = max(amap.files[f].last_access for f in (9, 10, 11))
+    first_staging_read = min(amap.files[f].read_times[0] for f in (7, 8))
+    first_output = min(amap.files[f].first_access for f in (3, 4, 5))
+    assert last_input < first_staging_read < first_output

@@ -1,0 +1,34 @@
+"""Figure 6 — read operation timeline (RENDER).
+
+Shape: huge (3 MB then 1.5 MB) requests through the initialization phase;
+after the transition (~210 s) only tiny view-coordinate reads remain.
+"""
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import compare_rows, emit
+
+
+def test_fig6_render_read_timeline(benchmark, render_trace, render_result):
+    tl = benchmark(Timeline, render_trace, "read")
+    app = render_result.app
+    transition = app.phase_time("render")
+    init, rest = tl.within(0.0, transition), tl.within(transition, float("inf"))
+    rows = [
+        ("init-phase large reads (>=256 KB)", 436, int((init.sizes >= 262144).sum())),
+        ("render-phase reads all tiny", "yes", bool((rest.sizes < 4096).all())),
+        ("transition time (s)", "~210", f"{transition:.0f}"),
+    ]
+    emit(
+        "fig6_render_read_timeline",
+        compare_rows("Figure 6 (RENDER reads)", rows)
+        + "\n\n"
+        + ascii_scatter(tl.times, tl.sizes),
+    )
+    assert int((init.sizes >= 262144).sum()) == 436
+    assert (rest.sizes < 4096).all()
+    # Request size decreases: 3 MB requests come before the 1.5 MB ones.
+    big = init.times[init.sizes == 3 * 1024 * 1024]
+    small = init.times[init.sizes == 3 * 1024 * 1024 // 2]
+    assert big.max() < small.max()
+    assert 150 <= transition <= 260

@@ -1,0 +1,25 @@
+"""Figure 7 — write operation timeline (RENDER).
+
+Shape: no writes during initialization; in the render phase, one ~1 MB
+frame image per cycle (plus tiny header writes) at nearly fixed spacing.
+"""
+
+import numpy as np
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import emit
+
+
+def test_fig7_render_write_timeline(benchmark, render_trace, render_result):
+    tl = benchmark(Timeline, render_trace, "write")
+    emit("fig7_render_write_timeline", ascii_scatter(tl.times, tl.sizes))
+
+    transition = render_result.app.phase_time("render")
+    assert len(tl.within(0.0, transition)) == 0  # init phase write-free
+    frames = tl.times[tl.sizes == 983040]
+    assert len(frames) == 100
+    # Nearly fixed inter-frame interval (several seconds per frame).
+    gaps = np.diff(frames)
+    assert 1.0 < gaps.mean() < 5.0
+    assert gaps.std() < 0.5 * gaps.mean()

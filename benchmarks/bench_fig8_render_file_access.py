@@ -1,0 +1,46 @@
+"""Figure 8 — file access timeline (RENDER).
+
+Shape: four data files read only during initialization; the view control
+file read in both phases (heavily while rendering); each output file
+written once in its entirety — the staircase.
+"""
+
+import numpy as np
+
+from repro.analysis import FileAccessMap, ascii_access_map
+
+from benchmarks._common import compare_rows, emit
+
+
+def test_fig8_render_file_access(benchmark, render_trace, render_result):
+    amap = benchmark(FileAccessMap, render_trace)
+    outputs = amap.staircase()
+    rows = [
+        ("output files (one per frame)", 100, len(outputs)),
+        ("outputs form a staircase", "yes", amap.is_staircase([fa.file_id for fa in outputs])),
+    ]
+    # Render only the first 30 files to keep the figure legible.
+    small = FileAccessMap(render_trace)
+    small.files = {fid: small.files[fid] for fid in sorted(small.files)[:30]}
+    emit(
+        "fig8_render_file_access",
+        compare_rows("Figure 8 (RENDER file access)", rows)
+        + "\n\n"
+        + ascii_access_map(small),
+    )
+
+    assert len(outputs) == 100
+    assert amap.is_staircase([fa.file_id for fa in outputs])
+    transition = render_result.app.phase_time("render")
+    data_files = [fa for fa in amap.files.values() if fa.bytes_read > 10_000_000]
+    assert len(data_files) == 4
+    assert all(fa.read_times.max() < transition for fa in data_files)
+    # The views file is read in both phases.
+    views = [
+        fa
+        for fa in amap.files.values()
+        if fa.read_only and 0 < fa.bytes_read < 100_000
+    ]
+    assert any(
+        fa.read_times.min() < transition < fa.read_times.max() for fa in views
+    )

@@ -1,0 +1,24 @@
+"""Figure 9 — read operation timeline (HTF initialization).
+
+Shape: steady small/medium reads (two size classes, ~1 KB and ~15 KB)
+spread across the whole psetup run.
+"""
+
+import numpy as np
+
+from repro.analysis import Timeline, ascii_scatter
+
+from benchmarks._common import emit
+
+
+def test_fig9_htf_init_read_timeline(benchmark, htf_traces):
+    tl = benchmark(Timeline, htf_traces["psetup"], "read")
+    emit("fig9_htf_init_read_timeline", ascii_scatter(tl.times, tl.sizes))
+
+    assert len(tl) == 371
+    sizes = np.unique(tl.sizes)
+    assert len(sizes) == 2  # the two request classes of Table 6
+    assert (sizes < 64 * 1024).all()
+    # Reads span most of the program, not a single burst.
+    start, end = tl.span()
+    assert end - start > 0.5 * htf_traces["psetup"].duration

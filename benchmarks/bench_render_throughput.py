@@ -1,0 +1,57 @@
+"""§6.2 — RENDER initialization read throughput (~9.5 MB/s) and the
+HiPPi streaming alternative.
+
+The paper: the gateway "explicitly prefetches initial file data by using
+asynchronous reads and initiates large read requests, but only achieves
+a read throughput of approximately 9.5 megabytes/second"; production
+output streams to a HiPPi frame buffer rather than the file system.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis import OperationTable
+from repro.apps import paper_render
+from repro.core import Experiment, paper_experiment
+from repro.pablo import Op
+
+from benchmarks._common import compare_rows, emit
+
+
+def _init_throughput(trace):
+    ev = trace.events
+    areads = ev[ev["op"] == int(Op.AREAD)]
+    waits = ev[ev["op"] == int(Op.IOWAIT)]
+    span = float(
+        (waits["timestamp"] + waits["duration"]).max() - areads["timestamp"].min()
+    )
+    return float(areads["nbytes"].sum()) / span / 1e6
+
+
+def test_render_throughput(benchmark, render_trace):
+    throughput = benchmark(_init_throughput, render_trace)
+
+    hippi = Experiment(
+        "render", config=replace(paper_render(), output="hippi")
+    ).run()
+    hippi_table = OperationTable(hippi.trace)
+    disk_table = OperationTable(render_trace)
+    rows = [
+        ("init read throughput (MB/s)", "~9.5", f"{throughput:.1f}"),
+        ("disk-run frame writes", 300, disk_table.row("Write").count),
+        ("hippi-run frame writes to FS", 0, hippi_table.row("Write").count),
+        ("hippi frames streamed", 100, hippi.machine.framebuffer.frames_written),
+        (
+            "hippi output time < disk write time",
+            "yes",
+            hippi.machine.framebuffer.bytes_written
+            / hippi.machine.framebuffer.params.bandwidth_bps
+            < disk_table.row("Write").node_time_s,
+        ),
+    ]
+    emit("render_throughput", compare_rows("§6.2 RENDER throughput", rows))
+
+    assert 8.0 < throughput < 12.0
+    assert hippi_table.row("Write").count == 0
+    assert hippi.machine.framebuffer.frames_written == 100

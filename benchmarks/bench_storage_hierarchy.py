@@ -1,0 +1,79 @@
+"""Storage-hierarchy experiment — the §1/§2 multilevel context.
+
+The checkpoint-reuse workflow across storage levels: an ESCAT restart
+whose quadrature checkpoint sits on disk vs. on tape (Unitree-style
+migration between runs), plus a comparison of migration policies on a
+mixed-temperature file population.
+"""
+
+from dataclasses import replace
+
+from repro.apps import Escat, small_escat, small_machine
+from repro.archive import HSM, AgeBasedPolicy, TapeLibrary, WatermarkPolicy
+from repro.pablo import InstrumentedPFS
+from repro.pfs import PFS
+from tests.conftest import drive
+
+from benchmarks._common import compare_rows, emit
+
+
+def escat_restart(archived: bool):
+    machine = small_machine()
+    hsm = HSM(PFS(machine), TapeLibrary(machine.env))
+    cfg = replace(small_escat(8), restart=True)
+    app = Escat(machine=machine, fs=InstrumentedPFS(hsm), config=cfg)
+    if archived:
+        def archive():
+            yield from hsm.migrate("/escat/quad0")
+            yield from hsm.migrate("/escat/quad1")
+
+        drive(machine, archive())
+    t0 = machine.env.now
+    app.run()
+    return machine.env.now - t0, hsm
+
+
+def policy_comparison():
+    results = {}
+    for name, policy in (
+        ("age-based", AgeBasedPolicy(age_s=50.0)),
+        ("watermark", WatermarkPolicy(capacity_bytes=1_000_000,
+                                      high_fraction=0.8, low_fraction=0.4)),
+    ):
+        machine = small_machine()
+        hsm = HSM(PFS(machine), TapeLibrary(machine.env), policy)
+        for i in range(10):
+            hsm.ensure(f"/f{i}", size=100_000)
+            hsm.last_access[f"/f{i}"] = -100.0 if i < 5 else 0.0  # 5 cold, 5 hot
+
+        def run():
+            yield from hsm.apply_policy()
+
+        drive(machine, run())
+        results[name] = hsm
+    return results
+
+
+def test_storage_hierarchy(benchmark):
+    def sweep():
+        hot_time, _ = escat_restart(archived=False)
+        cold_time, cold_hsm = escat_restart(archived=True)
+        return hot_time, cold_time, cold_hsm, policy_comparison()
+
+    hot_time, cold_time, cold_hsm, policies = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    rows = [
+        ("restart, checkpoint on disk (s)", "-", f"{hot_time:.1f}"),
+        ("restart, checkpoint on tape (s)", "disk + recalls", f"{cold_time:.1f}"),
+        ("stage-ins for the two staging files", 2, cold_hsm.stats.stage_ins),
+        ("age policy: migrations (5 cold files)", 5, policies["age-based"].stats.migrations),
+        ("watermark policy: resident after drain (B)", "<= 400,000",
+         f"{policies['watermark'].disk_resident_bytes():,}"),
+    ]
+    emit("storage_hierarchy", compare_rows("§1/§2 multilevel storage", rows))
+
+    assert cold_time > hot_time + cold_hsm.tape.params.mount_s
+    assert cold_hsm.stats.stage_ins == 2
+    assert policies["age-based"].stats.migrations == 5
+    assert policies["watermark"].disk_resident_bytes() <= 400_000

@@ -1,0 +1,33 @@
+"""Table 1 — number, size and duration of I/O operations (ESCAT)."""
+
+from repro.analysis import OperationTable
+
+from benchmarks._common import compare_rows, emit
+
+PAPER = {
+    "All I/O": (26_418, 60_983_136, 38_788.95),
+    "Read": (560, 34_226_048, 81.19),
+    "Write": (13_330, 26_757_088, 16_268.50),
+    "Seek": (12_034, None, 20_884.11),
+    "Open": (262, None, 1_179.06),
+    "Close": (262, None, 376.06),
+}
+
+
+def test_table1_escat_operations(benchmark, escat_trace):
+    table = benchmark(OperationTable, escat_trace)
+    rows = []
+    for label, (count, volume, node_time) in PAPER.items():
+        row = table.row(label)
+        rows.append((f"{label} count", f"{count:,}", f"{row.count:,}"))
+        if volume is not None:
+            rows.append((f"{label} volume (B)", f"{volume:,}", f"{row.volume:,}"))
+        rows.append((f"{label} node time (s)", f"{node_time:,.0f}", f"{row.node_time_s:,.0f}"))
+    emit("table1_escat_ops", compare_rows("Table 1 (ESCAT)", rows) + "\n\n" + table.render())
+
+    assert table.row("Read").count == 560
+    assert table.row("Write").count == 13_330
+    assert table.row("Open").count == 262
+    # Shape: writes+seeks own the I/O time; reads are negligible.
+    assert table.time_fraction("Write", "Seek") > 0.9
+    assert table.time_fraction("Read") < 0.01

@@ -1,0 +1,20 @@
+"""Table 2 — read/write request sizes (ESCAT)."""
+
+from repro.analysis import SizeTable
+
+from benchmarks._common import compare_rows, emit
+
+PAPER_READ = (297, 3, 260, 0)
+PAPER_WRITE = (13_330, 0, 0, 0)
+
+
+def test_table2_escat_sizes(benchmark, escat_trace):
+    table = benchmark(SizeTable, escat_trace)
+    rows = [
+        ("Read buckets (<4K/<64K/<256K/>=256K)", PAPER_READ, table.read.buckets),
+        ("Write buckets", PAPER_WRITE, table.write.buckets),
+    ]
+    emit("table2_escat_sizes", compare_rows("Table 2 (ESCAT)", rows) + "\n\n" + table.render())
+    assert table.read.buckets == PAPER_READ
+    assert table.write.buckets == PAPER_WRITE
+    assert table.is_bimodal("read")

@@ -1,0 +1,35 @@
+"""Table 3 — number, size and duration of I/O operations (RENDER)."""
+
+from repro.analysis import OperationTable
+
+from benchmarks._common import compare_rows, emit
+
+PAPER = {
+    "All I/O": (1_504, 979_162_982, 164.75),
+    "Read": (121, 8_457, 0.17),
+    "AsynchRead": (436, 880_849_125, 4.60),
+    "I/O Wait": (436, None, 88.44),
+    "Write": (300, 98_305_400, 31.76),
+    "Seek": (4, 0, 0.13),
+    "Open": (106, None, 32.78),
+    "Close": (101, None, 6.87),
+}
+
+
+def test_table3_render_operations(benchmark, render_trace):
+    table = benchmark(OperationTable, render_trace)
+    rows = []
+    for label, (count, volume, node_time) in PAPER.items():
+        row = table.row(label)
+        rows.append((f"{label} count", f"{count:,}", f"{row.count:,}"))
+        if volume:
+            rows.append((f"{label} volume (B)", f"{volume:,}", f"{row.volume:,}"))
+        rows.append((f"{label} node time (s)", f"{node_time:,.2f}", f"{row.node_time_s:,.2f}"))
+    emit("table3_render_ops", compare_rows("Table 3 (RENDER)", rows) + "\n\n" + table.render())
+
+    assert table.all_row.count == 1_504
+    assert table.row("AsynchRead").count == 436
+    assert table.row("Write").volume == 98_305_400
+    # Shape: async-read wait dominates; reads move ~89 % of the volume.
+    assert table.time_fraction("I/O Wait") > 0.4
+    assert table.read_volume_fraction() > 0.85

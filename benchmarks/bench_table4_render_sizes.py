@@ -1,0 +1,20 @@
+"""Table 4 — read/write request sizes (RENDER)."""
+
+from repro.analysis import SizeTable
+
+from benchmarks._common import compare_rows, emit
+
+PAPER_READ = (121, 0, 0, 436)
+PAPER_WRITE = (200, 0, 0, 100)
+
+
+def test_table4_render_sizes(benchmark, render_trace):
+    table = benchmark(SizeTable, render_trace)
+    rows = [
+        ("Read buckets (<4K/<64K/<256K/>=256K)", PAPER_READ, table.read.buckets),
+        ("Write buckets", PAPER_WRITE, table.write.buckets),
+    ]
+    emit("table4_render_sizes", compare_rows("Table 4 (RENDER)", rows) + "\n\n" + table.render())
+    assert table.read.buckets == PAPER_READ
+    assert table.write.buckets == PAPER_WRITE
+    assert table.is_bimodal("read")

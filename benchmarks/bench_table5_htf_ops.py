@@ -1,0 +1,66 @@
+"""Table 5 — number, size and duration of I/O operations (HTF, 3 programs)."""
+
+from repro.analysis import OperationTable
+
+from benchmarks._common import compare_rows, emit
+
+PAPER = {
+    "psetup": {
+        "All I/O": (832, 7_267_422, 55.23),
+        "Read": (371, 3_522_497, 15.34),
+        "Write": (452, 3_744_872, 5.50),
+        "Seek": (2, 53, 0.43),
+        "Open": (4, None, 31.49),
+        "Close": (3, None, 2.47),
+    },
+    "pargos": {
+        "All I/O": (17_854, 698_992_502, 6_398.03),
+        "Read": (145, 34_393, 0.47),
+        "Write": (8_535, 698_958_109, 1_996.4),
+        "Seek": (130, 0, 0.14),
+        "Open": (130, None, 4_056.60),
+        "Close": (129, None, 11.43),
+        "Lsize": (128, None, 15.27),
+        "Forflush": (8_657, None, 317.72),
+    },
+    "pscf": {
+        "All I/O": (52_832, 4_205_483_650, 32_800.99),
+        "Read": (51_499, 4_201_634_304, 32_263.20),
+        "Write": (207, 3_849_268, 5.88),
+        "Seek": (813, 3_495_198_798, 1.67),
+        "Open": (157, None, 518.74),
+        "Close": (156, None, 11.50),
+    },
+}
+
+
+def test_table5_htf_operations(benchmark, htf_traces):
+    tables = benchmark(
+        lambda: {name: OperationTable(tr) for name, tr in htf_traces.items()}
+    )
+    sections = []
+    for program, targets in PAPER.items():
+        table = tables[program]
+        rows = []
+        for label, (count, volume, node_time) in targets.items():
+            row = table.row(label)
+            rows.append((f"{label} count", f"{count:,}", f"{row.count:,}"))
+            if volume:
+                rows.append((f"{label} volume (B)", f"{volume:,}", f"{row.volume:,}"))
+            rows.append(
+                (f"{label} node time (s)", f"{node_time:,.2f}", f"{row.node_time_s:,.2f}")
+            )
+        sections.append(
+            compare_rows(f"Table 5 (HTF {program})", rows) + "\n\n" + table.render()
+        )
+    emit("table5_htf_ops", "\n\n".join(sections))
+
+    # Exact counts per program.
+    assert tables["psetup"].all_row.count == 832
+    assert tables["pargos"].row("Write").count == 8_535
+    assert tables["pscf"].row("Read").count == 51_499
+    # Shape: pargos opens dominate; pscf reads dominate.
+    assert tables["pargos"].time_fraction("Open") > 0.5
+    assert tables["pscf"].time_fraction("Read") > 0.9
+    # pscf seek volume is rewind distance (~3.5 GB).
+    assert abs(tables["pscf"].row("Seek").volume - 3_495_198_798) / 3_495_198_798 < 0.02

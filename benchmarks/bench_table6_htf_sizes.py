@@ -1,0 +1,32 @@
+"""Table 6 — read/write request sizes (HTF, 3 programs)."""
+
+from repro.analysis import SizeTable
+
+from benchmarks._common import compare_rows, emit
+
+PAPER = {
+    "psetup": {"read": (151, 220, 0, 0), "write": (218, 234, 0, 0)},
+    "pargos": {"read": (143, 2, 0, 0), "write": (2, 1, 8_532, 0)},
+    "pscf": {"read": (165, 109, 51_225, 0), "write": (43, 158, 6, 0)},
+}
+
+
+def test_table6_htf_sizes(benchmark, htf_traces):
+    tables = benchmark(
+        lambda: {name: SizeTable(tr) for name, tr in htf_traces.items()}
+    )
+    sections = []
+    for program, targets in PAPER.items():
+        table = tables[program]
+        rows = [
+            ("Read buckets", targets["read"], table.read.buckets),
+            ("Write buckets", targets["write"], table.write.buckets),
+        ]
+        sections.append(
+            compare_rows(f"Table 6 (HTF {program})", rows) + "\n\n" + table.render()
+        )
+    emit("table6_htf_sizes", "\n\n".join(sections))
+
+    for program, targets in PAPER.items():
+        assert tables[program].read.buckets == targets["read"], program
+        assert tables[program].write.buckets == targets["write"], program

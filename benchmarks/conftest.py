@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper workload is simulated once per session; the benchmarks then
+measure the *analysis* step (the offline trace processing the paper's
+methodology centers on) and print paper-vs-measured tables.  Rendered
+artifacts are also written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import paper_experiment
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def escat_result():
+    return paper_experiment("escat").run()
+
+
+@pytest.fixture(scope="session")
+def escat_trace(escat_result):
+    return escat_result.trace
+
+
+@pytest.fixture(scope="session")
+def render_result():
+    return paper_experiment("render").run()
+
+
+@pytest.fixture(scope="session")
+def render_trace(render_result):
+    return render_result.trace
+
+
+@pytest.fixture(scope="session")
+def htf_result():
+    return paper_experiment("htf").run()
+
+
+@pytest.fixture(scope="session")
+def htf_traces(htf_result):
+    return htf_result.traces

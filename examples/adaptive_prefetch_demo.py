@@ -1,0 +1,64 @@
+"""§10 demo: adaptive prefetching by access-pattern classification.
+
+Drives three read streams — sequential, strided, random — against PPFS
+with the Markov predictor and shows the classification, the cache hit
+rates, and why fixed readahead loses on non-sequential patterns.
+
+    python examples/adaptive_prefetch_demo.py
+"""
+
+from repro.apps import small_machine
+from repro.ppfs import PPFS, PPFSPolicies
+
+BLOCK = 64 * 1024
+READS = 80
+
+
+def run_stream(policy: PPFSPolicies, pattern: str):
+    machine = small_machine()
+    fs = PPFS(machine, policies=policy)
+    fs.ensure("/data", size=READS * 8 * BLOCK)
+
+    def reader():
+        fd = yield from fs.open(0, "/data")
+        rng = machine.rngs.stream("demo")
+        for k in range(READS):
+            block = {
+                "sequential": k,
+                "strided": 3 * k,
+            }.get(pattern, int(rng.integers(0, READS * 8)))
+            yield from fs.seek(0, fd, block * BLOCK)
+            yield from fs.read(0, fd, BLOCK)
+            yield machine.env.timeout(0.05)
+        yield from fs.close(0, fd)
+
+    proc = machine.env.process(reader())
+    machine.run()
+    assert proc.ok
+    return fs, machine.now
+
+
+def main() -> None:
+    header = f"{'pattern':<12} {'policy':<12} {'hit rate':>9} {'prefetch hits':>14} {'runtime':>9}"
+    print(header)
+    print("-" * len(header))
+    for pattern in ("sequential", "strided", "random"):
+        for name, policy in (
+            ("none", PPFSPolicies()),
+            ("sequential", PPFSPolicies.sequential_reader()),
+            ("adaptive", PPFSPolicies.adaptive()),
+        ):
+            fs, runtime = run_stream(policy, pattern)
+            stats = fs.cache_stats()
+            print(
+                f"{pattern:<12} {name:<12} {stats.hit_rate:>8.0%} "
+                f"{stats.prefetch_hits:>14} {runtime:>8.2f}s"
+            )
+            if name == "adaptive":
+                fid = fs.lookup("/data").file_id
+                kind = fs.prefetcher.classify((0, fid))
+                print(f"{'':<12} -> classified {pattern} stream as: {kind.value}")
+
+
+if __name__ == "__main__":
+    main()

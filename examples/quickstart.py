@@ -1,0 +1,28 @@
+"""Quickstart: characterize a miniature ESCAT run in a few seconds.
+
+Runs the electron-scattering skeleton on a small simulated Paragon,
+captures the Pablo-style I/O trace, and prints the full characterization
+report (operation table, request sizes, phases, per-file access).
+
+    python examples/quickstart.py
+"""
+
+from repro import CharacterizationReport, small_experiment
+
+
+def main() -> None:
+    result = small_experiment("escat").run()
+    trace = result.trace
+
+    print(trace.summary_line())
+    print()
+    print(CharacterizationReport(trace).render())
+
+    # Traces round-trip through the Pablo self-describing data format.
+    blob = trace.to_sddf(binary=True)
+    print(f"\nSDDF serialization: {len(blob):,} bytes "
+          f"({len(trace)} events, binary encoding)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of *Input/Output Characteristics of Scalable
+Parallel Applications* (Crandall, Aydt, Chien, Reed; Supercomputing '95).
+
+The package rebuilds the paper's entire experimental stack in Python:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.machine` — Intel Paragon XP/S model (mesh, RAID-3 I/O
+  nodes, compute nodes, HiPPi frame buffer);
+* :mod:`repro.pfs` — Intel PFS model (64 KB striping, the six access
+  modes, calibrated software cost model);
+* :mod:`repro.pablo` — Pablo-style instrumentation (event capture, SDDF
+  trace format, real-time reductions);
+* :mod:`repro.apps` — ESCAT / RENDER / HTF application skeletons
+  calibrated to Tables 1-6;
+* :mod:`repro.analysis` — offline trace analysis (tables, timelines,
+  file-access maps, pattern classification, phase detection);
+* :mod:`repro.ppfs` — the PPFS policy engine (caching, prefetching,
+  write-behind, aggregation, adaptive prediction);
+* :mod:`repro.core` — the experiment harness and cross-application
+  comparison.
+
+Quickstart
+----------
+>>> from repro.core import small_experiment, CharacterizationReport
+>>> result = small_experiment("escat").run()
+>>> print(CharacterizationReport(result.trace).render())  # doctest: +SKIP
+"""
+
+from .core import (
+    CharacterizationReport,
+    CrossAppComparison,
+    Experiment,
+    ExperimentResult,
+    paper_experiment,
+    small_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CharacterizationReport",
+    "CrossAppComparison",
+    "Experiment",
+    "ExperimentResult",
+    "paper_experiment",
+    "small_experiment",
+    "__version__",
+]

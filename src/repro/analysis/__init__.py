@@ -1,0 +1,58 @@
+"""Offline trace analysis: the paper's tables, figures and observations."""
+
+from .classes import FileClassification, IOClass, classify_files
+from .diff import OpDelta, TraceDiff
+from .cyclic import FileCycles, ReuseStats, detect_cycles, reuse_intervals
+from .load import LoadReport, observed_load, predicted_load
+
+from .file_access import FileAccess, FileAccessMap, ascii_access_map
+from .operations import OperationTable, OpRow
+from .patterns import PatternKind, PatternSummary, StreamPattern, classify_offsets
+from .phases import Phase, detect_phases
+from .report import CharacterizationReport
+from .sizes import BUCKET_EDGES, BUCKET_LABELS, SizeTable, bucketize
+from .stats import (
+    Distribution,
+    bimodality_coefficient,
+    op_duration_distribution,
+    op_size_distribution,
+)
+from .timeline import BurstAnalysis, Timeline, ascii_scatter
+
+__all__ = [
+    "FileClassification",
+    "IOClass",
+    "classify_files",
+    "OpDelta",
+    "TraceDiff",
+    "FileCycles",
+    "ReuseStats",
+    "detect_cycles",
+    "reuse_intervals",
+    "LoadReport",
+    "observed_load",
+    "predicted_load",
+    "FileAccess",
+    "FileAccessMap",
+    "ascii_access_map",
+    "OperationTable",
+    "OpRow",
+    "PatternKind",
+    "PatternSummary",
+    "StreamPattern",
+    "classify_offsets",
+    "Phase",
+    "detect_phases",
+    "CharacterizationReport",
+    "BUCKET_EDGES",
+    "BUCKET_LABELS",
+    "SizeTable",
+    "bucketize",
+    "Distribution",
+    "bimodality_coefficient",
+    "op_duration_distribution",
+    "op_size_distribution",
+    "BurstAnalysis",
+    "Timeline",
+    "ascii_scatter",
+]

@@ -1,0 +1,102 @@
+"""Trace differencing: quantify what a configuration change did.
+
+The §5.2 and replay workflows always end in the same question — *what
+changed between these two traces?*  :class:`TraceDiff` answers it
+per-operation: count/volume deltas (which should usually be zero: the
+application issued the same requests) and node-time deltas (where the
+policy effect lives), plus a speedup summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pablo.trace import Trace
+from .operations import OperationTable
+
+__all__ = ["OpDelta", "TraceDiff"]
+
+
+@dataclass(frozen=True)
+class OpDelta:
+    """Per-operation before/after comparison."""
+
+    label: str
+    count_before: int
+    count_after: int
+    time_before_s: float
+    time_after_s: float
+
+    @property
+    def count_delta(self) -> int:
+        return self.count_after - self.count_before
+
+    @property
+    def time_speedup(self) -> float:
+        """before/after node time; inf when the cost vanished."""
+        if self.time_after_s == 0:
+            return float("inf") if self.time_before_s > 0 else 1.0
+        return self.time_before_s / self.time_after_s
+
+
+class TraceDiff:
+    """Compare two traces of (nominally) the same request stream."""
+
+    def __init__(self, before: Trace, after: Trace):
+        self.before = before
+        self.after = after
+        tb = OperationTable(before)
+        ta = OperationTable(after)
+        labels = [r.label for r in tb.rows]
+        labels += [r.label for r in ta.rows if r.label not in labels]
+        self.deltas = [
+            OpDelta(
+                label=label,
+                count_before=tb.row(label).count,
+                count_after=ta.row(label).count,
+                time_before_s=tb.row(label).node_time_s,
+                time_after_s=ta.row(label).node_time_s,
+            )
+            for label in labels
+        ]
+        self.total_before_s = tb.all_row.node_time_s
+        self.total_after_s = ta.all_row.node_time_s
+
+    @property
+    def io_time_speedup(self) -> float:
+        if self.total_after_s == 0:
+            return float("inf") if self.total_before_s > 0 else 1.0
+        return self.total_before_s / self.total_after_s
+
+    def same_request_stream(self) -> bool:
+        """True when every operation's count is unchanged (the application
+        did the same work; only the substrate differed)."""
+        return all(d.count_delta == 0 for d in self.deltas)
+
+    def delta(self, label: str) -> OpDelta:
+        for d in self.deltas:
+            if d.label == label:
+                return d
+        return OpDelta(label, 0, 0, 0.0, 0.0)
+
+    def render(self) -> str:
+        header = (
+            f"{'Operation':<12} {'count':>9} {'Δcount':>8} "
+            f"{'before(s)':>12} {'after(s)':>12} {'speedup':>9}"
+        )
+        lines = [
+            f"Trace diff: {self.before.application!r} -> {self.after.application!r}",
+            header,
+            "-" * len(header),
+        ]
+        for d in self.deltas:
+            speed = "inf" if d.time_speedup == float("inf") else f"{d.time_speedup:.2f}x"
+            lines.append(
+                f"{d.label:<12} {d.count_before:>9,} {d.count_delta:>+8,} "
+                f"{d.time_before_s:>12,.2f} {d.time_after_s:>12,.2f} {speed:>9}"
+            )
+        lines.append(
+            f"total I/O node time: {self.total_before_s:,.2f}s -> "
+            f"{self.total_after_s:,.2f}s ({self.io_time_speedup:.1f}x)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""I/O-node load analysis.
+
+Two views of how work spreads over the striped storage:
+
+* **predicted** — push a trace's data accesses through a file-id ->
+  :class:`~repro.pfs.striping.StripeLayout` map and count bytes per I/O
+  node (how well 64 KB round-robin striping balances this workload);
+* **observed** — read the machine's I/O-node counters after a run
+  (includes queueing-irrelevant ops like flush visits).
+
+Imbalance is reported as max/mean byte load; 1.0 is perfect balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.paragon import Paragon
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+from ..pfs.striping import StripeLayout
+
+__all__ = ["LoadReport", "predicted_load", "observed_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Per-I/O-node byte loads plus summary statistics."""
+
+    bytes_per_node: tuple[int, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_per_node)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean load; 1.0 = perfectly balanced, 0 when idle."""
+        loads = np.asarray(self.bytes_per_node, dtype=float)
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean else 0.0
+
+    @property
+    def busiest(self) -> int:
+        """Index of the most-loaded I/O node."""
+        return int(np.argmax(self.bytes_per_node))
+
+    def render(self) -> str:
+        width = 40
+        peak = max(self.bytes_per_node) or 1
+        lines = [f"{'ionode':>6} {'bytes':>16}"]
+        for i, b in enumerate(self.bytes_per_node):
+            bar = "#" * int(width * b / peak)
+            lines.append(f"{i:>6} {b:>16,} {bar}")
+        lines.append(f"imbalance (max/mean): {self.imbalance:.3f}")
+        return "\n".join(lines)
+
+
+def predicted_load(
+    trace: Trace, layouts: dict[int, StripeLayout], n_ionodes: int
+) -> LoadReport:
+    """Bytes each I/O node would serve for the trace's data accesses.
+
+    ``layouts`` maps file_id -> the file's stripe layout (obtainable from
+    a live file system via ``fs.lookup(path).layout``).
+    """
+    loads = [0] * n_ionodes
+    ev = trace.events
+    data = ev[np.isin(ev["op"], [int(Op.READ), int(Op.AREAD), int(Op.WRITE)])]
+    for row in data:
+        layout = layouts.get(int(row["file_id"]))
+        if layout is None:
+            continue
+        for ionode, nbytes in layout.span_bytes(
+            int(row["offset"]), int(row["nbytes"])
+        ).items():
+            loads[ionode] += nbytes
+    return LoadReport(tuple(loads))
+
+
+def observed_load(machine: Paragon) -> LoadReport:
+    """Bytes each I/O node actually served during a run."""
+    return LoadReport(tuple(ion.bytes_served for ion in machine.ionodes))

@@ -1,0 +1,105 @@
+"""Operation count/volume/time tables (paper Tables 1, 3, 5).
+
+Builds, from a frozen trace, the per-operation summary the paper reports
+for each application: operation count, data volume, total node time
+(durations summed over all nodes), and percentage of total I/O time.
+Seek rows report cumulative seek *distance* as their volume, matching
+Table 5's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+
+__all__ = ["OpRow", "OperationTable"]
+
+#: Order the paper lists operations in.
+_ROW_ORDER = [Op.READ, Op.AREAD, Op.IOWAIT, Op.WRITE, Op.SEEK, Op.OPEN, Op.CLOSE, Op.LSIZE, Op.FLUSH]
+#: Ops whose nbytes are data volume (seeks carry distance instead).
+_DATA_OPS = {Op.READ, Op.AREAD, Op.WRITE}
+
+
+@dataclass(frozen=True)
+class OpRow:
+    """One table row."""
+
+    label: str
+    count: int
+    volume: int  # bytes (data) or distance (seek); 0 for control ops
+    node_time_s: float
+    pct_io_time: float
+
+    def format(self) -> str:
+        vol = f"{self.volume:,}" if self.volume else "-"
+        return (
+            f"{self.label:<12} {self.count:>10,} {vol:>16} "
+            f"{self.node_time_s:>14,.2f} {self.pct_io_time:>9.2f}"
+        )
+
+
+class OperationTable:
+    """Per-operation summary of one trace."""
+
+    HEADER = (
+        f"{'Operation':<12} {'Count':>10} {'Volume(B)':>16} "
+        f"{'NodeTime(s)':>14} {'%IOTime':>9}"
+    )
+
+    def __init__(self, trace: Trace):
+        ev = trace.events
+        self.total_time = float(ev["duration"].sum()) if len(ev) else 0.0
+        self.rows: list[OpRow] = []
+        op_col = ev["op"] if len(ev) else np.array([], dtype="u1")
+
+        total_count = int(len(ev))
+        total_volume = 0
+        for op in _ROW_ORDER:
+            mask = op_col == int(op)
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            sel = ev[mask]
+            volume = int(sel["nbytes"].sum()) if op in _DATA_OPS or op is Op.SEEK else 0
+            if op in _DATA_OPS:
+                total_volume += volume
+            node_time = float(sel["duration"].sum())
+            pct = 100.0 * node_time / self.total_time if self.total_time else 0.0
+            self.rows.append(OpRow(op.label, count, volume, node_time, pct))
+        self.all_row = OpRow("All I/O", total_count, total_volume, self.total_time, 100.0 if self.rows else 0.0)
+
+    def row(self, label: str) -> OpRow:
+        """Fetch a row by its paper label ('Read', 'Seek', ...)."""
+        if label == "All I/O":
+            return self.all_row
+        for r in self.rows:
+            if r.label == label:
+                return r
+        return OpRow(label, 0, 0, 0.0, 0.0)
+
+    def render(self, title: str = "") -> str:
+        """Text rendering in the paper's layout."""
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(self.HEADER)
+        lines.append("-" * len(self.HEADER))
+        lines.append(self.all_row.format())
+        for r in self.rows:
+            lines.append(r.format())
+        return "\n".join(lines)
+
+    def read_volume_fraction(self) -> float:
+        """Fraction of data volume moved by reads (paper: ESCAT 56 %)."""
+        read_vol = self.row("Read").volume + self.row("AsynchRead").volume
+        total = self.all_row.volume
+        return read_vol / total if total else 0.0
+
+    def time_fraction(self, *labels: str) -> float:
+        """Combined share of I/O time for the given rows."""
+        t = sum(self.row(label).node_time_s for label in labels)
+        return t / self.total_time if self.total_time else 0.0

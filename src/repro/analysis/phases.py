@@ -1,0 +1,99 @@
+"""Temporal phase detection.
+
+All three applications show crisp I/O phases (compulsory input,
+compute/write cycles, staging rereads, output).  :func:`detect_phases`
+segments a trace into phases by binning read/write activity and grouping
+consecutive bins with the same dominant behaviour; the result labels each
+phase read-intensive, write-intensive, mixed, or idle — the vocabulary of
+§5-§7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+
+__all__ = ["Phase", "detect_phases"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One detected temporal phase."""
+
+    start: float
+    end: float
+    label: str  # 'read', 'write', 'mixed', 'idle'
+    read_bytes: int
+    write_bytes: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _bin_label(read_b: float, write_b: float, dominance: float) -> str:
+    total = read_b + write_b
+    if total == 0:
+        return "idle"
+    if read_b / total >= dominance:
+        return "read"
+    if write_b / total >= dominance:
+        return "write"
+    return "mixed"
+
+
+def detect_phases(
+    trace: Trace, window_s: float = 20.0, dominance: float = 0.8
+) -> list[Phase]:
+    """Segment the trace into phases of homogeneous read/write behaviour.
+
+    Parameters
+    ----------
+    window_s:
+        Bin width; activity inside a bin is aggregated before labelling.
+    dominance:
+        Fraction of bin volume one direction needs to own the bin.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window_s must be > 0, got {window_s}")
+    if not 0.5 < dominance <= 1.0:
+        raise ValueError(f"dominance must be in (0.5, 1], got {dominance}")
+    ev = trace.events
+    if len(ev) == 0:
+        return []
+    read_mask = np.isin(ev["op"], [int(Op.READ), int(Op.AREAD)])
+    write_mask = ev["op"] == int(Op.WRITE)
+    t_end = float(ev["timestamp"].max()) + window_s
+    edges = np.arange(0.0, t_end + window_s, window_s)
+    read_b, _ = np.histogram(
+        ev["timestamp"][read_mask], bins=edges, weights=ev["nbytes"][read_mask].astype(float)
+    )
+    write_b, _ = np.histogram(
+        ev["timestamp"][write_mask], bins=edges, weights=ev["nbytes"][write_mask].astype(float)
+    )
+    labels = [_bin_label(r, w, dominance) for r, w in zip(read_b, write_b)]
+
+    phases: list[Phase] = []
+    start_idx = 0
+    for i in range(1, len(labels) + 1):
+        if i == len(labels) or labels[i] != labels[start_idx]:
+            phases.append(
+                Phase(
+                    start=float(edges[start_idx]),
+                    end=float(edges[i]),
+                    label=labels[start_idx],
+                    read_bytes=int(read_b[start_idx:i].sum()),
+                    write_bytes=int(write_b[start_idx:i].sum()),
+                )
+            )
+            start_idx = i
+    # Trim leading/trailing idle.
+    while phases and phases[0].label == "idle":
+        phases.pop(0)
+    while phases and phases[-1].label == "idle":
+        phases.pop()
+    return phases

@@ -1,0 +1,86 @@
+"""Request-size distribution tables (paper Tables 2, 4, 6).
+
+The paper buckets read and write request sizes into four ranges:
+``< 4 KB``, ``4-64 KB``, ``64-256 KB`` and ``>= 256 KB``.  Reads include
+both synchronous and asynchronous reads (Table 4 counts RENDER's async
+reads in the Read row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+from ..util.units import KB
+
+__all__ = ["BUCKET_EDGES", "BUCKET_LABELS", "SizeTable", "bucketize"]
+
+#: Upper edges of the paper's size buckets (the last bucket is unbounded).
+BUCKET_EDGES = (4 * KB, 64 * KB, 256 * KB)
+BUCKET_LABELS = ("<4KB", "<64KB", "<256KB", ">=256KB")
+
+
+def bucketize(sizes: np.ndarray) -> np.ndarray:
+    """Counts per paper bucket for an array of request sizes.
+
+    >>> bucketize(np.array([100, 5000, 70000, 300000]))
+    array([1, 1, 1, 1])
+    """
+    edges = np.array(BUCKET_EDGES)
+    idx = np.searchsorted(edges, sizes, side="right")
+    return np.bincount(idx, minlength=4)[:4]
+
+
+@dataclass(frozen=True)
+class SizeRow:
+    """Bucket counts for one operation class."""
+
+    label: str
+    buckets: tuple[int, int, int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets)
+
+    def format(self) -> str:
+        cells = " ".join(f"{b:>10,}" for b in self.buckets)
+        return f"{self.label:<8} {cells}"
+
+
+class SizeTable:
+    """Read/write size-bucket table for one trace."""
+
+    HEADER = f"{'Op':<8} " + " ".join(f"{lbl:>10}" for lbl in BUCKET_LABELS)
+
+    def __init__(self, trace: Trace):
+        ev = trace.events
+        if len(ev):
+            read_mask = np.isin(ev["op"], [int(Op.READ), int(Op.AREAD)])
+            write_mask = ev["op"] == int(Op.WRITE)
+            read_counts = bucketize(ev["nbytes"][read_mask])
+            write_counts = bucketize(ev["nbytes"][write_mask])
+        else:
+            read_counts = np.zeros(4, dtype=int)
+            write_counts = np.zeros(4, dtype=int)
+        self.read = SizeRow("Read", tuple(int(c) for c in read_counts))
+        self.write = SizeRow("Write", tuple(int(c) for c in write_counts))
+
+    def render(self, title: str = "") -> str:
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(self.HEADER)
+        lines.append("-" * len(self.HEADER))
+        lines.append(self.read.format())
+        lines.append(self.write.format())
+        return "\n".join(lines)
+
+    def is_bimodal(self, row: str = "read") -> bool:
+        """True when sizes cluster in non-adjacent buckets (paper's
+        'bimodal' reads: small requests plus large requests)."""
+        buckets = (self.read if row == "read" else self.write).buckets
+        populated = [i for i, b in enumerate(buckets) if b > 0]
+        return len(populated) >= 2 and populated[-1] - populated[0] >= 2

@@ -1,0 +1,170 @@
+"""Operation timelines (paper Figures 2-4, 6-7, 9-14).
+
+The paper's timeline figures scatter request size against request start
+time, one panel for reads and one for writes.  :class:`Timeline` extracts
+the series; :func:`ascii_scatter` renders a terminal approximation so the
+benches can show the figure's shape; :class:`BurstAnalysis` quantifies the
+clustered write groups of ESCAT's Figure 4 (burst count and the
+decreasing inter-burst spacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+
+__all__ = ["Timeline", "BurstAnalysis", "ascii_scatter"]
+
+
+class Timeline:
+    """(time, size) series for one class of operations."""
+
+    def __init__(self, trace: Trace, kind: str = "read"):
+        ev = trace.events
+        if kind == "read":
+            ops = [int(Op.READ), int(Op.AREAD)]
+        elif kind == "write":
+            ops = [int(Op.WRITE)]
+        elif kind == "seek":
+            ops = [int(Op.SEEK)]
+        else:
+            raise ValueError(f"kind must be read/write/seek, got {kind!r}")
+        mask = np.isin(ev["op"], ops) if len(ev) else np.zeros(0, bool)
+        sel = ev[mask]
+        order = np.argsort(sel["timestamp"], kind="stable")
+        self.times = sel["timestamp"][order].astype(float)
+        self.sizes = sel["nbytes"][order].astype(float)
+        self.nodes = sel["node"][order]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def within(self, start: float, end: float) -> "Timeline":
+        """Restrict to [start, end) — the 'detail' zoom of Figure 3."""
+        clone = object.__new__(Timeline)
+        mask = (self.times >= start) & (self.times < end)
+        clone.times = self.times[mask]
+        clone.sizes = self.sizes[mask]
+        clone.nodes = self.nodes[mask]
+        return clone
+
+    def rate(self, window_s: float) -> tuple[np.ndarray, np.ndarray]:
+        """(window start times, ops per window) for activity profiles."""
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if len(self.times) == 0:
+            return np.array([]), np.array([])
+        end = self.times.max() + window_s
+        edges = np.arange(0.0, end + window_s, window_s)
+        counts, _ = np.histogram(self.times, bins=edges)
+        return edges[:-1], counts
+
+    def span(self) -> tuple[float, float]:
+        """(first, last) operation start times."""
+        if len(self.times) == 0:
+            return (0.0, 0.0)
+        return float(self.times[0]), float(self.times[-1])
+
+    def interarrivals(self) -> np.ndarray:
+        """Gaps between consecutive operation starts (the paper's
+        'temporal spacing' statistic; empty for < 2 operations)."""
+        if len(self.times) < 2:
+            return np.zeros(0)
+        return np.diff(self.times)
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One temporal cluster of operations."""
+
+    start: float
+    end: float
+    count: int
+
+    @property
+    def center(self) -> float:
+        return (self.start + self.end) / 2.0
+
+
+class BurstAnalysis:
+    """Clusters a timeline into bursts separated by >= ``gap_s`` of quiet.
+
+    ESCAT's quadrature writes arrive in synchronized groups whose spacing
+    shrinks from ~160 s to ~80 s across the phase (Figure 4); ``spacings``
+    exposes that series and ``spacing_trend`` its endpoints.
+    """
+
+    def __init__(self, timeline: Timeline, gap_s: float = 10.0):
+        if gap_s <= 0:
+            raise ValueError(f"gap_s must be > 0, got {gap_s}")
+        self.gap_s = gap_s
+        times = timeline.times
+        self.bursts: list[Burst] = []
+        if len(times) == 0:
+            return
+        start = prev = times[0]
+        count = 1
+        for t in times[1:]:
+            if t - prev >= gap_s:
+                self.bursts.append(Burst(float(start), float(prev), count))
+                start = t
+                count = 0
+            count += 1
+            prev = t
+        self.bursts.append(Burst(float(start), float(prev), count))
+
+    @property
+    def spacings(self) -> np.ndarray:
+        """Center-to-center spacing between consecutive bursts."""
+        centers = np.array([b.center for b in self.bursts])
+        return np.diff(centers)
+
+    def spacing_trend(self) -> tuple[float, float]:
+        """(mean early spacing, mean late spacing) over first/last thirds."""
+        s = self.spacings
+        if len(s) < 3:
+            return (float(s.mean()), float(s.mean())) if len(s) else (0.0, 0.0)
+        third = max(1, len(s) // 3)
+        return float(s[:third].mean()), float(s[-third:].mean())
+
+
+def ascii_scatter(
+    times: np.ndarray,
+    sizes: np.ndarray,
+    width: int = 72,
+    height: int = 16,
+    log_y: bool = True,
+    marker: str = "*",
+) -> str:
+    """Terminal scatter plot of request size vs. time.
+
+    A coarse stand-in for the paper's figures: enough to see phases,
+    bursts, and size bands.
+    """
+    if len(times) == 0:
+        return "(no operations)"
+    t0, t1 = float(np.min(times)), float(np.max(times))
+    tspan = (t1 - t0) or 1.0
+    vals = np.asarray(sizes, dtype=float)
+    if log_y:
+        vals = np.log10(np.maximum(vals, 1.0))
+    v0, v1 = float(vals.min()), float(vals.max())
+    vspan = (v1 - v0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.minimum(((times - t0) / tspan * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((vals - v0) / vspan * (height - 1)).astype(int), height - 1)
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = marker
+    top = f"10^{v1:.1f} B" if log_y else f"{v1:.0f}"
+    bottom = f"10^{v0:.1f} B" if log_y else f"{v0:.0f}"
+    lines = [f"{top:>12} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " |" + "".join(row))
+    lines.append(f"{bottom:>12} |" + "".join(grid[-1]))
+    lines.append(" " * 14 + "-" * width)
+    lines.append(f"{'':14}{t0:<12.1f}{'time (s)':^{max(0, width - 24)}}{t1:>12.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Application skeletons: ESCAT, RENDER, and the HTF pipeline."""
+
+from .base import Application, Collective, PhaseMark
+from .escat import Escat, EscatConfig
+from .escat_science import ScienceEscat, ScienceEscatConfig
+from .htf import HartreeFock, HTFConfig, HTFResult, Pargos, Pscf, Psetup
+from .htf_science import ScienceHartreeFock, ScienceHTFConfig
+from .render_science import ScienceRender, ScienceRenderConfig
+from .render import Render, RenderConfig
+from .synthetic import SyntheticConfig, SyntheticKernel
+from .workloads import (
+    paper_escat,
+    paper_htf,
+    paper_machine,
+    paper_render,
+    small_escat,
+    small_htf,
+    small_machine,
+    small_render,
+)
+
+__all__ = [
+    "Application",
+    "Collective",
+    "PhaseMark",
+    "Escat",
+    "EscatConfig",
+    "ScienceEscat",
+    "ScienceEscatConfig",
+    "HartreeFock",
+    "HTFConfig",
+    "HTFResult",
+    "Pargos",
+    "Pscf",
+    "Psetup",
+    "ScienceHartreeFock",
+    "ScienceHTFConfig",
+    "ScienceRender",
+    "ScienceRenderConfig",
+    "Render",
+    "RenderConfig",
+    "SyntheticConfig",
+    "SyntheticKernel",
+    "paper_escat",
+    "paper_htf",
+    "paper_machine",
+    "paper_render",
+    "small_escat",
+    "small_htf",
+    "small_machine",
+    "small_render",
+]

@@ -1,0 +1,124 @@
+"""Shared scaffolding for the application skeletons.
+
+The skeletons (ESCAT, RENDER, HTF) are message-passing SPMD programs: a
+process per compute node, coordinated with barriers and root-mediated
+broadcasts, issuing I/O through an :class:`~repro.pablo.capture.InstrumentedPFS`.
+This module provides that scaffolding plus the run harness that returns
+the captured trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.paragon import Paragon
+from ..pablo.capture import InstrumentedPFS
+from ..pablo.trace import Trace
+from ..sim.core import Environment, Event
+from ..sim.resources import Barrier
+
+__all__ = ["Collective", "Application", "PhaseMark"]
+
+
+class Collective:
+    """Barrier + broadcast/gather coordination for an SPMD node group."""
+
+    def __init__(self, machine: Paragon, nodes: list[int]):
+        if not nodes:
+            raise ValueError("node group must be non-empty")
+        self.machine = machine
+        self.env: Environment = machine.env
+        self.nodes = list(nodes)
+        self._barrier = Barrier(self.env, len(nodes))
+        self._bcast_done: dict[int, Event] = {}
+        self._node_gen: dict[int, int] = {}
+
+    def barrier(self):
+        """Event: fires when every node in the group has arrived."""
+        return self._barrier.wait()
+
+    def broadcast(self, node: int, root: int, nbytes: int):
+        """Process generator: root-mediated broadcast of ``nbytes``.
+
+        The root charges the binomial-tree broadcast time; every node
+        (root included) returns when the data has landed everywhere.
+        Call exactly once per node per broadcast.
+        """
+        gen = self._node_gen.get(node, 0)
+        self._node_gen[node] = gen + 1
+        ev = self._bcast_done.get(gen)
+        if ev is None:
+            ev = Event(self.env)
+            self._bcast_done[gen] = ev
+        if node == root:
+            yield self.env.timeout(
+                self.machine.mesh.broadcast_time(root, len(self.nodes), nbytes)
+            )
+            ev.succeed()
+        else:
+            yield ev
+
+    def gather(self, node: int, root: int, nbytes_each: int):
+        """Process generator: gather ``nbytes_each`` from every node to root.
+
+        All nodes synchronize; the root additionally charges the gather
+        transfer time.
+        """
+        yield self.barrier()
+        if node == root:
+            yield self.env.timeout(
+                self.machine.mesh.gather_time(root, len(self.nodes), nbytes_each)
+            )
+
+
+@dataclass(frozen=True)
+class PhaseMark:
+    """A labelled instant in an application run (phase boundary)."""
+
+    name: str
+    time: float
+
+
+@dataclass
+class Application:
+    """Base runner: spawns per-node processes and collects the trace."""
+
+    machine: Paragon
+    fs: InstrumentedPFS
+    name: str = "app"
+    phase_marks: list[PhaseMark] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        """Setup hook; the generated __init__ calls it for subclasses
+        whether or not they are dataclasses themselves."""
+
+    def mark(self, name: str) -> None:
+        """Record a phase boundary at the current simulated time."""
+        self.phase_marks.append(PhaseMark(name, self.machine.env.now))
+
+    def phase_time(self, name: str) -> float:
+        """Time of the first mark with the given name."""
+        for m in self.phase_marks:
+            if m.name == name:
+                return m.time
+        raise KeyError(f"no phase mark {name!r}")
+
+    def node_processes(self):  # pragma: no cover - abstract
+        """Yield (node, generator) pairs; subclasses implement."""
+        raise NotImplementedError
+
+    def run(self) -> Trace:
+        """Spawn all node processes, run to completion, return the trace."""
+        self.fs.trace.application = self.name
+        procs = [
+            self.machine.env.process(gen, name=f"{self.name}.n{node}")
+            for node, gen in self.node_processes()
+        ]
+        self.fs.trace.nodes = max(self.fs.trace.nodes, len(procs))
+        self.machine.env.run()
+        for p in procs:
+            if p.is_alive:
+                raise RuntimeError(f"process {p.name} never finished (deadlock?)")
+            if not p.ok:
+                raise p.value
+        return self.fs.trace

@@ -1,0 +1,200 @@
+"""RENDER — terrain rendering (virtual flyby) skeleton (§4.2, §6).
+
+Reproduces the gateway + renderer structure of Figure 1:
+
+* **Initialization** — the gateway node reads the multi-hundred-megabyte
+  terrain dataset from four files using large *asynchronous* reads
+  (explicit prefetching: first ~3 MB requests, then ~1.5 MB), M_UNIX
+  mode, then broadcasts the data to the renderers, each of which selects
+  its subset.
+* **Rendering** — per frame: the gateway reads a small view-coordinate
+  record from a control file, directs the renderers (who compute),
+  collects the rendered 640x512 24-bit image (983,040 bytes), and writes
+  it — in the measured runs to a fresh output file per frame (Figure 8's
+  staircase), in production to the HiPPi frame buffer.
+
+Default parameters land on Table 3-4: 436 async reads >= 256 KB, 121 tiny
+synchronous reads, 100 one-megabyte frame writes plus 200 seven-byte
+header/trailer writes (volume exactly 98,305,400 bytes), 106 opens, 101
+closes, 4 zero-distance seeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pfs.filesystem import SEEK_CUR
+from ..util.units import MB
+from .base import Application, Collective
+
+__all__ = ["RenderConfig", "Render"]
+
+
+@dataclass(frozen=True)
+class RenderConfig:
+    """Workload parameters; defaults = the paper's 100-frame Mars run."""
+
+    #: Renderer count (the gateway is node 0 in addition).
+    renderers: int = 127
+    frames: int = 100
+    #: 640 x 512 x 24-bit color.
+    frame_bytes: int = 983040
+    #: Header/trailer writes around each frame.
+    frame_small_writes: int = 2
+    frame_small_bytes: int = 7
+    #: Async read plan: (requests, request_bytes) per data file.
+    data_files: tuple[tuple[int, int], ...] = (
+        (67, 3 * MB),
+        (67, 3 * MB),
+        (151, 3 * MB // 2),
+        (151, 3 * MB // 2),
+    )
+    #: Prefetch window: async reads outstanding at once.
+    prefetch_depth: int = 4
+    #: View-coordinate record size.
+    view_bytes: int = 70
+    #: Control-file reads before the frame loop starts.
+    control_reads: int = 21
+    #: Zero-distance seeks in the control file (paper Table 3: 4 seeks).
+    control_seeks: int = 4
+    #: Per-frame render compute on each renderer.
+    render_compute_s: float = 2.1
+    #: Renderer-to-renderer compute imbalance (fraction).
+    compute_jitter: float = 0.05
+    #: Gateway setup compute after the dataset broadcast.
+    setup_compute_s: float = 15.0
+    #: Where frames go: 'disk' (the measured runs) or 'hippi' (production).
+    output: str = "disk"
+
+    def __post_init__(self) -> None:
+        if self.renderers < 1:
+            raise ValueError("renderers must be >= 1")
+        if self.frames < 1:
+            raise ValueError("frames must be >= 1")
+        if self.output not in ("disk", "hippi"):
+            raise ValueError(f"output must be disk/hippi, got {self.output!r}")
+
+    @property
+    def async_reads(self) -> int:
+        """Total async data reads (paper: 436)."""
+        return sum(n for n, _ in self.data_files)
+
+    @property
+    def dataset_bytes(self) -> int:
+        """Total terrain dataset volume (paper: ~880 MB)."""
+        return sum(n * size for n, size in self.data_files)
+
+    @property
+    def sync_reads(self) -> int:
+        """Control-file reads (paper: 121)."""
+        return self.control_reads + self.frames
+
+    @property
+    def expected_writes(self) -> int:
+        """Frame + small writes when output='disk' (paper: 300)."""
+        return self.frames * (1 + self.frame_small_writes)
+
+
+@dataclass
+class Render(Application):
+    """Runnable RENDER skeleton (gateway = node 0)."""
+
+    config: RenderConfig = field(default_factory=RenderConfig)
+
+    def __post_init__(self) -> None:
+        self.name = "RENDER"
+        cfg = self.config
+        total_nodes = cfg.renderers + 1
+        if total_nodes > self.machine.config.compute_nodes:
+            raise ValueError(
+                f"workload wants {total_nodes} nodes, machine has "
+                f"{self.machine.config.compute_nodes}"
+            )
+        self.group = Collective(self.machine, list(range(total_nodes)))
+        self._rng = self.machine.rngs.stream("render.compute")
+        # Terrain data and view control files pre-exist.
+        for i, (count, size) in enumerate(cfg.data_files):
+            self.fs.ensure(f"/render/terrain{i}", size=count * size)
+        self.fs.ensure(
+            "/render/views", size=(cfg.control_reads + cfg.frames) * cfg.view_bytes
+        )
+        self.fs.ensure("/render/params", size=4096)
+
+    def node_processes(self):
+        yield 0, self._gateway()
+        for node in range(1, self.config.renderers + 1):
+            yield node, self._renderer(node)
+
+    # -- gateway -------------------------------------------------------------
+    def _gateway(self):
+        cfg = self.config
+        fs = self.fs
+        node = 0
+        gateway = self.machine.nodes[0]
+
+        self.mark("init")
+        # Parameter/config check: opened and closed up front (the 106th
+        # open and 101st close of Table 3).
+        pfd = yield from fs.open(node, "/render/params")
+        yield from fs.close(node, pfd)
+
+        # Initial dataset: large async reads with a bounded prefetch window.
+        for i, (count, size) in enumerate(cfg.data_files):
+            dfd = yield from fs.open(node, f"/render/terrain{i}")
+            window = []
+            for _ in range(count):
+                handle = yield from fs.aread(node, dfd, size)
+                window.append(handle)
+                if len(window) >= cfg.prefetch_depth:
+                    yield from fs.iowait(node, window.pop(0))
+            for handle in window:
+                yield from fs.iowait(node, handle)
+            # Data files stay open for the run (closed implicitly at exit;
+            # Table 3 records only 101 explicit closes).
+
+        # Broadcast the dataset; renderers each keep a subset.
+        yield from self.group.broadcast(node, 0, cfg.dataset_bytes)
+        yield from gateway.compute(cfg.setup_compute_s)
+
+        # Control file: initial view list + occasional repositioning seeks.
+        vfd = yield from fs.open(node, "/render/views")
+        for i in range(cfg.control_reads):
+            yield from fs.read(node, vfd, cfg.view_bytes)
+            if i < cfg.control_seeks:
+                yield from fs.seek(node, vfd, 0, SEEK_CUR)
+
+        self.mark("render")
+        for frame in range(cfg.frames):
+            # View request for this frame.
+            yield from fs.read(node, vfd, cfg.view_bytes)
+            yield from self.group.broadcast(node, 0, cfg.view_bytes)
+            # Collect the rendered image from the group.
+            yield from self.group.gather(
+                node, 0, cfg.frame_bytes // max(1, cfg.renderers)
+            )
+            if cfg.output == "disk":
+                ofd = yield from fs.open(
+                    node, f"/render/frame{frame:04d}", create=True
+                )
+                yield from fs.write(node, ofd, cfg.frame_small_bytes)
+                yield from fs.write(node, ofd, cfg.frame_bytes)
+                for _ in range(cfg.frame_small_writes - 1):
+                    yield from fs.write(node, ofd, cfg.frame_small_bytes)
+                yield from fs.close(node, ofd)
+            else:
+                yield self.machine.env.process(
+                    self.machine.framebuffer.write_frame(cfg.frame_bytes)
+                )
+        self.mark("end")
+        # views and params files are left open at exit (closes = 101).
+
+    # -- renderers ---------------------------------------------------------
+    def _renderer(self, node: int):
+        cfg = self.config
+        mod = self.machine.nodes[node]
+        yield from self.group.broadcast(node, 0, 0)  # dataset arrives
+        for _ in range(cfg.frames):
+            yield from self.group.broadcast(node, 0, 0)  # view coords
+            jitter = 1.0 + cfg.compute_jitter * float(self._rng.standard_normal())
+            yield from mod.compute(max(0.0, cfg.render_compute_s * jitter))
+            yield from self.group.gather(node, 0, 0)

@@ -1,0 +1,172 @@
+"""RENDER with the real rendering in the loop (miniature scale).
+
+The gateway + renderer structure of Figure 1 carrying genuine data:
+
+* the fractal terrain (heightfield + false-color map) is staged in the
+  simulated file system; the gateway reads it with large requests and
+  broadcasts it;
+* per frame, the gateway reads a packed camera record from the views
+  file (real bytes it wrote at setup), broadcasts the view, and each
+  renderer ray-marches its contiguous *column band* of the frame;
+* the gateway gathers the bands, assembles the frame, writes the real
+  image bytes to the output file — and the assembled frame is verified
+  pixel-identical to a single-node render of the same view.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..science.rendering import Camera, color_map, diamond_square, render_view
+from .base import Application, Collective
+
+__all__ = ["ScienceRenderConfig", "ScienceRender"]
+
+_VIEW_FMT = "<4d"  # x, y, height, heading
+_VIEW_BYTES = struct.calcsize(_VIEW_FMT)
+
+
+@dataclass(frozen=True)
+class ScienceRenderConfig:
+    """A miniature flyby with real frames."""
+
+    renderers: int = 4
+    frames: int = 3
+    terrain_exponent: int = 7
+    width: int = 160
+    rows: int = 128
+    seed: int = 11
+    #: Simulated render compute per band per frame.
+    band_compute_s: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.renderers < 1:
+            raise ValueError("renderers must be >= 1")
+        if self.frames < 1:
+            raise ValueError("frames must be >= 1")
+        if self.width % self.renderers:
+            raise ValueError("renderers must divide width")
+
+    def cameras(self) -> list[Camera]:
+        return [
+            Camera(
+                x=12.0 + 7.0 * i,
+                y=18.0 + 3.0 * i,
+                height=1.5,
+                heading=0.2 * i,
+            )
+            for i in range(self.frames)
+        ]
+
+
+@dataclass
+class ScienceRender(Application):
+    """Runnable real-frame flyby (gateway = node 0, needs content FS)."""
+
+    config: ScienceRenderConfig = field(default_factory=ScienceRenderConfig)
+
+    def __post_init__(self) -> None:
+        self.name = "RENDER-science"
+        cfg = self.config
+        if not self.fs.track_content:
+            raise ValueError("ScienceRender needs track_content=True")
+        total = cfg.renderers + 1
+        if total > self.machine.config.compute_nodes:
+            raise ValueError("workload larger than machine")
+        self.group = Collective(self.machine, list(range(total)))
+        self.height = diamond_square(cfg.terrain_exponent, seed=cfg.seed)
+        self.colors = color_map(self.height)
+        self._terrain_blob = self.height.tobytes() + self.colors.tobytes()
+        views = b"".join(
+            struct.pack(_VIEW_FMT, c.x, c.y, c.height, c.heading)
+            for c in cfg.cameras()
+        )
+        f = self.fs.ensure("/render-sci/terrain", size=len(self._terrain_blob))
+        f.write_content(0, self._terrain_blob)
+        v = self.fs.ensure("/render-sci/views", size=len(views))
+        v.write_content(0, views)
+        #: Assembled frames, filled by the gateway as the run proceeds.
+        self.rendered: list[np.ndarray] = []
+        self._band_box: dict[int, np.ndarray] = {}
+        self._current_view: Camera | None = None
+
+    def node_processes(self):
+        yield 0, self._gateway()
+        for node in range(1, self.config.renderers + 1):
+            yield node, self._renderer(node)
+
+    # -- gateway ----------------------------------------------------------------
+    def _gateway(self):
+        cfg = self.config
+        fs = self.fs
+        node = 0
+        self.mark("init")
+        tfd = yield from fs.open(node, "/render-sci/terrain")
+        got = 0
+        chunk = 1 << 20
+        while got < len(self._terrain_blob):
+            got += yield from fs.read(
+                node, tfd, min(chunk, len(self._terrain_blob) - got)
+            )
+        assert got == len(self._terrain_blob)
+        yield from self.group.broadcast(node, 0, len(self._terrain_blob))
+
+        vfd = yield from fs.open(node, "/render-sci/views")
+        self.mark("render")
+        for frame_no in range(cfg.frames):
+            count, raw = yield from fs.read(node, vfd, _VIEW_BYTES, data_out=True)
+            assert count == _VIEW_BYTES
+            x, y, h, heading = struct.unpack(_VIEW_FMT, bytes(raw))
+            self._current_view = Camera(x=x, y=y, height=h, heading=heading)
+            yield from self.group.broadcast(node, 0, _VIEW_BYTES)
+            # Renderers work; bands return through the gather.
+            band_bytes = cfg.rows * (cfg.width // cfg.renderers) * 3
+            yield from self.group.gather(node, 0, band_bytes)
+            frame = np.concatenate(
+                [self._band_box[b] for b in range(cfg.renderers)], axis=1
+            )
+            self._band_box.clear()
+            self.rendered.append(frame)
+            payload = frame.tobytes()
+            ofd = yield from fs.open(
+                node, f"/render-sci/frame{frame_no:02d}", create=True
+            )
+            yield from fs.write(node, ofd, len(payload), data=payload)
+            yield from fs.close(node, ofd)
+        yield from fs.close(node, vfd)
+        yield from fs.close(node, tfd)
+        self.mark("end")
+
+    # -- renderers ---------------------------------------------------------------
+    def _renderer(self, node: int):
+        cfg = self.config
+        mod = self.machine.nodes[node]
+        band = cfg.width // cfg.renderers
+        lo = (node - 1) * band
+        yield from self.group.broadcast(node, 0, 0)  # terrain arrives
+        for _ in range(cfg.frames):
+            yield from self.group.broadcast(node, 0, 0)  # view arrives
+            camera = self._current_view
+            assert camera is not None
+            yield from mod.compute(cfg.band_compute_s)
+            self._band_box[node - 1] = render_view(
+                self.height,
+                self.colors,
+                camera,
+                width=cfg.width,
+                rows=cfg.rows,
+                column_range=(lo, lo + band),
+            )
+            yield from self.group.gather(node, 0, 0)
+
+    # -- verification -------------------------------------------------------------
+    def reference_frame(self, frame_no: int) -> np.ndarray:
+        """Single-node render of the same view (for verification)."""
+        cam = self.config.cameras()[frame_no]
+        return render_view(
+            self.height, self.colors, cam,
+            width=self.config.width, rows=self.config.rows,
+        )

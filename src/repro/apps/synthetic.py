@@ -1,0 +1,104 @@
+"""Synthetic I/O kernels — the microbenchmarks §8 warns about.
+
+The paper: "the simple synthetic kernels often used to evaluate new file
+system ideas may not be good predictors of potential performance on
+full-scale applications."  To make that claim testable, this module
+provides exactly such kernels: uniform, unsynchronized, single-file
+request generators parameterized by operation mix, request size and node
+count — the classic file-system microbenchmark shape, with none of the
+real codes' phase structure, synchronization, or seek/write coupling.
+
+The ``bench_synthetic_vs_skeleton`` benchmark runs a kernel matched to
+ESCAT's headline numbers (2 KB writes, 128 nodes) and shows it badly
+mispredicting both PFS cost and the PPFS policy benefit that the full
+skeleton exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pfs.modes import AccessMode
+from .base import Application
+
+__all__ = ["SyntheticConfig", "SyntheticKernel"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of a uniform request-stream kernel."""
+
+    nodes: int = 8
+    #: Operations per node.
+    ops_per_node: int = 50
+    request_bytes: int = 2048
+    #: 'write', 'read', or 'mixed' (alternating).
+    kind: str = "write"
+    #: Spatial layout: 'partitioned' (disjoint per-node regions, appended
+    #: sequentially) or 'shared-strided' (node-interleaved records).
+    layout: str = "partitioned"
+    #: Think time between a node's operations.
+    think_s: float = 0.1
+    mode: AccessMode = AccessMode.M_UNIX
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.ops_per_node < 1:
+            raise ValueError("ops_per_node must be >= 1")
+        if self.request_bytes < 1:
+            raise ValueError("request_bytes must be >= 1")
+        if self.kind not in ("write", "read", "mixed"):
+            raise ValueError(f"kind must be write/read/mixed, got {self.kind!r}")
+        if self.layout not in ("partitioned", "shared-strided"):
+            raise ValueError(f"bad layout {self.layout!r}")
+        if self.think_s < 0:
+            raise ValueError("think_s must be >= 0")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.nodes * self.ops_per_node * self.request_bytes
+
+
+@dataclass
+class SyntheticKernel(Application):
+    """Runnable uniform-stream kernel."""
+
+    config: SyntheticConfig = field(default_factory=SyntheticConfig)
+
+    def __post_init__(self) -> None:
+        self.name = "SYNTHETIC"
+        cfg = self.config
+        if cfg.nodes > self.machine.config.compute_nodes:
+            raise ValueError("workload larger than machine")
+        self.fs.ensure("/synthetic/data", size=cfg.total_bytes)
+
+    def node_processes(self):
+        for node in range(self.config.nodes):
+            yield node, self._node_main(node)
+
+    def _offset(self, node: int, op_index: int) -> int:
+        cfg = self.config
+        if cfg.layout == "partitioned":
+            region = cfg.ops_per_node * cfg.request_bytes
+            return node * region + op_index * cfg.request_bytes
+        # shared-strided: groups of N records in node order.
+        return (op_index * cfg.nodes + node) * cfg.request_bytes
+
+    def _node_main(self, node: int):
+        cfg = self.config
+        fs = self.fs
+        mod = self.machine.nodes[node]
+        fd = yield from fs.open(node, "/synthetic/data", cfg.mode)
+        for k in range(cfg.ops_per_node):
+            if cfg.think_s:
+                yield from mod.compute(cfg.think_s)
+            offset = self._offset(node, k)
+            if fs.tell(node, fd) != offset:
+                yield from fs.seek(node, fd, offset)
+            do_read = cfg.kind == "read" or (cfg.kind == "mixed" and k % 2)
+            if do_read:
+                yield from fs.read(node, fd, cfg.request_bytes)
+            else:
+                yield from fs.write(node, fd, cfg.request_bytes)
+        yield from fs.close(node, fd)

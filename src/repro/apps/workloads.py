@@ -1,0 +1,125 @@
+"""Paper-calibrated and test-scale workload presets.
+
+``paper_*`` presets reproduce the runs behind Tables 1-6 and Figures
+2-17 (128-node partition of the Caltech machine).  ``small_*`` presets
+shrink node counts and iteration counts for fast tests while preserving
+each code's structure (phases, modes, file roles).
+"""
+
+from __future__ import annotations
+
+from ..machine.mesh import MeshParams
+from ..machine.paragon import Paragon, ParagonConfig
+from .escat import EscatConfig
+from .htf import HTFConfig
+from .render import RenderConfig
+
+__all__ = [
+    "paper_machine",
+    "small_machine",
+    "paper_escat",
+    "small_escat",
+    "paper_render",
+    "small_render",
+    "paper_htf",
+    "small_htf",
+]
+
+
+def paper_machine(seed: int = 1995) -> Paragon:
+    """The 128-node partition + 16 I/O nodes used for all three studies."""
+    return Paragon(
+        ParagonConfig(
+            compute_nodes=128,
+            io_nodes=16,
+            mesh=MeshParams(width=16, height=8),
+            seed=seed,
+        )
+    )
+
+
+def small_machine(nodes: int = 8, io_nodes: int = 4, seed: int = 7) -> Paragon:
+    """A test-scale machine (structure intact, cheap to simulate)."""
+    width = max(2, nodes // 2)
+    height = max(2, -(-nodes // width))
+    return Paragon(
+        ParagonConfig(
+            compute_nodes=nodes,
+            io_nodes=io_nodes,
+            mesh=MeshParams(width=width, height=height),
+            seed=seed,
+        )
+    )
+
+
+def paper_escat() -> EscatConfig:
+    """The Table 1-2 run: 128 nodes, 52 cycles, 2 KB quadrature records."""
+    return EscatConfig()
+
+
+def small_escat(nodes: int = 8) -> EscatConfig:
+    """Structure-preserving miniature (4 cycles, small init reads)."""
+    return EscatConfig(
+        nodes=nodes,
+        iterations=4,
+        cycle_compute_start_s=2.0,
+        cycle_compute_end_s=1.0,
+        init_small_reads=30,
+        init_medium_reads=3,
+        init_large_reads=4,
+        init_compute_s=1.0,
+        phase3_compute_s=1.0,
+        phase4_compute_s=0.5,
+    )
+
+
+def paper_render() -> RenderConfig:
+    """The Table 3-4 run: 100 frames of the Mars flyby dataset."""
+    return RenderConfig()
+
+
+def small_render(renderers: int = 7, frames: int = 5) -> RenderConfig:
+    """Miniature flyby: few frames, megabyte-scale dataset."""
+    return RenderConfig(
+        renderers=renderers,
+        frames=frames,
+        data_files=((4, 3 * 1024 * 1024), (6, 3 * 1024 * 1024 // 2)),
+        control_reads=4,
+        control_seeks=2,
+        render_compute_s=0.3,
+        setup_compute_s=0.5,
+    )
+
+
+def paper_htf() -> HTFConfig:
+    """The Table 5-6 run: 16 atoms, 128 nodes, 6 SCF passes."""
+    return HTFConfig()
+
+
+def small_htf(nodes: int = 8) -> HTFConfig:
+    """Miniature pipeline: few records and passes, tiny aux plan."""
+    return HTFConfig(
+        nodes=nodes,
+        extra_record_nodes=nodes // 2,
+        records_base=3,
+        scf_passes=2,
+        psetup_small_reads=12,
+        psetup_medium_reads=8,
+        psetup_small_writes=10,
+        psetup_medium_writes=9,
+        psetup_compute_per_op_s=0.01,
+        pargos_input_small_reads=10,
+        pargos_input_medium_reads=2,
+        pargos_cycle_compute_s=0.5,
+        scf_compute_per_record_s=0.1,
+        scf_pass_compute_s=0.2,
+        aux_opens=8,
+        aux_closes=7,
+        aux_small_reads=12,
+        aux_medium_reads=6,
+        aux_large_reads=4,
+        aux_small_writes=5,
+        aux_medium_writes=6,
+        aux_large_writes=2,
+        aux_seeks=9,
+    )

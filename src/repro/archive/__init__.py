@@ -1,0 +1,21 @@
+"""Multilevel storage: tape tertiary storage + hierarchical management.
+
+The storage context §1 sets out ("hundreds of disks ... coupled with
+tertiary storage devices, a multilevel storage management system, e.g.,
+like Unitree"): a tape library model and an HSM facade that migrates
+cold files off the disk level and transparently stages them back on
+access.
+"""
+
+from .hsm import HSM, AgeBasedPolicy, HSMStats, MigrationPolicy, WatermarkPolicy
+from .tape import TapeLibrary, TapeParams
+
+__all__ = [
+    "HSM",
+    "AgeBasedPolicy",
+    "HSMStats",
+    "MigrationPolicy",
+    "WatermarkPolicy",
+    "TapeLibrary",
+    "TapeParams",
+]

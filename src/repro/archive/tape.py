@@ -1,0 +1,81 @@
+"""Tertiary storage: a tape library model.
+
+§1 frames the design space as "hundreds of disks and disk arrays ...
+coupled with tertiary storage devices [and] a multilevel storage
+management system (e.g., like Unitree)".  This is the tertiary level: a
+library of tape drives with the mid-90s characteristics that make
+migration policy interesting — mounts cost tens of seconds, streaming is
+slower than disk, and drives are scarce and contended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import Environment
+from ..sim.resources import Resource
+from ..util.validation import check_nonneg, check_positive
+
+__all__ = ["TapeParams", "TapeLibrary"]
+
+
+@dataclass(frozen=True)
+class TapeParams:
+    """Library characteristics (DLT-class drives, robot-armed library)."""
+
+    drives: int = 2
+    #: Robot fetch + mount + load time per volume touch.
+    mount_s: float = 45.0
+    #: Locate/position time once mounted.
+    locate_s: float = 10.0
+    #: Streaming transfer rate.
+    rate_bps: float = 1_500_000.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.drives, "drives")
+        check_nonneg(self.mount_s, "mount_s")
+        check_nonneg(self.locate_s, "locate_s")
+        check_positive(self.rate_bps, "rate_bps")
+
+
+class TapeLibrary:
+    """Contended tape drives with mount/locate/stream accounting."""
+
+    def __init__(self, env: Environment, params: TapeParams | None = None):
+        self.env = env
+        self.params = params or TapeParams()
+        self._drives = Resource(env, capacity=self.params.drives)
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.mounts = 0
+        self.busy_time = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Mount + locate + stream time for one volume touch."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        p = self.params
+        return p.mount_s + p.locate_s + nbytes / p.rate_bps
+
+    def write(self, nbytes: int):
+        """Process generator: archive ``nbytes`` to tape."""
+        yield from self._transfer(nbytes, is_write=True)
+
+    def read(self, nbytes: int):
+        """Process generator: recall ``nbytes`` from tape."""
+        yield from self._transfer(nbytes, is_write=False)
+
+    def _transfer(self, nbytes: int, is_write: bool):
+        duration = self.transfer_time(nbytes)
+        req = self._drives.request()
+        yield req
+        try:
+            self.mounts += 1
+            self.busy_time += duration
+            yield self.env.timeout(duration)
+            if is_write:
+                self.bytes_written += nbytes
+            else:
+                self.bytes_read += nbytes
+        finally:
+            self._drives.release(req)

@@ -1,0 +1,138 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run escat --scale small          # run + characterize
+    python -m repro run escat --fs ppfs --policies escat_tuned
+    python -m repro run htf --save-dir traces/       # save SDDF traces
+    python -m repro characterize traces/escat.sddf   # report a saved trace
+    python -m repro compare traces/*.sddf            # §8 cross-app table
+    python -m repro replay traces/escat.sddf --fs ppfs --policies escat_tuned
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from .analysis.report import CharacterizationReport
+from .core.compare import CrossAppComparison
+from .core.registry import paper_experiment, small_experiment
+from .core.replay import replay_trace
+from .pablo.trace import Trace
+from .ppfs.policies import PPFSPolicies
+from .ppfs.server import PPFS
+
+__all__ = ["main"]
+
+_POLICY_PRESETS = {
+    "passthrough": PPFSPolicies.passthrough,
+    "escat_tuned": PPFSPolicies.escat_tuned,
+    "sequential_reader": PPFSPolicies.sequential_reader,
+    "adaptive": PPFSPolicies.adaptive,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'I/O Characteristics of Scalable "
+        "Parallel Applications' (SC '95)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an application and characterize it")
+    run.add_argument("app", choices=["escat", "render", "htf"])
+    run.add_argument("--scale", choices=["paper", "small"], default="small")
+    run.add_argument("--fs", choices=["pfs", "ppfs"], default="pfs")
+    run.add_argument("--policies", choices=sorted(_POLICY_PRESETS), default=None)
+    run.add_argument("--save-dir", default=None, metavar="DIR",
+                     help="write SDDF trace(s) into DIR")
+
+    char = sub.add_parser("characterize", help="report a saved SDDF trace")
+    char.add_argument("trace", help="path to a .sddf trace file")
+
+    comp = sub.add_parser("compare", help="cross-application comparison")
+    comp.add_argument("traces", nargs="+", help="two or more .sddf traces")
+
+    rep = sub.add_parser("replay", help="replay a trace on another configuration")
+    rep.add_argument("trace", help="path to a .sddf trace file")
+    rep.add_argument("--fs", choices=["pfs", "ppfs"], default="pfs")
+    rep.add_argument("--policies", choices=sorted(_POLICY_PRESETS), default=None)
+    rep.add_argument("--think", choices=["preserve", "none"], default="preserve")
+    return parser
+
+
+def _policies(name: Optional[str]) -> Optional[PPFSPolicies]:
+    return _POLICY_PRESETS[name]() if name else None
+
+
+def _cmd_run(args) -> int:
+    build = paper_experiment if args.scale == "paper" else small_experiment
+    kwargs = {}
+    if args.fs == "ppfs":
+        kwargs["filesystem"] = "ppfs"
+        kwargs["policies"] = _policies(args.policies) or PPFSPolicies()
+    elif args.policies:
+        print("--policies requires --fs ppfs", file=sys.stderr)
+        return 2
+    result = build(args.app, **kwargs).run()
+    for name, trace in result.traces.items():
+        print(CharacterizationReport(trace).render())
+        print()
+        if args.save_dir:
+            os.makedirs(args.save_dir, exist_ok=True)
+            path = os.path.join(args.save_dir, f"{name}.sddf")
+            trace.save(path)
+            print(f"trace saved: {path} ({len(trace)} events)")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    trace = Trace.load(args.trace)
+    print(CharacterizationReport(trace).render())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    traces = {}
+    for path in args.traces:
+        trace = Trace.load(path)
+        name = trace.application or os.path.splitext(os.path.basename(path))[0]
+        traces[name] = trace
+    print(CrossAppComparison(traces).render())
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    trace = Trace.load(args.trace)
+    policies = _policies(args.policies)
+    if args.fs == "ppfs":
+        fs_factory = lambda m: PPFS(m, policies=policies or PPFSPolicies())  # noqa: E731
+    else:
+        fs_factory = None
+    result = replay_trace(trace, fs_factory=fs_factory, think_time=args.think)
+    print(f"replayed {len(trace)} events from {trace.application!r}")
+    print(f"I/O node-time ratio (new/original): {result.io_time_ratio:.3f}")
+    print(f"makespan ratio (new/original):      {result.makespan_ratio:.3f}")
+    print()
+    print(CharacterizationReport(result.trace).render())
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "characterize": _cmd_characterize,
+        "compare": _cmd_compare,
+        "replay": _cmd_replay,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

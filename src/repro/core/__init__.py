@@ -1,0 +1,20 @@
+"""The characterization pipeline: experiments, reports, comparisons."""
+
+from ..analysis.report import CharacterizationReport
+from .compare import AppSummary, CrossAppComparison
+from .experiment import Experiment, ExperimentResult
+from .registry import APPLICATIONS, paper_experiment, small_experiment
+from .replay import ReplayResult, replay_trace
+
+__all__ = [
+    "CharacterizationReport",
+    "AppSummary",
+    "CrossAppComparison",
+    "Experiment",
+    "ExperimentResult",
+    "APPLICATIONS",
+    "ReplayResult",
+    "replay_trace",
+    "paper_experiment",
+    "small_experiment",
+]

@@ -1,0 +1,120 @@
+"""Experiment harness: application x machine x file system -> trace(s).
+
+One declarative record (:class:`Experiment`) names everything a run
+needs; ``run()`` assembles the machine, file system (PFS or PPFS with
+policies), Pablo instrumentation and application skeleton, executes the
+simulation and returns the trace(s) plus handles for deeper inspection.
+This is the entry point the benches, examples and tests share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..apps.escat import Escat, EscatConfig
+from ..apps.htf import HartreeFock, HTFConfig, HTFResult
+from ..apps.render import Render, RenderConfig
+from ..apps.workloads import paper_escat, paper_htf, paper_machine, paper_render
+from ..machine.paragon import Paragon
+from ..pablo.capture import InstrumentedPFS
+from ..pablo.trace import Trace
+from ..pfs.costs import CostModel
+from ..pfs.filesystem import PFS
+from ..ppfs.policies import PPFSPolicies
+from ..ppfs.server import PPFS
+
+__all__ = ["Experiment", "ExperimentResult"]
+
+_APP_DEFAULTS: dict[str, Callable[[], Any]] = {
+    "escat": paper_escat,
+    "render": paper_render,
+    "htf": paper_htf,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produced."""
+
+    machine: Paragon
+    fs: PFS
+    traces: dict[str, Trace]
+    app: Any = None
+
+    @property
+    def trace(self) -> Trace:
+        """The single trace (single-program experiments)."""
+        if len(self.traces) != 1:
+            raise ValueError(f"experiment produced {len(self.traces)} traces; pick one")
+        return next(iter(self.traces.values()))
+
+
+@dataclass
+class Experiment:
+    """Declarative description of one run.
+
+    Parameters
+    ----------
+    app:
+        'escat', 'render' or 'htf'.
+    config:
+        Application workload config; None = the paper's run.
+    machine_factory:
+        Builds the machine; defaults to the paper's 128-node partition.
+    filesystem:
+        'pfs' (Intel PFS model) or 'ppfs' (policy engine).
+    policies:
+        PPFS policies (filesystem='ppfs' only).
+    costs:
+        Cost-model override (None = calibrated defaults).
+    """
+
+    app: str
+    config: Any = None
+    machine_factory: Callable[[], Paragon] = paper_machine
+    filesystem: str = "pfs"
+    policies: Optional[PPFSPolicies] = None
+    costs: Optional[CostModel] = None
+    capture_overhead_s: float = 0.0
+    observers: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.app not in _APP_DEFAULTS:
+            raise ValueError(f"unknown app {self.app!r}; pick from {sorted(_APP_DEFAULTS)}")
+        if self.filesystem not in ("pfs", "ppfs"):
+            raise ValueError(f"filesystem must be pfs/ppfs, got {self.filesystem!r}")
+        if self.policies is not None and self.filesystem != "ppfs":
+            raise ValueError("policies require filesystem='ppfs'")
+
+    def build_fs(self, machine: Paragon) -> PFS:
+        """The configured (uninstrumented) file system."""
+        if self.filesystem == "ppfs":
+            return PPFS(machine, policies=self.policies, costs=self.costs)
+        return PFS(machine, costs=self.costs)
+
+    def run(self) -> ExperimentResult:
+        """Execute the experiment; returns traces keyed by program name."""
+        machine = self.machine_factory()
+        fs = self.build_fs(machine)
+        config = self.config if self.config is not None else _APP_DEFAULTS[self.app]()
+
+        if self.app == "htf":
+            if not isinstance(config, HTFConfig):
+                raise TypeError(f"htf needs HTFConfig, got {type(config).__name__}")
+            result: HTFResult = HartreeFock(machine, fs, config).run()
+            return ExperimentResult(machine, fs, result.programs())
+
+        instrumented = InstrumentedPFS(fs, overhead_s=self.capture_overhead_s)
+        for obs in self.observers:
+            instrumented.add_observer(obs)
+        if self.app == "escat":
+            if not isinstance(config, EscatConfig):
+                raise TypeError(f"escat needs EscatConfig, got {type(config).__name__}")
+            application = Escat(machine=machine, fs=instrumented, config=config)
+        else:
+            if not isinstance(config, RenderConfig):
+                raise TypeError(f"render needs RenderConfig, got {type(config).__name__}")
+            application = Render(machine=machine, fs=instrumented, config=config)
+        trace = application.run()
+        return ExperimentResult(machine, fs, {self.app: trace}, app=application)

@@ -1,0 +1,44 @@
+"""Application registry: names -> configs and experiment builders.
+
+Gives benches/examples one place to enumerate the study's applications
+and build paper-scale or test-scale experiments by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..apps.workloads import (
+    paper_escat,
+    paper_htf,
+    paper_render,
+    small_escat,
+    small_htf,
+    small_machine,
+    small_render,
+)
+from .experiment import Experiment
+
+__all__ = ["APPLICATIONS", "paper_experiment", "small_experiment"]
+
+#: name -> (paper config factory, small config factory)
+APPLICATIONS: dict[str, tuple[Callable[[], Any], Callable[[], Any]]] = {
+    "escat": (paper_escat, small_escat),
+    "render": (paper_render, small_render),
+    "htf": (paper_htf, small_htf),
+}
+
+
+def paper_experiment(app: str, **kwargs) -> Experiment:
+    """The paper-scale experiment for ``app`` (kwargs override fields)."""
+    if app not in APPLICATIONS:
+        raise KeyError(f"unknown application {app!r}")
+    return Experiment(app=app, config=APPLICATIONS[app][0](), **kwargs)
+
+
+def small_experiment(app: str, **kwargs) -> Experiment:
+    """A fast, structure-preserving miniature for tests and examples."""
+    if app not in APPLICATIONS:
+        raise KeyError(f"unknown application {app!r}")
+    kwargs.setdefault("machine_factory", small_machine)
+    return Experiment(app=app, config=APPLICATIONS[app][1](), **kwargs)

@@ -1,0 +1,199 @@
+"""Trace-driven replay: re-run a captured request stream on another
+file system configuration.
+
+§8 argues that "the impact of file system changes on real applications
+... depends on much more complex application structure" than synthetic
+kernels capture.  Replay is the tool that follows: take a Pablo trace
+captured on one configuration, regenerate each node's request stream,
+and drive it against a different machine/file-system/policy combination
+— preserving (optionally) the original inter-request think times, so the
+application's temporal structure survives while the I/O substrate
+changes underneath it.
+
+Semantics
+---------
+* Every node's events replay in their original order; offsets are
+  restored with explicit positioning, so data lands where it did.
+* ``think_time='preserve'`` reinserts the original gaps between a node's
+  operations (compute stays compute); ``'none'`` issues back-to-back
+  (measures pure I/O capability for this stream).
+* Async pairs (AsynchRead + I/O Wait) are matched per (node, file) in
+  FIFO order, as NX semantics guarantee.
+* Files are replayed in M_UNIX mode; coordinated-mode scheduling effects
+  from the original run are already frozen into the event order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..machine.paragon import Paragon
+from ..pablo.capture import InstrumentedPFS
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+from ..pfs.filesystem import PFS
+from ..apps.workloads import paper_machine
+
+__all__ = ["ReplayResult", "replay_trace"]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay."""
+
+    machine: Paragon
+    fs: PFS
+    trace: Trace  # the re-captured trace on the new configuration
+    original: Trace
+
+    @property
+    def io_time_ratio(self) -> float:
+        """New total I/O node-time over the original's."""
+        orig = float(self.original.events["duration"].sum())
+        new = float(self.trace.events["duration"].sum())
+        return new / orig if orig else 0.0
+
+    @property
+    def makespan_ratio(self) -> float:
+        """New span over original span."""
+        return self.trace.duration / self.original.duration if self.original.duration else 0.0
+
+
+def _node_streams(trace: Trace) -> dict[int, np.ndarray]:
+    """Per-node event arrays in timestamp order."""
+    ev = trace.events
+    streams: dict[int, np.ndarray] = {}
+    for node in np.unique(ev["node"]):
+        sel = ev[ev["node"] == node]
+        order = np.argsort(sel["timestamp"], kind="stable")
+        streams[int(node)] = sel[order]
+    return streams
+
+
+def _replay_node(fs: InstrumentedPFS, node: int, events: np.ndarray, preserve: bool):
+    """Generator process replaying one node's stream."""
+    env = fs.env
+    fds: dict[int, int] = {}  # file_id -> replay fd
+    pending: dict[int, list] = {}  # file_id -> FIFO of aread handles
+    prev_end: Optional[float] = None
+
+    def fd_for(file_id: int):
+        fd = fds.get(file_id)
+        if fd is None:
+            fd = yield from fs.open(node, f"/replay/file{file_id}", file_id=file_id)
+            fds[file_id] = fd
+        return fd
+
+    for row in events:
+        op = Op(row["op"])
+        file_id = int(row["file_id"])
+        offset = int(row["offset"])
+        nbytes = int(row["nbytes"])
+        if preserve and prev_end is not None:
+            gap = float(row["timestamp"]) - prev_end
+            if gap > 0:
+                yield env.timeout(gap)
+        prev_end = float(row["timestamp"] + row["duration"])
+
+        if op is Op.OPEN:
+            if file_id not in fds:
+                fds[file_id] = yield from fs.open(
+                    node, f"/replay/file{file_id}", file_id=file_id
+                )
+        elif op is Op.CLOSE:
+            fd = fds.pop(file_id, None)
+            if fd is not None:
+                yield from fs.close(node, fd)
+        elif op is Op.READ:
+            fd = yield from fd_for(file_id)
+            if fs.tell(node, fd) != offset:
+                yield from fs.fs.seek(node, fd, offset)  # positioning, not traced
+            yield from fs.read(node, fd, nbytes)
+        elif op is Op.WRITE:
+            fd = yield from fd_for(file_id)
+            if fs.tell(node, fd) != offset:
+                yield from fs.fs.seek(node, fd, offset)
+            yield from fs.write(node, fd, nbytes)
+        elif op is Op.SEEK:
+            fd = yield from fd_for(file_id)
+            yield from fs.seek(node, fd, offset)
+        elif op is Op.AREAD:
+            fd = yield from fd_for(file_id)
+            if fs.tell(node, fd) != offset:
+                yield from fs.fs.seek(node, fd, offset)
+            handle = yield from fs.aread(node, fd, nbytes)
+            pending.setdefault(file_id, []).append(handle)
+        elif op is Op.IOWAIT:
+            queue = pending.get(file_id)
+            if queue:
+                yield from fs.iowait(node, queue.pop(0))
+        elif op is Op.LSIZE:
+            fd = yield from fd_for(file_id)
+            yield from fs.lsize(node, fd)
+        elif op is Op.FLUSH:
+            fd = yield from fd_for(file_id)
+            yield from fs.flush(node, fd)
+    # Leave dangling fds open (mirrors programs that exit without close);
+    # drain any unawaited async reads so the simulation terminates.
+    for queue in pending.values():
+        for handle in queue:
+            yield from fs.iowait(node, handle)
+
+
+def replay_trace(
+    trace: Trace,
+    machine_factory: Callable[[], Paragon] = paper_machine,
+    fs_factory: Optional[Callable[[Paragon], PFS]] = None,
+    think_time: str = "preserve",
+) -> ReplayResult:
+    """Replay ``trace`` on a fresh machine/file system.
+
+    Parameters
+    ----------
+    trace:
+        The captured request stream.
+    machine_factory:
+        Builds the replay machine (defaults to the paper partition).
+    fs_factory:
+        Builds the file system on that machine (defaults to plain PFS);
+        pass e.g. ``lambda m: PPFS(m, policies=...)`` for what-if runs.
+    think_time:
+        'preserve' reinserts original inter-op gaps; 'none' replays
+        back-to-back.
+    """
+    if think_time not in ("preserve", "none"):
+        raise ValueError(f"think_time must be preserve/none, got {think_time!r}")
+    machine = machine_factory()
+    fs = fs_factory(machine) if fs_factory is not None else PFS(machine)
+    instrumented = InstrumentedPFS(
+        fs, trace=Trace(f"{trace.application}-replay", nodes=trace.nodes)
+    )
+
+    # Pre-create every file at its original size so reads see data.
+    ev = trace.events
+    for file_id in np.unique(ev["file_id"]):
+        sel = ev[ev["file_id"] == file_id]
+        data = sel[np.isin(sel["op"], [int(Op.READ), int(Op.AREAD), int(Op.WRITE)])]
+        size = int((data["offset"] + data["nbytes"]).max()) if len(data) else 0
+        fs.ensure(f"/replay/file{int(file_id)}", file_id=int(file_id), size=size)
+
+    preserve = think_time == "preserve"
+    start = machine.env.now
+    procs = [
+        machine.env.process(
+            _replay_node(instrumented, node, events, preserve),
+            name=f"replay.n{node}",
+        )
+        for node, events in _node_streams(trace).items()
+    ]
+    machine.run()
+    for p in procs:
+        if p.is_alive:
+            raise RuntimeError(f"replay process {p.name} never finished")
+        if not p.ok:
+            raise p.value
+    del start
+    return ReplayResult(machine, fs, instrumented.trace, trace)

@@ -1,0 +1,31 @@
+"""Intel Paragon XP/S machine model.
+
+Disk/RAID-3 storage, I/O nodes, 2-D mesh interconnect, compute nodes,
+HiPPi frame buffer, and the assembled :class:`Paragon` machine.
+"""
+
+from .disk import Disk, DiskParams
+from .framebuffer import FrameBuffer, FrameBufferParams
+from .ionode import IONode, IONodeParams
+from .mesh import Mesh, MeshParams
+from .node import ComputeNode, NodeParams
+from .paragon import CALTECH_CCSF, Paragon, ParagonConfig
+from .raid import Raid3Array, Raid3Params
+
+__all__ = [
+    "Disk",
+    "DiskParams",
+    "FrameBuffer",
+    "FrameBufferParams",
+    "IONode",
+    "IONodeParams",
+    "Mesh",
+    "MeshParams",
+    "ComputeNode",
+    "NodeParams",
+    "CALTECH_CCSF",
+    "Paragon",
+    "ParagonConfig",
+    "Raid3Array",
+    "Raid3Params",
+]

@@ -1,0 +1,56 @@
+"""HiPPi frame buffer sink.
+
+In production, RENDER streams frames to a HiPPi frame buffer rather than
+the file system (§6.2).  The sink is a fixed-bandwidth, capacity-one
+channel — HiPPi's 800 Mbit/s link less protocol overhead gives ~90 MB/s
+sustained.  Modelling it lets the streaming-output experiments compare
+disk-bound vs. frame-buffer-bound output paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import Environment
+from ..sim.resources import Resource
+from ..util.validation import check_nonneg, check_positive
+
+__all__ = ["FrameBufferParams", "FrameBuffer"]
+
+
+@dataclass(frozen=True)
+class FrameBufferParams:
+    """HiPPi channel parameters."""
+
+    bandwidth_bps: float = 90_000_000.0
+    per_frame_overhead_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth_bps, "bandwidth_bps")
+        check_nonneg(self.per_frame_overhead_s, "per_frame_overhead_s")
+
+
+class FrameBuffer:
+    """Capacity-one streaming sink with frame accounting."""
+
+    def __init__(self, env: Environment, params: FrameBufferParams | None = None):
+        self.env = env
+        self.params = params or FrameBufferParams()
+        self._channel = Resource(env, capacity=1)
+        self.frames_written = 0
+        self.bytes_written = 0
+
+    def write_frame(self, nbytes: int):
+        """Process generator: stream one frame through the channel."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        req = self._channel.request()
+        yield req
+        try:
+            duration = self.params.per_frame_overhead_s + nbytes / self.params.bandwidth_bps
+            yield self.env.timeout(duration)
+            self.frames_written += 1
+            self.bytes_written += nbytes
+        finally:
+            self._channel.release(req)
+        return duration

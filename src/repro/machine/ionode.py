@@ -1,0 +1,148 @@
+"""I/O node: a scheduling server in front of one RAID-3 array.
+
+Sixteen of these served the Caltech Paragon (§3.2).  Each accepts stripe-
+unit requests from the file system, schedules them onto its array (one
+arm assembly), and charges the array's positioning-aware service time.
+Queueing here is what turns 128 simultaneous small writes into the
+multi-second per-op "node times" of Table 1.
+
+Two arm-scheduling disciplines are provided — §3 names "disk arm
+scheduling and request aggregation" as the file system/driver's final
+responsibility, and the ablation bench compares them:
+
+* ``fifo`` — serve in arrival order (the baseline);
+* ``sstf`` — shortest-seek-time-first: among pending requests, serve the
+  one nearest the current head position (better throughput under
+  interleaved streams, at some fairness cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.core import Environment, Event
+from ..util.validation import check_nonneg
+from .raid import Raid3Array, Raid3Params
+
+__all__ = ["IONodeParams", "IONode"]
+
+
+@dataclass(frozen=True)
+class IONodeParams:
+    """I/O-node software parameters."""
+
+    raid: Raid3Params = field(default_factory=Raid3Params)
+    #: Per-request software cost on the I/O node (OSF/1 server path).
+    request_overhead_s: float = 0.0030
+    #: Arm scheduling: 'fifo' or 'sstf'.
+    scheduler: str = "fifo"
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.request_overhead_s, "request_overhead_s")
+        if self.scheduler not in ("fifo", "sstf"):
+            raise ValueError(f"scheduler must be fifo/sstf, got {self.scheduler!r}")
+
+
+@dataclass
+class _Pending:
+    """One queued request."""
+
+    offset: int
+    nbytes: int
+    is_write: bool
+    extra_s: float
+    done: Event
+    control: bool = False  # control visits: fixed service, no disk motion
+    order: int = 0
+
+
+class IONode:
+    """One I/O node: scheduled queue + RAID-3 array.
+
+    Statistics (`busy_time`, `requests_served`, `bytes_served`) support
+    utilization analyses and the PPFS ablation bench.
+    """
+
+    def __init__(self, env: Environment, index: int, params: IONodeParams | None = None):
+        self.env = env
+        self.index = index
+        self.params = params or IONodeParams()
+        self.array = Raid3Array(self.params.raid)
+        self._pending: list[_Pending] = []
+        self._busy = False
+        self._order = 0
+        self.busy_time = 0.0
+        self.requests_served = 0
+        self.bytes_served = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not in service)."""
+        return len(self._pending)
+
+    # -- request entry points ------------------------------------------------
+    def serve(self, offset: int, nbytes: int, is_write: bool, extra_s: float = 0.0):
+        """Process generator: queue a data request; returns its in-service
+        duration (excluding queueing delay) via the process value.
+
+        ``extra_s`` adds caller-specified server-path cost (the file
+        system's per-chunk software charges).
+        """
+        service = yield self._submit(
+            _Pending(offset, nbytes, is_write, extra_s, Event(self.env))
+        )
+        return service
+
+    def visit(self, service_s: float):
+        """Process generator: occupy the server for ``service_s`` without
+        touching the array (control operations like flush)."""
+        yield self._submit(
+            _Pending(0, 0, False, service_s, Event(self.env), control=True)
+        )
+
+    def _submit(self, req: _Pending) -> Event:
+        req.order = self._order
+        self._order += 1
+        self._pending.append(req)
+        if not self._busy:
+            self._busy = True
+            self.env.process(self._dispatch(), name=f"ionode{self.index}.dispatch")
+        return req.done
+
+    # -- scheduling --------------------------------------------------------------
+    def _select(self) -> int:
+        """Index of the next request to serve, per the discipline."""
+        if self.params.scheduler == "fifo" or len(self._pending) == 1:
+            return 0
+        head = self.array._arm.head_pos
+        data_disks = self.array.params.data_disks
+        best = 0
+        best_key = None
+        for i, req in enumerate(self._pending):
+            if req.control:
+                distance = 0  # control ops don't move the arm; serve eagerly
+            else:
+                distance = abs(req.offset // data_disks - head)
+            key = (distance, req.order)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    def _dispatch(self):
+        """Drain the queue, one request at a time, per the discipline."""
+        while self._pending:
+            req = self._pending.pop(self._select())
+            if req.control:
+                service = req.extra_s
+            else:
+                service = (
+                    self.params.request_overhead_s
+                    + req.extra_s
+                    + self.array.service_time(req.offset, req.nbytes, req.is_write)
+                )
+                self.requests_served += 1
+                self.bytes_served += req.nbytes
+            self.busy_time += service
+            yield self.env.timeout(service)
+            req.done.succeed(service)
+        self._busy = False

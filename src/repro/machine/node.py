@@ -1,0 +1,61 @@
+"""Compute node model.
+
+A compute node is mostly a naming context: application processes run *as*
+a node, and the node supplies a mailbox (for message-passing skeleton
+code), a compute-delay helper, and accounting of busy time.
+
+The i860 XP in the Paragon delivered ~75 MFLOPS peak, ~10 sustained on
+real codes; ``flops`` converts operation counts to seconds for workloads
+(HTF's recompute-vs-read trade-off in §7.2 uses this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import Environment
+from ..sim.resources import Store
+from ..util.validation import check_positive
+
+__all__ = ["NodeParams", "ComputeNode"]
+
+
+@dataclass(frozen=True)
+class NodeParams:
+    """Compute-node speed parameters."""
+
+    #: Sustained floating-point rate (flop/s) for compute-time conversion.
+    sustained_flops: float = 10_000_000.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.sustained_flops, "sustained_flops")
+
+
+class ComputeNode:
+    """One compute node: identity + mailbox + compute-time accounting."""
+
+    def __init__(self, env: Environment, index: int, params: NodeParams | None = None):
+        self.env = env
+        self.index = index
+        self.params = params or NodeParams()
+        self.mailbox = Store(env)
+        self.compute_time = 0.0
+
+    def compute(self, seconds: float):
+        """Process generator: spend ``seconds`` computing."""
+        if seconds < 0:
+            raise ValueError(f"compute time must be >= 0, got {seconds}")
+        self.compute_time += seconds
+        yield self.env.timeout(seconds)
+
+    def compute_flops(self, flops: float):
+        """Process generator: spend the time ``flops`` operations take."""
+        yield from self.compute(flops / self.params.sustained_flops)
+
+    def send(self, other: "ComputeNode", item) -> None:
+        """Deposit ``item`` in another node's mailbox (timing handled by Mesh)."""
+        other.mailbox.put(item)
+
+    def recv(self):
+        """Event for the next mailbox item."""
+        return self.mailbox.get()

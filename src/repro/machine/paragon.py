@@ -1,0 +1,88 @@
+"""Assembly of the Intel Paragon XP/S machine model.
+
+Bundles the environment, RNG registry, compute nodes, 2-D mesh, I/O nodes
+and frame buffer into one object with the Caltech CCSF configuration as
+the default: 512 compute nodes, 16 I/O nodes each with a RAID-3 array of
+five 1.2 GB disks (§3.2).
+
+Applications in this study ran on 128-node partitions; ``Paragon`` takes
+the partition size so small test machines are cheap to build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.core import Environment
+from ..sim.rng import RngRegistry
+from .framebuffer import FrameBuffer, FrameBufferParams
+from .ionode import IONode, IONodeParams
+from .mesh import Mesh, MeshParams
+from .node import ComputeNode, NodeParams
+
+__all__ = ["ParagonConfig", "Paragon", "CALTECH_CCSF"]
+
+
+@dataclass(frozen=True)
+class ParagonConfig:
+    """Machine configuration.
+
+    Defaults are the paper's experimental platform with the 128-node
+    partition the three applications used.
+    """
+
+    compute_nodes: int = 128
+    io_nodes: int = 16
+    mesh: MeshParams = field(default_factory=MeshParams)
+    node: NodeParams = field(default_factory=NodeParams)
+    ionode: IONodeParams = field(default_factory=IONodeParams)
+    framebuffer: FrameBufferParams = field(default_factory=FrameBufferParams)
+    seed: int = 1995
+
+    def __post_init__(self) -> None:
+        if self.compute_nodes < 1:
+            raise ValueError(f"compute_nodes must be >= 1, got {self.compute_nodes}")
+        if self.io_nodes < 1:
+            raise ValueError(f"io_nodes must be >= 1, got {self.io_nodes}")
+        if self.compute_nodes > self.mesh.size:
+            raise ValueError(
+                f"{self.compute_nodes} compute nodes exceed mesh size {self.mesh.size}"
+            )
+
+
+#: Full Caltech CCSF machine: 512 compute nodes, 16 I/O nodes.
+CALTECH_CCSF = ParagonConfig(
+    compute_nodes=512, io_nodes=16, mesh=MeshParams(width=16, height=32)
+)
+
+
+class Paragon:
+    """The assembled machine: environment + nodes + interconnect + storage."""
+
+    def __init__(self, config: ParagonConfig | None = None):
+        self.config = config or ParagonConfig()
+        self.env = Environment()
+        self.rngs = RngRegistry(self.config.seed)
+        self.mesh = Mesh(self.env, self.config.mesh)
+        self.nodes = [
+            ComputeNode(self.env, i, self.config.node)
+            for i in range(self.config.compute_nodes)
+        ]
+        self.ionodes = [
+            IONode(self.env, i, self.config.ionode)
+            for i in range(self.config.io_nodes)
+        ]
+        self.framebuffer = FrameBuffer(self.env, self.config.framebuffer)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.env.now
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation (see :meth:`Environment.run`)."""
+        self.env.run(until)
+
+    def total_io_capacity(self) -> int:
+        """Aggregate usable storage across the I/O nodes, bytes."""
+        return sum(ion.array.capacity_bytes for ion in self.ionodes)

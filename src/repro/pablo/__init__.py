@@ -1,0 +1,30 @@
+"""Pablo-style I/O instrumentation: capture, trace format, reductions."""
+
+from .capture import InstrumentedPFS
+from .events import EVENT_DTYPE, Op, make_event_array
+from .reductions import (
+    FileLifetimeSummary,
+    FileRegionSummary,
+    OpCounters,
+    TimeWindowSummary,
+)
+from .sddf import Field, RecordDescriptor, SDDFError, SDDFReader, SDDFWriter
+from .trace import IO_EVENT_DESCRIPTOR, Trace
+
+__all__ = [
+    "InstrumentedPFS",
+    "EVENT_DTYPE",
+    "Op",
+    "make_event_array",
+    "FileLifetimeSummary",
+    "FileRegionSummary",
+    "OpCounters",
+    "TimeWindowSummary",
+    "Field",
+    "RecordDescriptor",
+    "SDDFError",
+    "SDDFReader",
+    "SDDFWriter",
+    "IO_EVENT_DESCRIPTOR",
+    "Trace",
+]

@@ -1,0 +1,188 @@
+"""Instrumented file-system wrapper (the Pablo capture layer).
+
+Brackets every PFS call with timestamps (§3.1): the application skeleton
+calls the wrapper exactly as it would call :class:`repro.pfs.PFS`, and
+each call appends one event to the :class:`~repro.pablo.trace.Trace` with
+its start time, parameters, and duration.  Registered observers receive
+events as they happen — that is Pablo's "real-time data reduction" path
+(:mod:`repro.pablo.reductions`); the trace itself is the "detailed event
+trace" path.  Both can be active at once.
+
+A fixed, configurable per-call instrumentation overhead can be charged to
+model capture perturbation (defaults to zero — the paper reports the
+overhead is modest).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..pfs.filesystem import PFS, SEEK_SET, AreadHandle
+from ..pfs.modes import AccessMode
+from .events import Op
+from .trace import Trace
+
+__all__ = ["InstrumentedPFS", "EventObserver"]
+
+
+class EventObserver(Protocol):
+    """Anything that consumes events in real time (e.g. reductions)."""
+
+    def observe(
+        self,
+        timestamp: float,
+        node: int,
+        op: Op,
+        file_id: int,
+        offset: int,
+        nbytes: int,
+        duration: float,
+    ) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class InstrumentedPFS:
+    """PFS facade that captures one trace event per application I/O call."""
+
+    def __init__(
+        self,
+        fs: PFS,
+        trace: Optional[Trace] = None,
+        overhead_s: float = 0.0,
+    ):
+        if overhead_s < 0:
+            raise ValueError(f"overhead_s must be >= 0, got {overhead_s}")
+        self.fs = fs
+        self.env = fs.env
+        self.trace = trace if trace is not None else Trace()
+        self.overhead_s = overhead_s
+        self._observers: list[EventObserver] = []
+
+    def add_observer(self, observer: EventObserver) -> None:
+        """Attach a real-time reduction/consumer."""
+        self._observers.append(observer)
+
+    def _emit(self, t0: float, node: int, op: Op, file_id: int, offset: int, nbytes: int) -> None:
+        duration = self.env.now - t0
+        self.trace.add(t0, node, op, file_id, offset, nbytes, duration)
+        for obs in self._observers:
+            obs.observe(t0, node, op, file_id, offset, nbytes, duration)
+
+    def _perturb(self):
+        if self.overhead_s:
+            yield self.env.timeout(self.overhead_s)
+
+    # -- uninstrumented passthroughs -------------------------------------------
+    def ensure(self, path: str, file_id: Optional[int] = None, size: int = 0):
+        """Administrative pre-creation (no event; see :meth:`PFS.ensure`)."""
+        return self.fs.ensure(path, file_id=file_id, size=size)
+
+    def setiomode(self, node: int, fd: int, mode: AccessMode, **kwargs):
+        """Mode change (Intel setiomode issues no I/O event in the traces)."""
+        yield from self.fs.setiomode(node, fd, mode, **kwargs)
+
+    def tell(self, node: int, fd: int) -> int:
+        return self.fs.tell(node, fd)
+
+    def last_op_offset(self, node: int, fd: int) -> int:
+        return self.fs.last_op_offset(node, fd)
+
+    @property
+    def track_content(self) -> bool:
+        return self.fs.track_content
+
+    @property
+    def costs(self):
+        return self.fs.costs
+
+    # -- instrumented operations ---------------------------------------------
+    def open(self, node: int, path: str, mode: AccessMode = AccessMode.M_UNIX, **kwargs):
+        """Instrumented :meth:`repro.pfs.PFS.open`."""
+        t0 = self.env.now
+        yield from self._perturb()
+        fd = yield from self.fs.open(node, path, mode, **kwargs)
+        f = self.fs.file_of(node, fd)
+        self.trace.file_names.setdefault(f.file_id, path)
+        self._emit(t0, node, Op.OPEN, f.file_id, 0, 0)
+        return fd
+
+    def close(self, node: int, fd: int):
+        """Instrumented close."""
+        file_id = self.fs.file_of(node, fd).file_id
+        t0 = self.env.now
+        yield from self._perturb()
+        yield from self.fs.close(node, fd)
+        self._emit(t0, node, Op.CLOSE, file_id, 0, 0)
+
+    def read(self, node: int, fd: int, nbytes: int, data_out: bool = False):
+        """Instrumented read; returns bytes read (or ``(count, data)``
+        with ``data_out`` and content tracking, as the raw PFS does)."""
+        file_id = self.fs.file_of(node, fd).file_id
+        t0 = self.env.now
+        yield from self._perturb()
+        result = yield from self.fs.read(node, fd, nbytes, data_out=data_out)
+        count = result[0] if data_out else result
+        offset = self.fs.last_op_offset(node, fd)
+        self._emit(t0, node, Op.READ, file_id, max(offset, 0), count)
+        return result
+
+    def write(self, node: int, fd: int, nbytes: int, data=None):
+        """Instrumented write; returns bytes written."""
+        file_id = self.fs.file_of(node, fd).file_id
+        t0 = self.env.now
+        yield from self._perturb()
+        count = yield from self.fs.write(node, fd, nbytes, data=data)
+        offset = self.fs.last_op_offset(node, fd)
+        self._emit(t0, node, Op.WRITE, file_id, max(offset, 0), count)
+        return count
+
+    def seek(self, node: int, fd: int, offset: int, whence: int = SEEK_SET):
+        """Instrumented seek; the event's nbytes is the seek *distance*
+        (how the paper's Table 5 accounts seek volume)."""
+        file_id = self.fs.file_of(node, fd).file_id
+        before = self.fs.tell(node, fd)
+        t0 = self.env.now
+        yield from self._perturb()
+        new = yield from self.fs.seek(node, fd, offset, whence)
+        self._emit(t0, node, Op.SEEK, file_id, new, abs(new - before))
+        return new
+
+    def lsize(self, node: int, fd: int):
+        """Instrumented lsize; returns the file size."""
+        file_id = self.fs.file_of(node, fd).file_id
+        t0 = self.env.now
+        yield from self._perturb()
+        size = yield from self.fs.lsize(node, fd)
+        self._emit(t0, node, Op.LSIZE, file_id, 0, 0)
+        return size
+
+    def flush(self, node: int, fd: int):
+        """Instrumented flush (Fortran forflush)."""
+        file_id = self.fs.file_of(node, fd).file_id
+        t0 = self.env.now
+        yield from self._perturb()
+        yield from self.fs.flush(node, fd)
+        self._emit(t0, node, Op.FLUSH, file_id, 0, 0)
+
+    def aread(self, node: int, fd: int, nbytes: int):
+        """Instrumented async-read issue; returns the handle.
+
+        The recorded duration is the *issue* cost only; the subsequent
+        :meth:`iowait` event carries the blocking time (Table 3 reports
+        them separately).
+        """
+        file_id = self.fs.file_of(node, fd).file_id
+        offset = self.fs.tell(node, fd)
+        t0 = self.env.now
+        yield from self._perturb()
+        handle = yield from self.fs.aread(node, fd, nbytes)
+        self._emit(t0, node, Op.AREAD, file_id, offset, handle.nbytes)
+        return handle
+
+    def iowait(self, node: int, handle: AreadHandle):
+        """Instrumented wait for an async read; returns bytes read."""
+        t0 = self.env.now
+        yield from self._perturb()
+        count = yield from self.fs.iowait(node, handle)
+        self._emit(t0, node, Op.IOWAIT, handle.file_id, handle.offset, 0)
+        return count

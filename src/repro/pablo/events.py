@@ -1,0 +1,77 @@
+"""I/O event schema for Pablo-style traces.
+
+One record per application-level I/O call, with the fields the paper's
+analyses need: when it happened, which node issued it, the operation, the
+file, the offset, the byte count (for seeks: the seek *distance*, which is
+how Table 5 reports seek "volume"), and the call duration.
+
+Events are accumulated as tuples and frozen into a NumPy structured array
+(:data:`EVENT_DTYPE`) so the offline analyses are vectorized.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Op", "EVENT_DTYPE", "READ_OPS", "WRITE_OPS", "make_event_array"]
+
+
+class Op(enum.IntEnum):
+    """Application-level I/O operation codes."""
+
+    OPEN = 0
+    CLOSE = 1
+    READ = 2
+    WRITE = 3
+    SEEK = 4
+    AREAD = 5  # asynchronous read issue
+    IOWAIT = 6  # wait for asynchronous completion
+    LSIZE = 7
+    FLUSH = 8
+
+    @property
+    def label(self) -> str:
+        """Human-readable name as the paper's tables print it."""
+        return _LABELS[self]
+
+
+_LABELS = {
+    Op.OPEN: "Open",
+    Op.CLOSE: "Close",
+    Op.READ: "Read",
+    Op.WRITE: "Write",
+    Op.SEEK: "Seek",
+    Op.AREAD: "AsynchRead",
+    Op.IOWAIT: "I/O Wait",
+    Op.LSIZE: "Lsize",
+    Op.FLUSH: "Forflush",
+}
+
+#: Ops that transfer data from file to application.
+READ_OPS = (Op.READ, Op.AREAD)
+#: Ops that transfer data from application to file.
+WRITE_OPS = (Op.WRITE,)
+
+#: Structured dtype of a frozen trace.
+EVENT_DTYPE = np.dtype(
+    [
+        ("timestamp", "f8"),  # operation start, simulated seconds
+        ("node", "u4"),
+        ("op", "u1"),
+        ("file_id", "i4"),
+        ("offset", "i8"),
+        ("nbytes", "i8"),  # transfer size; for SEEK: |distance|
+        ("duration", "f8"),
+    ]
+)
+
+
+def make_event_array(rows) -> np.ndarray:
+    """Freeze an iterable of event tuples into the structured dtype.
+
+    Rows are ``(timestamp, node, op, file_id, offset, nbytes, duration)``.
+    """
+    arr = np.array(list(rows), dtype=EVENT_DTYPE)
+    return arr

@@ -1,0 +1,200 @@
+"""Pablo's three real-time I/O data reductions (§3.1).
+
+* :class:`FileLifetimeSummary` — per file: the number and total duration
+  of reads, writes, seeks, opens and closes, bytes accessed, and the
+  total time the file was open.
+* :class:`TimeWindowSummary` — the same counters per fixed-width time
+  window.
+* :class:`FileRegionSummary` — the spatial analog: counters per file
+  byte-region.
+
+Each is an event observer (attachable to
+:class:`~repro.pablo.capture.InstrumentedPFS` for on-the-fly reduction,
+trading computation perturbation for I/O perturbation, as the paper puts
+it) and can equally be computed post-mortem with ``from_trace`` — both
+paths produce identical summaries (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Optional
+
+from .events import Op
+from .trace import Trace
+
+__all__ = [
+    "OpCounters",
+    "FileLifetimeSummary",
+    "TimeWindowSummary",
+    "FileRegionSummary",
+]
+
+
+@dataclass
+class OpCounters:
+    """Count/bytes/duration accumulator per operation type."""
+
+    counts: dict[Op, int] = dc_field(default_factory=dict)
+    bytes: dict[Op, int] = dc_field(default_factory=dict)
+    durations: dict[Op, float] = dc_field(default_factory=dict)
+
+    def add(self, op: Op, nbytes: int, duration: float) -> None:
+        self.counts[op] = self.counts.get(op, 0) + 1
+        self.bytes[op] = self.bytes.get(op, 0) + nbytes
+        self.durations[op] = self.durations.get(op, 0.0) + duration
+
+    def merge(self, other: "OpCounters") -> None:
+        """Fold another accumulator into this one (window -> lifetime)."""
+        for op, c in other.counts.items():
+            self.counts[op] = self.counts.get(op, 0) + c
+        for op, b in other.bytes.items():
+            self.bytes[op] = self.bytes.get(op, 0) + b
+        for op, d in other.durations.items():
+            self.durations[op] = self.durations.get(op, 0.0) + d
+
+    def count(self, op: Op) -> int:
+        return self.counts.get(op, 0)
+
+    def volume(self, op: Op) -> int:
+        return self.bytes.get(op, 0)
+
+    def duration(self, op: Op) -> float:
+        return self.durations.get(op, 0.0)
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_duration(self) -> float:
+        return sum(self.durations.values())
+
+
+class FileLifetimeSummary:
+    """Whole-run, per-file reduction."""
+
+    def __init__(self) -> None:
+        self.per_file: dict[int, OpCounters] = {}
+        self._open_since: dict[tuple[int, int], float] = {}
+        self.open_time: dict[int, float] = {}
+
+    def observe(self, timestamp, node, op, file_id, offset, nbytes, duration) -> None:
+        ctr = self.per_file.setdefault(file_id, OpCounters())
+        ctr.add(op, nbytes if op != Op.SEEK else nbytes, duration)
+        if op == Op.OPEN:
+            self._open_since[(node, file_id)] = timestamp + duration
+        elif op == Op.CLOSE:
+            since = self._open_since.pop((node, file_id), None)
+            if since is not None:
+                self.open_time[file_id] = (
+                    self.open_time.get(file_id, 0.0) + (timestamp + duration - since)
+                )
+
+    def counters(self, file_id: int) -> OpCounters:
+        """Accumulators for one file (empty if never seen)."""
+        return self.per_file.get(file_id, OpCounters())
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "FileLifetimeSummary":
+        """Post-mortem computation; identical to the real-time path."""
+        out = cls()
+        for ts, node, op, fid, offset, nbytes, dur in trace:
+            out.observe(ts, node, Op(op), fid, offset, nbytes, dur)
+        return out
+
+
+class TimeWindowSummary:
+    """Per-time-window reduction.
+
+    Parameters
+    ----------
+    window_s:
+        Window width in simulated seconds (the summarization granularity).
+    """
+
+    def __init__(self, window_s: float):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self.window_s = float(window_s)
+        self.windows: dict[int, OpCounters] = {}
+
+    def observe(self, timestamp, node, op, file_id, offset, nbytes, duration) -> None:
+        idx = int(timestamp // self.window_s)
+        self.windows.setdefault(idx, OpCounters()).add(op, nbytes, duration)
+
+    def window_counters(self, index: int) -> OpCounters:
+        return self.windows.get(index, OpCounters())
+
+    def lifetime(self) -> OpCounters:
+        """Folding all windows reproduces the lifetime totals (additivity)."""
+        total = OpCounters()
+        for ctr in self.windows.values():
+            total.merge(ctr)
+        return total
+
+    @classmethod
+    def from_trace(cls, trace: Trace, window_s: float) -> "TimeWindowSummary":
+        out = cls(window_s)
+        for ts, node, op, fid, offset, nbytes, dur in trace:
+            out.observe(ts, node, Op(op), fid, offset, nbytes, dur)
+        return out
+
+
+class FileRegionSummary:
+    """Per-file-region reduction (spatial analog of time windows).
+
+    Parameters
+    ----------
+    region_bytes:
+        Region width in bytes.
+    file_id:
+        Restrict to one file, or None for all files (keyed jointly).
+    """
+
+    def __init__(self, region_bytes: int, file_id: Optional[int] = None):
+        if region_bytes <= 0:
+            raise ValueError(f"region_bytes must be > 0, got {region_bytes}")
+        self.region_bytes = int(region_bytes)
+        self.file_id = file_id
+        self.regions: dict[tuple[int, int], OpCounters] = {}
+
+    def observe(self, timestamp, node, op, file_id, offset, nbytes, duration) -> None:
+        if self.file_id is not None and file_id != self.file_id:
+            return
+        if op not in (Op.READ, Op.WRITE, Op.AREAD):
+            return
+        # A transfer may span regions; attribute bytes region by region.
+        start = offset
+        remaining = nbytes
+        while True:
+            region = start // self.region_bytes
+            in_region = min(
+                remaining, (region + 1) * self.region_bytes - start
+            )
+            ctr = self.regions.setdefault((file_id, region), OpCounters())
+            # Count the op once (in its first region); bytes where they land.
+            if start == offset:
+                ctr.add(op, in_region, duration)
+            else:
+                ctr.bytes[op] = ctr.bytes.get(op, 0) + in_region
+            start += in_region
+            remaining -= in_region
+            if remaining <= 0:
+                break
+
+    def region_counters(self, file_id: int, region: int) -> OpCounters:
+        return self.regions.get((file_id, region), OpCounters())
+
+    def total_bytes(self, op: Op) -> int:
+        """All bytes attributed across regions for one op (conservation)."""
+        return sum(ctr.bytes.get(op, 0) for ctr in self.regions.values())
+
+    @classmethod
+    def from_trace(
+        cls, trace: Trace, region_bytes: int, file_id: Optional[int] = None
+    ) -> "FileRegionSummary":
+        out = cls(region_bytes, file_id)
+        for ts, node, op, fid, offset, nbytes, dur in trace:
+            out.observe(ts, node, Op(op), fid, offset, nbytes, dur)
+        return out

@@ -1,0 +1,369 @@
+"""A self-describing data format (SDDF) in the style of Pablo's.
+
+Pablo's hallmark is separating the *structure* of performance records
+from their *semantics* (§3.1): a stream begins with record descriptors —
+named field lists with types — followed by data records tagged with the
+descriptor they instantiate.  Analysis tools parse descriptors first and
+then consume any record stream without recompilation.
+
+Two encodings are provided, as in Pablo:
+
+* **ASCII** — descriptors and records in a human-readable bracketed
+  syntax; diff-able and greppable.
+* **Binary** — little-endian struct packing with a tag byte per record;
+  compact and fast.
+
+Both round-trip exactly (property-tested).  Field types: ``double``
+(float64), ``int`` (int32), ``long`` (int64), ``string`` (UTF-8).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Iterable, Sequence
+
+__all__ = ["Field", "RecordDescriptor", "SDDFWriter", "SDDFReader", "SDDFError"]
+
+_MAGIC = b"SDDFB\x01"
+
+_TYPES = {
+    "double": ("d", float),
+    "int": ("i", int),
+    "long": ("q", int),
+    "string": (None, str),
+}
+
+
+class SDDFError(ValueError):
+    """Malformed SDDF stream or descriptor misuse."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field of a record descriptor."""
+
+    name: str
+    type: str
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise SDDFError(f"unknown SDDF type {self.type!r}")
+        if not self.name or '"' in self.name:
+            raise SDDFError(f"bad field name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class RecordDescriptor:
+    """A named, ordered field list — the 'structure' half of SDDF."""
+
+    name: str
+    fields: tuple[Field, ...]
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or '"' in self.name:
+            raise SDDFError(f"bad descriptor name {self.name!r}")
+        if not self.fields:
+            raise SDDFError("descriptor needs at least one field")
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SDDFError(f"duplicate field names in {self.name!r}")
+
+    @staticmethod
+    def build(name: str, fields: Sequence[tuple[str, str]], tag: int = 0) -> "RecordDescriptor":
+        """Convenience constructor from (name, type) pairs."""
+        return RecordDescriptor(name, tuple(Field(n, t) for n, t in fields), tag)
+
+    def validate(self, values: Sequence[Any]) -> list[Any]:
+        """Coerce a value tuple against the field types."""
+        if len(values) != len(self.fields):
+            raise SDDFError(
+                f"{self.name!r} expects {len(self.fields)} values, got {len(values)}"
+            )
+        out = []
+        for f, v in zip(self.fields, values):
+            py = _TYPES[f.type][1]
+            try:
+                out.append(py(v))
+            except (TypeError, ValueError) as exc:
+                raise SDDFError(f"field {f.name!r}: {exc}") from exc
+        return out
+
+
+@dataclass
+class _Stream:
+    descriptors: dict[int, RecordDescriptor] = field(default_factory=dict)
+
+
+class SDDFWriter:
+    """Writes descriptors then records, in ASCII or binary."""
+
+    def __init__(self, binary: bool = False):
+        self.binary = binary
+        self._descriptors: dict[int, RecordDescriptor] = {}
+        self._buf = io.BytesIO()
+        if binary:
+            self._buf.write(_MAGIC)
+
+    def declare(self, descriptor: RecordDescriptor) -> None:
+        """Emit a record descriptor; must precede its records."""
+        if descriptor.tag in self._descriptors:
+            raise SDDFError(f"tag {descriptor.tag} already declared")
+        self._descriptors[descriptor.tag] = descriptor
+        if self.binary:
+            self._write_binary_descriptor(descriptor)
+        else:
+            self._buf.write(self._ascii_descriptor(descriptor).encode())
+
+    def record(self, tag: int, values: Sequence[Any]) -> None:
+        """Emit one data record for a declared descriptor."""
+        desc = self._descriptors.get(tag)
+        if desc is None:
+            raise SDDFError(f"record for undeclared tag {tag}")
+        vals = desc.validate(values)
+        if self.binary:
+            self._write_binary_record(desc, vals)
+        else:
+            self._buf.write(self._ascii_record(desc, vals).encode())
+
+    def records(self, tag: int, rows: Iterable[Sequence[Any]]) -> None:
+        """Emit many records."""
+        for row in rows:
+            self.record(tag, row)
+
+    def getvalue(self) -> bytes:
+        return self._buf.getvalue()
+
+    def dump(self, fileobj: BinaryIO) -> None:
+        fileobj.write(self.getvalue())
+
+    # -- ASCII encoding ----------------------------------------------------
+    @staticmethod
+    def _ascii_descriptor(d: RecordDescriptor) -> str:
+        lines = [f'#{d.tag}:\n"{d.name}" {{']
+        for f in d.fields:
+            lines.append(f'  {f.type} "{f.name}";')
+        lines.append("};;\n")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _ascii_record(d: RecordDescriptor, vals: list[Any]) -> str:
+        parts = []
+        for f, v in zip(d.fields, vals):
+            if f.type == "string":
+                escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+                parts.append(f'"{escaped}"')
+            elif f.type == "double":
+                parts.append(repr(float(v)))
+            else:
+                parts.append(str(int(v)))
+        return f'#{d.tag} {{ {", ".join(parts)} }};;\n'
+
+    # -- binary encoding -----------------------------------------------------
+    def _write_binary_descriptor(self, d: RecordDescriptor) -> None:
+        buf = self._buf
+        buf.write(b"D")
+        buf.write(struct.pack("<i", d.tag))
+        self._pack_str(d.name)
+        buf.write(struct.pack("<i", len(d.fields)))
+        for f in d.fields:
+            self._pack_str(f.name)
+            self._pack_str(f.type)
+
+    def _write_binary_record(self, d: RecordDescriptor, vals: list[Any]) -> None:
+        buf = self._buf
+        buf.write(b"R")
+        buf.write(struct.pack("<i", d.tag))
+        for f, v in zip(d.fields, vals):
+            code = _TYPES[f.type][0]
+            if code is None:
+                self._pack_str(v)
+            else:
+                buf.write(struct.pack("<" + code, v))
+
+    def _pack_str(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self._buf.write(struct.pack("<i", len(raw)))
+        self._buf.write(raw)
+
+
+class SDDFReader:
+    """Parses an SDDF byte stream (auto-detects ASCII vs binary).
+
+    After :meth:`parse`, ``descriptors`` maps tag -> descriptor and
+    ``records`` maps tag -> list of value tuples.
+    """
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.descriptors: dict[int, RecordDescriptor] = {}
+        self.records: dict[int, list[tuple]] = {}
+
+    def parse(self) -> "SDDFReader":
+        if self.data.startswith(_MAGIC):
+            self._parse_binary()
+        else:
+            self._parse_ascii()
+        return self
+
+    # -- binary ------------------------------------------------------------
+    def _parse_binary(self) -> None:
+        buf = io.BytesIO(self.data)
+        buf.read(len(_MAGIC))
+        while True:
+            kind = buf.read(1)
+            if not kind:
+                break
+            if kind == b"D":
+                tag = self._unpack_int(buf)
+                name = self._unpack_str(buf)
+                nfields = self._unpack_int(buf)
+                fields = tuple(
+                    Field(self._unpack_str(buf), self._unpack_str(buf))
+                    for _ in range(nfields)
+                )
+                self.descriptors[tag] = RecordDescriptor(name, fields, tag)
+                self.records.setdefault(tag, [])
+            elif kind == b"R":
+                tag = self._unpack_int(buf)
+                desc = self.descriptors.get(tag)
+                if desc is None:
+                    raise SDDFError(f"record before descriptor for tag {tag}")
+                vals = []
+                for f in desc.fields:
+                    code = _TYPES[f.type][0]
+                    if code is None:
+                        vals.append(self._unpack_str(buf))
+                    else:
+                        size = struct.calcsize("<" + code)
+                        raw = buf.read(size)
+                        if len(raw) != size:
+                            raise SDDFError("truncated binary record")
+                        vals.append(struct.unpack("<" + code, raw)[0])
+                self.records[tag].append(tuple(vals))
+            else:
+                raise SDDFError(f"bad chunk kind {kind!r}")
+
+    @staticmethod
+    def _unpack_int(buf: io.BytesIO) -> int:
+        raw = buf.read(4)
+        if len(raw) != 4:
+            raise SDDFError("truncated stream")
+        return struct.unpack("<i", raw)[0]
+
+    @classmethod
+    def _unpack_str(cls, buf: io.BytesIO) -> str:
+        n = cls._unpack_int(buf)
+        if n < 0:
+            raise SDDFError(f"negative string length {n}")
+        raw = buf.read(n)
+        if len(raw) != n:
+            raise SDDFError("truncated string")
+        return raw.decode("utf-8")
+
+    # -- ASCII ---------------------------------------------------------------
+    def _parse_ascii(self) -> None:
+        text = self.data.decode("utf-8")
+        pos = 0
+        n = len(text)
+        while pos < n:
+            while pos < n and text[pos] in " \t\r\n":
+                pos += 1
+            if pos >= n:
+                break
+            if text[pos] != "#":
+                raise SDDFError(f"expected '#' at position {pos}")
+            pos += 1
+            num_end = pos
+            while num_end < n and (text[num_end].isdigit() or text[num_end] == "-"):
+                num_end += 1
+            tag = int(text[pos:num_end])
+            pos = num_end
+            while pos < n and text[pos] in " \t\r\n":
+                pos += 1
+            if pos < n and text[pos] == ":":
+                pos = self._parse_ascii_descriptor(text, pos + 1, tag)
+            else:
+                pos = self._parse_ascii_record(text, pos, tag)
+
+    def _parse_ascii_descriptor(self, text: str, pos: int, tag: int) -> int:
+        name, pos = self._ascii_string(text, pos)
+        pos = self._expect(text, pos, "{")
+        fields = []
+        while True:
+            pos = self._skip_ws(text, pos)
+            if text[pos] == "}":
+                pos += 1
+                break
+            tend = pos
+            while text[tend] not in " \t\r\n":
+                tend += 1
+            ftype = text[pos:tend]
+            fname, pos = self._ascii_string(text, tend)
+            pos = self._expect(text, pos, ";")
+            fields.append(Field(fname, ftype))
+        pos = self._expect(text, pos, ";;")
+        self.descriptors[tag] = RecordDescriptor(name, tuple(fields), tag)
+        self.records.setdefault(tag, [])
+        return pos
+
+    def _parse_ascii_record(self, text: str, pos: int, tag: int) -> int:
+        desc = self.descriptors.get(tag)
+        if desc is None:
+            raise SDDFError(f"record before descriptor for tag {tag}")
+        pos = self._expect(text, pos, "{")
+        vals: list[Any] = []
+        for i, f in enumerate(desc.fields):
+            pos = self._skip_ws(text, pos)
+            if f.type == "string":
+                s, pos = self._ascii_string(text, pos)
+                vals.append(s)
+            else:
+                vend = pos
+                while text[vend] not in ",}":
+                    vend += 1
+                token = text[pos:vend].strip()
+                vals.append(float(token) if f.type == "double" else int(token))
+                pos = vend
+            pos = self._skip_ws(text, pos)
+            if i < len(desc.fields) - 1:
+                pos = self._expect(text, pos, ",")
+        pos = self._expect(text, pos, "}")
+        pos = self._expect(text, pos, ";;")
+        self.records[tag].append(tuple(vals))
+        return pos
+
+    @staticmethod
+    def _skip_ws(text: str, pos: int) -> int:
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        return pos
+
+    @classmethod
+    def _expect(cls, text: str, pos: int, token: str) -> int:
+        pos = cls._skip_ws(text, pos)
+        if not text.startswith(token, pos):
+            raise SDDFError(f"expected {token!r} at position {pos}")
+        return pos + len(token)
+
+    @classmethod
+    def _ascii_string(cls, text: str, pos: int) -> tuple[str, int]:
+        pos = cls._skip_ws(text, pos)
+        if text[pos] != '"':
+            raise SDDFError(f"expected string at position {pos}")
+        pos += 1
+        out = []
+        while True:
+            ch = text[pos]
+            if ch == "\\":
+                out.append(text[pos + 1])
+                pos += 2
+            elif ch == '"':
+                pos += 1
+                break
+            else:
+                out.append(ch)
+                pos += 1
+        return "".join(out), pos

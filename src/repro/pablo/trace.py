@@ -1,0 +1,160 @@
+"""Event-trace container with SDDF persistence.
+
+A :class:`Trace` accumulates application-level I/O events during a run,
+then freezes into a NumPy structured array (:data:`EVENT_DTYPE`) for the
+vectorized offline analyses.  Traces serialize to Pablo-style SDDF (ASCII
+or binary) and parse back losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .events import Op, make_event_array
+from .sddf import RecordDescriptor, SDDFReader, SDDFWriter
+
+__all__ = ["Trace", "IO_EVENT_DESCRIPTOR"]
+
+#: SDDF descriptor for one I/O event record.
+IO_EVENT_DESCRIPTOR = RecordDescriptor.build(
+    "IO event",
+    [
+        ("timestamp", "double"),
+        ("node", "int"),
+        ("op", "int"),
+        ("file id", "int"),
+        ("offset", "long"),
+        ("nbytes", "long"),
+        ("duration", "double"),
+    ],
+    tag=1,
+)
+
+_META_DESCRIPTOR = RecordDescriptor.build(
+    "Trace metadata",
+    [("application", "string"), ("nodes", "int"), ("comment", "string")],
+    tag=0,
+)
+
+
+class Trace:
+    """Accumulates I/O events; freezes to a structured array.
+
+    Parameters
+    ----------
+    application:
+        Name of the traced application (carried in SDDF metadata).
+    nodes:
+        Number of compute nodes in the run.
+    """
+
+    def __init__(self, application: str = "", nodes: int = 0, comment: str = ""):
+        self.application = application
+        self.nodes = nodes
+        self.comment = comment
+        self._rows: list[tuple] = []
+        self._frozen: Optional[np.ndarray] = None
+        #: Optional file-id -> path names (informational).
+        self.file_names: dict[int, str] = {}
+
+    # -- capture -----------------------------------------------------------
+    def add(
+        self,
+        timestamp: float,
+        node: int,
+        op: Op,
+        file_id: int,
+        offset: int,
+        nbytes: int,
+        duration: float,
+    ) -> None:
+        """Append one event (invalidates any frozen view)."""
+        self._rows.append(
+            (timestamp, node, int(op), file_id, offset, nbytes, duration)
+        )
+        self._frozen = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    # -- frozen view ----------------------------------------------------------
+    @property
+    def events(self) -> np.ndarray:
+        """The structured-array view (built lazily, cached)."""
+        if self._frozen is None:
+            self._frozen = make_event_array(self._rows)
+        return self._frozen
+
+    def by_op(self, op: Op) -> np.ndarray:
+        """Events of one operation type."""
+        ev = self.events
+        return ev[ev["op"] == int(op)]
+
+    def by_file(self, file_id: int) -> np.ndarray:
+        """Events touching one file."""
+        ev = self.events
+        return ev[ev["file_id"] == file_id]
+
+    def window(self, start: float, end: float) -> np.ndarray:
+        """Events starting within [start, end)."""
+        ev = self.events
+        mask = (ev["timestamp"] >= start) & (ev["timestamp"] < end)
+        return ev[mask]
+
+    @property
+    def duration(self) -> float:
+        """Span from first event start to last event end."""
+        ev = self.events
+        if len(ev) == 0:
+            return 0.0
+        return float((ev["timestamp"] + ev["duration"]).max() - ev["timestamp"].min())
+
+    # -- persistence ----------------------------------------------------------
+    def to_sddf(self, binary: bool = False) -> bytes:
+        """Serialize metadata + all events to SDDF bytes."""
+        w = SDDFWriter(binary=binary)
+        w.declare(_META_DESCRIPTOR)
+        w.declare(IO_EVENT_DESCRIPTOR)
+        w.record(0, (self.application, self.nodes, self.comment))
+        w.records(1, self._rows)
+        return w.getvalue()
+
+    @classmethod
+    def from_sddf(cls, data: bytes) -> "Trace":
+        """Parse a trace previously produced by :meth:`to_sddf`."""
+        r = SDDFReader(data).parse()
+        meta_rows = r.records.get(0, [])
+        app, nodes, comment = meta_rows[0] if meta_rows else ("", 0, "")
+        trace = cls(application=app, nodes=nodes, comment=comment)
+        for row in r.records.get(1, []):
+            ts, node, op, fid, offset, nbytes, dur = row
+            trace._rows.append(
+                (float(ts), int(node), int(op), int(fid), int(offset), int(nbytes), float(dur))
+            )
+        return trace
+
+    def save(self, path: str, binary: bool = True) -> None:
+        """Write the SDDF serialization to ``path``."""
+        with open(path, "wb") as fh:
+            fh.write(self.to_sddf(binary=binary))
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        with open(path, "rb") as fh:
+            return cls.from_sddf(fh.read())
+
+    # -- misc --------------------------------------------------------------
+    def summary_line(self) -> str:
+        """One-line description for logs."""
+        ev = self.events
+        vol = int(ev["nbytes"][np.isin(ev["op"], [int(Op.READ), int(Op.AREAD), int(Op.WRITE)])].sum()) if len(ev) else 0
+        return (
+            f"{self.application or 'trace'}: {len(self)} events, "
+            f"{vol:,} data bytes, span {self.duration:.1f}s"
+        )

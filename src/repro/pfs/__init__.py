@@ -1,0 +1,45 @@
+"""Intel PFS parallel file system model.
+
+Striped files over the machine's I/O nodes with the six PFS access modes,
+a calibrated software cost model, and synchronous + asynchronous I/O
+operations expressed as simulation processes.
+"""
+
+from .collective import STRATEGIES, CollectiveResult, collective_read
+from .costs import CostModel
+from .errors import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    ModeError,
+    PFSError,
+    RecordSizeError,
+)
+from .file import PFSFile
+from .filesystem import SEEK_CUR, SEEK_END, SEEK_SET, AreadHandle, PFS
+from .modes import AccessMode, ModeSemantics, semantics
+from .striping import Chunk, StripeLayout
+
+__all__ = [
+    "STRATEGIES",
+    "CollectiveResult",
+    "collective_read",
+    "CostModel",
+    "BadFileDescriptor",
+    "FileExists",
+    "FileNotFound",
+    "ModeError",
+    "PFSError",
+    "RecordSizeError",
+    "PFSFile",
+    "SEEK_CUR",
+    "SEEK_END",
+    "SEEK_SET",
+    "AreadHandle",
+    "PFS",
+    "AccessMode",
+    "ModeSemantics",
+    "semantics",
+    "Chunk",
+    "StripeLayout",
+]

@@ -1,0 +1,95 @@
+"""Calibrated PFS client/server software cost model.
+
+The paper's per-operation times are dominated by software path lengths,
+metadata serialization and contention, not raw media speed.  This model
+collects every software constant in one place; the defaults are calibrated
+so the three application skeletons land near the per-op means in Tables
+1, 3 and 5 (see EXPERIMENTS.md for paper-vs-measured):
+
+* single-client data throughput ~10 MB/s (RENDER measured ~9.5 MB/s) via
+  ``client_byte_cost_s``;
+* collective creates ~0.4 s at the metadata server (HTF integral phase,
+  where opens are 63 % of I/O time);
+* shared-file seeks/writes serialized per file (ESCAT, where seeks+writes
+  are ~96 % of I/O time);
+* cheap private-file seeks (HTF SCF rewinds: ~2 ms each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.validation import check_nonneg, check_positive
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All software timing constants of the PFS client and servers."""
+
+    # -- client side -------------------------------------------------------
+    #: Fixed client software cost per synchronous operation.
+    client_op_overhead_s: float = 0.0015
+    #: Client per-byte copy/packetization cost; bounds one client's data
+    #: throughput at ~1/cost bytes/s (defaults to 10 MB/s).
+    client_byte_cost_s: float = 1.0e-7
+    #: Cost of issuing an asynchronous read (returns immediately).
+    aread_issue_s: float = 0.010
+    #: Client read-buffer block size (stdio-style buffering of small
+    #: sequential reads); 0 disables buffering.
+    read_buffer_bytes: int = 4096
+    #: Client write-buffer threshold: writes smaller than this absorb into
+    #: the buffer and flush on seek/close/flush; 0 disables.
+    write_buffer_bytes: int = 65536
+
+    # -- metadata server -----------------------------------------------------
+    #: Service time to open an existing file.
+    open_service_s: float = 0.048
+    #: Service time to create a file (stripe allocation on all I/O nodes).
+    create_service_s: float = 0.42
+    #: Service time to close a file.
+    close_service_s: float = 0.019
+    #: Service time for lsize (file-size query).
+    lsize_service_s: float = 0.10
+    #: One-time cold-start cost added to a node's first open (server
+    #: paging/mount effects seen in HTF psetup).
+    cold_open_s: float = 7.0
+
+    # -- shared-file coordination --------------------------------------------
+    #: Token hold time for a seek on a *shared* file (metadata round trip).
+    shared_seek_hold_s: float = 0.019
+    #: Extra token hold for a shared-file atomic write, beyond data path.
+    shared_write_hold_s: float = 0.002
+    #: Token hold for M_LOG / M_RECORD FCFS ordering.
+    order_token_hold_s: float = 0.002
+
+    # -- I/O-node interactions -------------------------------------------------
+    #: Service time of a flush visit at the file's primary I/O node.
+    flush_service_s: float = 0.035
+    #: Extra I/O-node service per *read* chunk (PFS server read path —
+    #: the cost that makes medium-size reads slow; HTF SCF's ~0.6 s per
+    #: 80 KB read emerges from this plus queueing).
+    read_chunk_extra_s: float = 0.040
+    #: Extra I/O-node service per *write* chunk, per byte (synchronous
+    #: write-through on the server; makes HTF's 80 KB integral writes
+    #: cost ~0.23 s while leaving ESCAT's 2 KB writes cheap).
+    write_chunk_extra_per_byte_s: float = 2.5e-6
+
+    def __post_init__(self) -> None:
+        check_nonneg(self.client_op_overhead_s, "client_op_overhead_s")
+        check_nonneg(self.client_byte_cost_s, "client_byte_cost_s")
+        check_nonneg(self.aread_issue_s, "aread_issue_s")
+        check_nonneg(self.read_buffer_bytes, "read_buffer_bytes")
+        check_nonneg(self.write_buffer_bytes, "write_buffer_bytes")
+        check_positive(self.open_service_s, "open_service_s")
+        check_positive(self.create_service_s, "create_service_s")
+        check_positive(self.close_service_s, "close_service_s")
+        check_nonneg(self.lsize_service_s, "lsize_service_s")
+        check_nonneg(self.cold_open_s, "cold_open_s")
+        check_nonneg(self.shared_seek_hold_s, "shared_seek_hold_s")
+        check_nonneg(self.shared_write_hold_s, "shared_write_hold_s")
+        check_nonneg(self.order_token_hold_s, "order_token_hold_s")
+        check_nonneg(self.flush_service_s, "flush_service_s")
+        check_nonneg(self.read_chunk_extra_s, "read_chunk_extra_s")
+        check_nonneg(self.write_chunk_extra_per_byte_s, "write_chunk_extra_per_byte_s")

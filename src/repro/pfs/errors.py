@@ -1,0 +1,41 @@
+"""Errors raised by the PFS model.
+
+These mirror the failure classes a real PFS client would see: bad
+descriptors, mode-semantics violations, and record-size violations in
+fixed-record modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PFSError",
+    "BadFileDescriptor",
+    "ModeError",
+    "RecordSizeError",
+    "FileExists",
+    "FileNotFound",
+]
+
+
+class PFSError(RuntimeError):
+    """Base class for all PFS failures."""
+
+
+class BadFileDescriptor(PFSError):
+    """Operation on a descriptor the node does not hold open."""
+
+
+class ModeError(PFSError):
+    """Operation violates the file's access-mode semantics."""
+
+
+class RecordSizeError(ModeError):
+    """Variable-size operation on a fixed-record (M_RECORD) file."""
+
+
+class FileExists(PFSError):
+    """Exclusive create of a path that already exists."""
+
+
+class FileNotFound(PFSError):
+    """Open without create of a path that does not exist."""

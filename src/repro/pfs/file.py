@@ -1,0 +1,197 @@
+"""Per-file state for the PFS model.
+
+A :class:`PFSFile` owns everything shared between the nodes that have a
+file open: the stripe layout, the logical size, shared or per-node file
+pointers, the coordination tokens that implement mode semantics, and an
+optional byte-accurate content store (used by data-integrity tests; the
+large application runs leave it disabled and track sizes only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Environment, Event
+from ..sim.resources import Token
+from .errors import ModeError, PFSError
+from .modes import AccessMode, ModeSemantics, semantics
+from .striping import StripeLayout
+
+__all__ = ["PFSFile"]
+
+
+class PFSFile:
+    """Shared state of one open PFS file."""
+
+    def __init__(
+        self,
+        env: Environment,
+        path: str,
+        file_id: int,
+        layout: StripeLayout,
+        mode: AccessMode = AccessMode.M_UNIX,
+        record_size: Optional[int] = None,
+        track_content: bool = False,
+    ):
+        self.env = env
+        self.path = path
+        self.file_id = file_id
+        self.layout = layout
+        self.mode = mode
+        self.sem: ModeSemantics = semantics(mode)
+        if self.sem.fixed_records and (record_size is None or record_size <= 0):
+            raise ModeError(f"{mode} requires a positive record_size")
+        self.record_size = record_size
+        self.size = 0  # logical size: max extent ever written
+        # Shared file pointer (per-descriptor pointers live in the open
+        # entry — the "cursor" passed to tell/set_pointer/advance).
+        self.shared_pointer = 0
+        # Coordination state.
+        self.write_token = Token(env)  # atomicity of shared-file writes
+        self.order_token = Token(env)  # FCFS serialization (M_LOG/M_RECORD)
+        self.openers: set[int] = set()  # nodes with the file open
+        # Number of participating nodes for collective/ordered modes,
+        # declared at open time (PFS fixes it at setiomode time).  When
+        # not declared, it is snapshotted from the opener set at the
+        # first ordered operation.
+        self.declared_parties: Optional[int] = None
+        self.sync_parties: Optional[int] = None
+        self.record_parties: Optional[int] = None
+        self._sync_turn = 0
+        self._sync_waiters: dict[int, Event] = {}
+        # M_GLOBAL collective op rendezvous.
+        self._global_arrived = 0
+        self._global_event: Optional[Event] = None
+        self._global_done: Optional[Event] = None
+        # Optional content (bytearray grown on write).
+        self.track_content = track_content
+        self._content = bytearray() if track_content else None
+        # Dirtiness per node (governs flush cost).
+        self.dirty_nodes: set[int] = set()
+
+    # -- pointer management -------------------------------------------------
+    @property
+    def shared(self) -> bool:
+        """True while more than one node has the file open."""
+        return len(self.openers) > 1
+
+    def tell(self, cursor) -> int:
+        """Current file-pointer position for a descriptor.
+
+        ``cursor`` is any object with a ``pos`` attribute (the open-file
+        entry); shared-pointer modes ignore it.
+        """
+        if self.sem.shared_pointer:
+            return self.shared_pointer
+        return cursor.pos
+
+    def set_pointer(self, cursor, offset: int) -> None:
+        """Position the pointer (shared or per-descriptor) at ``offset``."""
+        if offset < 0:
+            raise PFSError(f"negative file offset {offset}")
+        if self.sem.shared_pointer:
+            self.shared_pointer = offset
+        else:
+            cursor.pos = offset
+
+    def advance(self, cursor, nbytes: int) -> None:
+        """Move the pointer past a completed transfer."""
+        self.set_pointer(cursor, self.tell(cursor) + nbytes)
+
+    # -- record-size discipline ----------------------------------------------
+    def check_record(self, nbytes: int) -> None:
+        """Enforce fixed-record sizing when the mode requires it."""
+        if self.sem.fixed_records and nbytes != self.record_size:
+            from .errors import RecordSizeError
+
+            raise RecordSizeError(
+                f"{self.mode} file {self.path!r} requires {self.record_size}-byte "
+                f"operations, got {nbytes}"
+            )
+
+    def record_slot(self, node: int, record_index: int, n_nodes: int) -> int:
+        """Default M_RECORD write placement: node-interleaved groups.
+
+        For N nodes, the file is groups of N records, each group in node
+        order (§5.2) — the layout that made M_RECORD unattractive for
+        ESCAT's reread-your-own-data pattern.
+        """
+        if self.record_size is None:
+            raise ModeError("record_slot on a file without record_size")
+        return (record_index * n_nodes + node) * self.record_size
+
+    # -- M_SYNC node-order turns ---------------------------------------------
+    def sync_wait(self, node: int, n_nodes: int) -> Event:
+        """Event firing when it is ``node``'s turn in node-number order.
+
+        Turns cycle 0..n_nodes-1; each node must take exactly its turn.
+        """
+        ev = Event(self.env)
+        if node == self._sync_turn % n_nodes:
+            ev.succeed()
+        else:
+            if node in self._sync_waiters:
+                raise ModeError(f"node {node} already waiting for its M_SYNC turn")
+            self._sync_waiters[node] = ev
+        return ev
+
+    def sync_done(self, n_nodes: int) -> None:
+        """Advance the M_SYNC turn and release the next waiter."""
+        self._sync_turn += 1
+        nxt = self._sync_turn % n_nodes
+        ev = self._sync_waiters.pop(nxt, None)
+        if ev is not None:
+            ev.succeed()
+
+    # -- M_GLOBAL rendezvous ---------------------------------------------------
+    def global_arrive(self, parties: int) -> tuple[Event, Event, bool]:
+        """Arrive at the collective-op rendezvous.
+
+        Returns ``(arrived, done, leader)``: ``arrived`` fires when all
+        ``parties`` openers have issued the operation; ``leader`` is True
+        for the arrival that should perform the single physical transfer
+        and then succeed ``done`` (which the others wait on).
+        """
+        if self._global_event is None:
+            self._global_event = Event(self.env)
+            self._global_done = Event(self.env)
+        arrived, done = self._global_event, self._global_done
+        assert done is not None
+        self._global_arrived += 1
+        leader = self._global_arrived == 1
+        if self._global_arrived >= parties:
+            self._global_arrived = 0
+            self._global_event = None
+            self._global_done = None
+            arrived.succeed()
+        return arrived, done, leader
+
+    # -- content ------------------------------------------------------------
+    def write_content(self, offset: int, data: bytes) -> None:
+        """Store bytes (content tracking must be enabled)."""
+        if self._content is None:
+            raise PFSError(f"content tracking disabled for {self.path!r}")
+        end = offset + len(data)
+        if end > len(self._content):
+            self._content.extend(b"\x00" * (end - len(self._content)))
+        self._content[offset:end] = data
+
+    def read_content(self, offset: int, nbytes: int) -> bytes:
+        """Fetch bytes (zero-filled past what was written, like sparse files)."""
+        if self._content is None:
+            raise PFSError(f"content tracking disabled for {self.path!r}")
+        chunk = bytes(self._content[offset : offset + nbytes])
+        if len(chunk) < nbytes and offset + nbytes <= self.size:
+            chunk += b"\x00" * (nbytes - len(chunk))
+        return chunk
+
+    def note_write(self, node: int, offset: int, nbytes: int) -> None:
+        """Update size and dirtiness for a completed write."""
+        self.size = max(self.size, offset + nbytes)
+        self.dirty_nodes.add(node)
+
+    def readable_bytes(self, offset: int, nbytes: int) -> int:
+        """Bytes actually available in [offset, offset+nbytes) (EOF clips)."""
+        if offset >= self.size:
+            return 0
+        return min(nbytes, self.size - offset)

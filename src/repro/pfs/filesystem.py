@@ -1,0 +1,739 @@
+"""The Intel PFS model: open/close/read/write/seek/lsize/flush + async reads.
+
+Every operation is a simulation-process generator: application skeletons
+``yield from`` them, and the elapsed simulated time *is* the operation
+duration Pablo-style instrumentation records.
+
+The model charges three kinds of cost:
+
+1. **Client software** — fixed per-op overhead, per-byte copy cost (which
+   bounds a single client at ~10 MB/s, RENDER's measured ceiling), async
+   issue cost, and stdio-style read/write buffering of small requests.
+2. **Metadata serialization** — opens/closes/lsize visit a single metadata
+   server resource; creates are expensive (stripe allocation), which is
+   what makes HTF's 128 simultaneous creates dominate its integral phase.
+3. **Data path** — requests decompose into per-I/O-node chunks
+   (:mod:`repro.pfs.striping`), each paying mesh transfer plus queued
+   RAID-3 service.  Shared-file atomic writes and shared-file seeks
+   serialize on a per-file token, reproducing ESCAT's seek/write costs.
+
+Mode semantics (:mod:`repro.pfs.modes`) are enforced: shared pointers,
+M_SYNC node-order turns, M_RECORD fixed records with node-interleaved
+default placement, M_GLOBAL collective reads, M_ASYNC's missing atomicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.paragon import Paragon
+from ..sim.core import Environment, Event
+from ..sim.resources import Resource
+from ..util.units import MB
+from .costs import CostModel
+from .errors import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    ModeError,
+    PFSError,
+)
+from .file import PFSFile
+from .modes import AccessMode
+from .striping import StripeLayout
+
+__all__ = ["PFS", "AreadHandle", "SEEK_SET", "SEEK_CUR", "SEEK_END"]
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+#: Physical region reserved per file on each I/O node by the simple
+#: allocator; bases only influence seek distances, so overlap-free
+#: spacing is all that matters.
+_FILE_REGION_BYTES = 128 * MB
+
+
+class AreadHandle:
+    """Completion handle for an asynchronous read (NX ``iread`` analog)."""
+
+    __slots__ = ("event", "nbytes", "file_id", "offset", "issued_at")
+
+    def __init__(self, event: Event, nbytes: int, file_id: int, offset: int, issued_at: float):
+        self.event = event
+        self.nbytes = nbytes
+        self.file_id = file_id
+        self.offset = offset
+        self.issued_at = issued_at
+
+    @property
+    def complete(self) -> bool:
+        return self.event.triggered
+
+
+@dataclass
+class _OpenFile:
+    """Per-(node, fd) state."""
+
+    file: PFSFile
+    # Per-descriptor file pointer (shared-pointer modes ignore it).
+    pos: int = 0
+    # Client read buffer: buffered logical extent [start, end).
+    rbuf_start: int = -1
+    rbuf_end: int = -1
+    # Client write buffer: pending extent [start, start+length).
+    wbuf_start: int = -1
+    wbuf_len: int = 0
+    # M_RECORD slot counters.
+    records_read: int = 0
+    records_written: int = 0
+    # Actual file offset of the most recent read/write (differs from the
+    # pre-op pointer under slot/shared-pointer modes); -1 before any op.
+    last_op_offset: int = -1
+    # Pending async reads (drained at close).
+    pending: list[AreadHandle] = field(default_factory=list)
+
+
+class PFS:
+    """Parallel file system instance bound to a :class:`Paragon` machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose I/O nodes and mesh carry the data.
+    costs:
+        Software cost model; defaults to the calibrated constants.
+    track_content:
+        Store real bytes per file (for data-integrity tests).  Large runs
+        leave this off and track sizes only.
+    """
+
+    def __init__(
+        self,
+        machine: Paragon,
+        costs: Optional[CostModel] = None,
+        track_content: bool = False,
+    ):
+        self.machine = machine
+        self.env: Environment = machine.env
+        self.costs = costs or CostModel()
+        self.track_content = track_content
+        self._meta_server = Resource(self.env, capacity=1)
+        self._copy_engine: dict[int, Resource] = {}
+        self._files: dict[str, PFSFile] = {}
+        self._fd_tables: dict[int, dict[int, _OpenFile]] = {}
+        self._next_fd: dict[int, int] = {}
+        self._next_file_id = 3  # Unix-style: 0-2 are stdio
+        self._next_base = 0
+
+    # ------------------------------------------------------------------ utils
+    def _io_mesh_node(self, ionode_index: int) -> int:
+        """Mesh position representing an I/O node (spread along the mesh)."""
+        stride = max(1, self.machine.config.mesh.size // len(self.machine.ionodes))
+        return (ionode_index * stride) % self.machine.config.mesh.size
+
+    def _copier(self, node: int) -> Resource:
+        """Per-node client copy engine (serializes async completions)."""
+        res = self._copy_engine.get(node)
+        if res is None:
+            res = Resource(self.env, capacity=1)
+            self._copy_engine[node] = res
+        return res
+
+    def _entry(self, node: int, fd: int) -> _OpenFile:
+        try:
+            return self._fd_tables[node][fd]
+        except KeyError:
+            raise BadFileDescriptor(f"node {node} has no open fd {fd}") from None
+
+    def lookup(self, path: str) -> Optional[PFSFile]:
+        """The file object for ``path`` if it exists."""
+        return self._files.get(path)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def ensure(self, path: str, file_id: Optional[int] = None, size: int = 0) -> PFSFile:
+        """Create ``path`` administratively (no simulated cost).
+
+        Models files that pre-exist a run: input datasets staged before
+        the job, or scratch files left by a previous execution (ESCAT's
+        quadrature staging files).  ``size`` presets the logical size.
+        """
+        if path in self._files:
+            f = self._files[path]
+            f.size = max(f.size, size)
+            return f
+        if file_id is None:
+            file_id = self._next_file_id
+            self._next_file_id += 1
+        else:
+            self._next_file_id = max(self._next_file_id, file_id + 1)
+        layout = StripeLayout(
+            n_ionodes=len(self.machine.ionodes),
+            first_ionode=file_id % len(self.machine.ionodes),
+            base=self._next_base,
+        )
+        self._next_base += _FILE_REGION_BYTES
+        f = PFSFile(
+            self.env, path, file_id, layout,
+            mode=AccessMode.M_UNIX, track_content=self.track_content,
+        )
+        f.size = size
+        self._files[path] = f
+        return f
+
+    def setiomode(
+        self,
+        node: int,
+        fd: int,
+        mode: AccessMode,
+        record_size: Optional[int] = None,
+        parties: Optional[int] = None,
+    ):
+        """Change an open file's access mode (Intel ``setiomode``).
+
+        A cheap collective metadata operation; resets the shared pointer
+        and the caller's record counters.
+        """
+        from .modes import semantics as _semantics
+
+        entry = self._entry(node, fd)
+        f = entry.file
+        if entry.wbuf_len:
+            yield from self._flush_write_buffer(node, entry)
+        yield self.env.timeout(self.costs.client_op_overhead_s)
+        new_sem = _semantics(mode)
+        if new_sem.fixed_records:
+            if record_size is None and f.record_size is None:
+                raise ModeError(f"{mode} requires a record_size")
+        f.mode = mode
+        f.sem = new_sem
+        if record_size is not None:
+            f.record_size = record_size
+        if parties is not None:
+            f.declared_parties = parties
+        f.shared_pointer = 0
+        f.sync_parties = None
+        f.record_parties = None
+        entry.records_read = 0
+        entry.records_written = 0
+        entry.rbuf_start = entry.rbuf_end = -1
+
+    def tell(self, node: int, fd: int) -> int:
+        """Current pointer position (no cost; client-side state)."""
+        entry = self._entry(node, fd)
+        return entry.file.tell(entry)
+
+    def file_of(self, node: int, fd: int) -> PFSFile:
+        """The file behind a descriptor."""
+        return self._entry(node, fd).file
+
+    def last_op_offset(self, node: int, fd: int) -> int:
+        """Actual file offset of the descriptor's most recent data
+        operation (slot/shared-pointer modes position ops away from the
+        caller's pre-op pointer); -1 before any data op."""
+        return self._entry(node, fd).last_op_offset
+
+    # ------------------------------------------------------------- open/close
+    def open(
+        self,
+        node: int,
+        path: str,
+        mode: AccessMode = AccessMode.M_UNIX,
+        create: bool = False,
+        exclusive: bool = False,
+        record_size: Optional[int] = None,
+        file_id: Optional[int] = None,
+        cold: bool = False,
+        parties: Optional[int] = None,
+    ):
+        """Open (or create) ``path``; returns the new fd.
+
+        ``cold`` adds the one-time cold-start cost (server paging /
+        staging effects) observed on first-program opens.  ``parties``
+        declares how many nodes participate in collective/ordered modes
+        (M_SYNC/M_GLOBAL) — the ``setiomode`` partition size; without it
+        the opener count at the first ordered operation is used.
+        """
+        existed = path in self._files
+        if not existed and not create:
+            raise FileNotFound(path)
+        if existed and create and exclusive:
+            raise FileExists(path)
+        f = self._files.get(path)
+        if f is not None and f.mode is not mode and f.openers:
+            raise ModeError(
+                f"{path!r} already open in {f.mode}; cannot also open in {mode}"
+            )
+
+        # Register the file synchronously so concurrent creators share one
+        # object (only the first arrival pays the create cost).
+        if f is None:
+            if file_id is None:
+                file_id = self._next_file_id
+                self._next_file_id += 1
+            else:
+                self._next_file_id = max(self._next_file_id, file_id + 1)
+            layout = StripeLayout(
+                n_ionodes=len(self.machine.ionodes),
+                first_ionode=file_id % len(self.machine.ionodes),
+                base=self._next_base,
+            )
+            self._next_base += _FILE_REGION_BYTES
+            f = PFSFile(
+                self.env,
+                path,
+                file_id,
+                layout,
+                mode=mode,
+                record_size=record_size,
+                track_content=self.track_content,
+            )
+            self._files[path] = f
+        elif record_size is not None and f.record_size not in (None, record_size):
+            raise ModeError(
+                f"{path!r} opened with record_size={f.record_size}, got {record_size}"
+            )
+        elif not f.openers and f.mode is not mode:
+            # First opener of an idle file sets its mode (setiomode-at-open).
+            from .modes import semantics as _semantics
+
+            new_sem = _semantics(mode)
+            if new_sem.fixed_records and record_size is None and f.record_size is None:
+                raise ModeError(f"{mode} requires a record_size")
+            f.mode = mode
+            f.sem = new_sem
+            if record_size is not None:
+                f.record_size = record_size
+
+        # Metadata server visit.
+        service = self.costs.open_service_s if existed else self.costs.create_service_s
+        if cold:
+            service += self.costs.cold_open_s
+        req = self._meta_server.request()
+        yield req
+        try:
+            yield self.env.timeout(service)
+        finally:
+            self._meta_server.release(req)
+        if parties is not None:
+            if parties < 1:
+                raise PFSError(f"parties must be >= 1, got {parties}")
+            if f.declared_parties not in (None, parties):
+                raise ModeError(
+                    f"{path!r} opened with parties={f.declared_parties}, got {parties}"
+                )
+            f.declared_parties = parties
+        f.openers.add(node)
+        table = self._fd_tables.setdefault(node, {})
+        fd = self._next_fd.get(node, 3)
+        self._next_fd[node] = fd + 1
+        table[fd] = _OpenFile(file=f)
+        return fd
+
+    def close(self, node: int, fd: int):
+        """Flush buffered writes, drain async reads, release the fd."""
+        entry = self._entry(node, fd)
+        f = entry.file
+        if entry.wbuf_len:
+            yield from self._flush_write_buffer(node, entry)
+        for handle in entry.pending:
+            if not handle.complete:
+                yield handle.event
+        entry.pending.clear()
+        req = self._meta_server.request()
+        yield req
+        try:
+            yield self.env.timeout(self.costs.close_service_s)
+        finally:
+            self._meta_server.release(req)
+        del self._fd_tables[node][fd]
+        f.openers.discard(node)
+        f.dirty_nodes.discard(node)
+
+    # -------------------------------------------------------------- data path
+    def _chunk_extra(self, nbytes: int, is_write: bool) -> float:
+        """Server-path software cost per chunk (see CostModel)."""
+        if is_write:
+            return nbytes * self.costs.write_chunk_extra_per_byte_s
+        return self.costs.read_chunk_extra_s
+
+    def _transfer(self, node: int, f: PFSFile, offset: int, nbytes: int, is_write: bool):
+        """Move ``nbytes`` between the client and the striped I/O nodes."""
+        if nbytes <= 0:
+            return 0
+        mesh = self.machine.mesh
+        chunks = f.layout.decompose(offset, nbytes)
+        procs = []
+        for chunk in chunks:
+            ion = self.machine.ionodes[chunk.ionode]
+            io_pos = self._io_mesh_node(chunk.ionode)
+            extra = self._chunk_extra(chunk.nbytes, is_write)
+
+            def _one(chunk=chunk, ion=ion, io_pos=io_pos, extra=extra):
+                yield self.env.timeout(mesh.message_time(node, io_pos, chunk.nbytes))
+                yield self.env.process(
+                    ion.serve(chunk.disk_offset, chunk.nbytes, is_write, extra)
+                )
+
+            procs.append(self.env.process(_one()))
+        yield self.env.all_of(procs)
+        # Client copy/packetization cost (the single-client throughput bound).
+        yield self.env.timeout(nbytes * self.costs.client_byte_cost_s)
+        return nbytes
+
+    def _flush_write_buffer(self, node: int, entry: _OpenFile):
+        """Push the client write buffer to the data path."""
+        f = entry.file
+        start, length = entry.wbuf_start, entry.wbuf_len
+        entry.wbuf_start, entry.wbuf_len = -1, 0
+        if length:
+            yield from self._transfer(node, f, start, length, is_write=True)
+            f.note_write(node, start, length)
+
+    # ------------------------------------------------------------------- read
+    def read(self, node: int, fd: int, nbytes: int, data_out: bool = False):
+        """Synchronous read at the current pointer; returns bytes read.
+
+        With ``data_out`` (and content tracking enabled) returns
+        ``(count, bytes)`` instead.
+        """
+        if nbytes < 0:
+            raise PFSError(f"negative read size {nbytes}")
+        entry = self._entry(node, fd)
+        f = entry.file
+        f.check_record(nbytes)
+        c = self.costs
+        yield self.env.timeout(c.client_op_overhead_s)
+
+        # Resolve the offset under the mode's discipline.
+        if f.sem.collective:
+            offset = f.tell(entry)
+            count = yield from self._global_read(node, entry, nbytes)
+        elif f.sem.node_order:
+            if f.sync_parties is None:
+                f.sync_parties = f.declared_parties or max(1, len(f.openers))
+            n = f.sync_parties
+            yield f.sync_wait(node, n)
+            try:
+                offset = f.tell(entry)
+                count = f.readable_bytes(offset, nbytes)
+                yield from self._transfer(node, f, offset, count, is_write=False)
+                f.advance(entry, count)
+            finally:
+                f.sync_done(n)
+        elif f.sem.fcfs_order:
+            yield f.order_token.acquire()
+            try:
+                yield self.env.timeout(c.order_token_hold_s)
+                if f.sem.fixed_records:
+                    if f.record_parties is None:
+                        f.record_parties = f.declared_parties or max(1, len(f.openers))
+                    offset = f.record_slot(node, entry.records_read, f.record_parties)
+                    entry.records_read += 1
+                else:
+                    offset = f.tell(entry)
+                    f.advance(entry, f.readable_bytes(offset, nbytes))
+            finally:
+                f.order_token.release()
+            count = f.readable_bytes(offset, nbytes)
+            yield from self._transfer(node, f, offset, count, is_write=False)
+            if f.sem.fixed_records:
+                f.set_pointer(entry, offset + count)
+        else:
+            offset = f.tell(entry)
+            count = f.readable_bytes(offset, nbytes)
+            hit = entry.rbuf_start <= offset and offset + count <= entry.rbuf_end
+            if count and not hit and count <= c.read_buffer_bytes:
+                # Fetch a whole buffer block around the request (stdio-style).
+                block_start = offset - offset % max(1, c.read_buffer_bytes)
+                block_len = f.readable_bytes(block_start, c.read_buffer_bytes)
+                yield from self._transfer(node, f, block_start, block_len, False)
+                entry.rbuf_start, entry.rbuf_end = block_start, block_start + block_len
+            elif count and not hit:
+                yield from self._transfer(node, f, offset, count, is_write=False)
+            f.advance(entry, count)
+        entry.last_op_offset = offset
+        if data_out:
+            return count, f.read_content(offset, count) if f.track_content else b""
+        return count
+
+    def _global_read(self, node: int, entry: _OpenFile, nbytes: int):
+        """M_GLOBAL: every opener issues the same read; one physical I/O
+        whose result is broadcast, and nobody proceeds before the data
+        lands everywhere."""
+        f = entry.file
+        parties = f.declared_parties or max(1, len(f.openers))
+        offset = f.tell(entry)
+        count = f.readable_bytes(offset, nbytes)
+        arrived, done, leader = f.global_arrive(parties)
+        if leader:
+            yield arrived
+            yield from self._transfer(node, f, offset, count, is_write=False)
+            yield self.env.timeout(
+                self.machine.mesh.broadcast_time(node, parties, count)
+            )
+            f.advance(entry, count)
+            done.succeed(count)
+        else:
+            yield done
+        return count
+
+    # ------------------------------------------------------------------ write
+    def write(self, node: int, fd: int, nbytes: int, data: Optional[bytes] = None):
+        """Synchronous write at the current pointer; returns bytes written."""
+        if nbytes < 0:
+            raise PFSError(f"negative write size {nbytes}")
+        if data is not None and len(data) != nbytes:
+            raise PFSError(f"data length {len(data)} != nbytes {nbytes}")
+        entry = self._entry(node, fd)
+        f = entry.file
+        f.check_record(nbytes)
+        c = self.costs
+        yield self.env.timeout(c.client_op_overhead_s)
+        entry.rbuf_start = entry.rbuf_end = -1  # writes invalidate read buffer
+
+        if f.sem.collective:
+            raise ModeError("M_GLOBAL files are read-only in this model")
+
+        if f.sem.node_order:
+            if f.sync_parties is None:
+                f.sync_parties = f.declared_parties or max(1, len(f.openers))
+            n = f.sync_parties
+            yield f.sync_wait(node, n)
+            try:
+                offset = f.tell(entry)
+                yield from self._locked_write(node, f, offset, nbytes, data)
+                f.advance(entry, nbytes)
+            finally:
+                f.sync_done(n)
+            entry.last_op_offset = offset
+            return nbytes
+
+        if f.sem.fcfs_order:
+            yield f.order_token.acquire()
+            try:
+                yield self.env.timeout(c.order_token_hold_s)
+                if f.sem.fixed_records:
+                    if f.record_parties is None:
+                        f.record_parties = f.declared_parties or max(1, len(f.openers))
+                    offset = f.record_slot(node, entry.records_written, f.record_parties)
+                    entry.records_written += 1
+                else:
+                    offset = f.tell(entry)
+                    f.advance(entry, nbytes)
+            finally:
+                f.order_token.release()
+            yield from self._locked_write(node, f, offset, nbytes, data)
+            if f.sem.fixed_records:
+                f.set_pointer(entry, offset + nbytes)
+            entry.last_op_offset = offset
+            return nbytes
+
+        offset = f.tell(entry)
+        buffered = (
+            c.write_buffer_bytes > 0
+            and 0 < nbytes <= c.write_buffer_bytes
+            and not f.shared
+        )
+        if buffered:
+            contiguous = entry.wbuf_start + entry.wbuf_len == offset
+            if entry.wbuf_len and not contiguous:
+                yield from self._flush_write_buffer(node, entry)
+            if entry.wbuf_len == 0:
+                entry.wbuf_start = offset
+            entry.wbuf_len += nbytes
+            if f.track_content and data is not None:
+                f.write_content(offset, data)
+            f.note_write(node, offset, nbytes)
+            f.advance(entry, nbytes)
+            if entry.wbuf_len >= c.write_buffer_bytes:
+                yield from self._flush_write_buffer(node, entry)
+            entry.last_op_offset = offset
+            return nbytes
+
+        if entry.wbuf_len:
+            yield from self._flush_write_buffer(node, entry)
+        yield from self._locked_write(node, f, offset, nbytes, data)
+        f.advance(entry, nbytes)
+        entry.last_op_offset = offset
+        return nbytes
+
+    def _locked_write(self, node: int, f: PFSFile, offset: int, nbytes: int, data):
+        """Write with per-file atomicity locking when the mode requires it."""
+        lock_needed = f.sem.atomic and f.shared
+        if lock_needed:
+            yield f.write_token.acquire()
+        try:
+            if lock_needed:
+                yield self.env.timeout(self.costs.shared_write_hold_s)
+            yield from self._transfer(node, f, offset, nbytes, is_write=True)
+        finally:
+            if lock_needed:
+                f.write_token.release()
+        if f.track_content and data is not None:
+            f.write_content(offset, data)
+        f.note_write(node, offset, nbytes)
+
+    # ------------------------------------------------------------------- seek
+    def seek(self, node: int, fd: int, offset: int, whence: int = SEEK_SET):
+        """Position the file pointer; returns the new offset.
+
+        Shared-file seeks serialize on the file token (a metadata round
+        trip in PFS — the cost that dominates ESCAT's I/O time); seeks on
+        privately-open files are a cheap client-side operation.
+        """
+        entry = self._entry(node, fd)
+        f = entry.file
+        if not f.sem.seekable:
+            raise ModeError(f"{f.mode} files are not seekable")
+        if whence == SEEK_SET:
+            target = offset
+        elif whence == SEEK_CUR:
+            target = f.tell(entry) + offset
+        elif whence == SEEK_END:
+            target = f.size + offset
+        else:
+            raise PFSError(f"bad whence {whence}")
+        if target < 0:
+            raise PFSError(f"seek to negative offset {target}")
+        if entry.wbuf_len:
+            yield from self._flush_write_buffer(node, entry)
+        entry.rbuf_start = entry.rbuf_end = -1
+        yield self.env.timeout(self.costs.client_op_overhead_s)
+        if f.shared:
+            yield f.write_token.acquire()
+            try:
+                yield self.env.timeout(self.costs.shared_seek_hold_s)
+            finally:
+                f.write_token.release()
+        f.set_pointer(entry, target)
+        return target
+
+    def unlink(self, node: int, path: str):
+        """Remove a file (metadata operation).
+
+        Refuses while any node holds the file open — the simple semantics
+        production scratch-file management relied on.
+        """
+        f = self._files.get(path)
+        if f is None:
+            raise FileNotFound(path)
+        if f.openers:
+            raise PFSError(f"cannot unlink {path!r}: open on nodes {sorted(f.openers)}")
+        req = self._meta_server.request()
+        yield req
+        try:
+            yield self.env.timeout(self.costs.close_service_s)
+        finally:
+            self._meta_server.release(req)
+        del self._files[path]
+
+    def rename(self, node: int, old: str, new: str):
+        """Rename a file (metadata operation; fails if ``new`` exists)."""
+        f = self._files.get(old)
+        if f is None:
+            raise FileNotFound(old)
+        if new in self._files:
+            raise FileExists(new)
+        req = self._meta_server.request()
+        yield req
+        try:
+            yield self.env.timeout(self.costs.close_service_s)
+        finally:
+            self._meta_server.release(req)
+        del self._files[old]
+        f.path = new
+        self._files[new] = f
+
+    # ------------------------------------------------------- metadata queries
+    def lsize(self, node: int, fd: int):
+        """File-size query (PFS ``lsize``); returns the size."""
+        entry = self._entry(node, fd)
+        req = self._meta_server.request()
+        yield req
+        try:
+            yield self.env.timeout(self.costs.lsize_service_s)
+        finally:
+            self._meta_server.release(req)
+        return entry.file.size
+
+    def flush(self, node: int, fd: int):
+        """Force buffered data out (Fortran ``forflush`` analog).
+
+        A dirty file costs a visit to the file's primary I/O node; a clean
+        one is a client-side no-op.
+        """
+        entry = self._entry(node, fd)
+        f = entry.file
+        yield self.env.timeout(self.costs.client_op_overhead_s)
+        if entry.wbuf_len:
+            yield from self._flush_write_buffer(node, entry)
+        if node in f.dirty_nodes:
+            ion = self.machine.ionodes[f.layout.first_ionode]
+            yield self.env.process(ion.visit(self.costs.flush_service_s))
+            f.dirty_nodes.discard(node)
+
+    # ------------------------------------------------------------ async reads
+    def aread(self, node: int, fd: int, nbytes: int):
+        """Issue an asynchronous read; returns an :class:`AreadHandle`.
+
+        The issuing call costs only ``aread_issue_s``; the transfer runs in
+        the background, and its client-side copy serializes through the
+        node's copy engine (bounding aggregate async throughput exactly as
+        a real client's memory system would).
+        """
+        if nbytes < 0:
+            raise PFSError(f"negative read size {nbytes}")
+        entry = self._entry(node, fd)
+        f = entry.file
+        if f.sem.shared_pointer or f.sem.fixed_records:
+            raise ModeError(f"async reads unsupported in {f.mode}")
+        offset = f.tell(entry)
+        count = f.readable_bytes(offset, nbytes)
+        f.advance(entry, count)  # pointer advances at issue time (NX semantics)
+        yield self.env.timeout(self.costs.aread_issue_s)
+        done = Event(self.env)
+        handle = AreadHandle(done, count, f.file_id, offset, self.env.now)
+
+        def _background():
+            if count:
+                mesh = self.machine.mesh
+                procs = []
+                for chunk in f.layout.decompose(offset, count):
+                    ion = self.machine.ionodes[chunk.ionode]
+                    io_pos = self._io_mesh_node(chunk.ionode)
+                    extra = self._chunk_extra(chunk.nbytes, is_write=False)
+
+                    def _one(chunk=chunk, ion=ion, io_pos=io_pos, extra=extra):
+                        yield self.env.timeout(
+                            mesh.message_time(node, io_pos, chunk.nbytes)
+                        )
+                        yield self.env.process(
+                            ion.serve(chunk.disk_offset, chunk.nbytes, False, extra)
+                        )
+
+                    procs.append(self.env.process(_one()))
+                yield self.env.all_of(procs)
+                copier = self._copier(node)
+                creq = copier.request()
+                yield creq
+                try:
+                    yield self.env.timeout(count * self.costs.client_byte_cost_s)
+                finally:
+                    copier.release(creq)
+            done.succeed(count)
+
+        self.env.process(_background())
+        entry.pending.append(handle)
+        return handle
+
+    def iowait(self, node: int, handle: AreadHandle):
+        """Block until an async read completes; returns bytes read."""
+        if not handle.complete:
+            yield handle.event
+        else:
+            yield self.env.timeout(0.0)
+        return handle.nbytes

@@ -1,0 +1,89 @@
+"""The six Intel PFS parallel file access modes (§3.2).
+
+Each mode is a point in a small semantic space — pointer sharing, ordering
+discipline, record-size discipline, and operation atomicity:
+
+=========  ================  ===================  ============  =========
+Mode       File pointer      Ordering             Request size  Atomic
+=========  ================  ===================  ============  =========
+M_UNIX     per node          none                 variable      yes
+M_LOG      shared            first-come-first-    variable      yes
+                             serve
+M_SYNC     shared            node-number order    variable      yes
+M_RECORD   per node          first-come-first-    fixed         yes
+                             serve
+M_GLOBAL   shared            all nodes issue the  variable      yes
+                             same operation
+M_ASYNC    per node          none                 variable      no
+=========  ================  ===================  ============  =========
+
+The table is encoded in :class:`ModeSemantics` so the filesystem enforces
+each discipline uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["AccessMode", "ModeSemantics", "semantics"]
+
+
+class AccessMode(enum.Enum):
+    """Intel PFS ``setiomode`` access modes."""
+
+    M_UNIX = "M_UNIX"
+    M_LOG = "M_LOG"
+    M_SYNC = "M_SYNC"
+    M_RECORD = "M_RECORD"
+    M_GLOBAL = "M_GLOBAL"
+    M_ASYNC = "M_ASYNC"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ModeSemantics:
+    """Semantic axes of one access mode."""
+
+    shared_pointer: bool
+    node_order: bool  # accesses proceed in node-number order
+    fcfs_order: bool  # accesses serialize first-come-first-serve
+    fixed_records: bool  # every operation must be the declared record size
+    collective: bool  # all nodes issue the same op on the same data
+    atomic: bool  # operation atomicity preserved (shared-file writes lock)
+    seekable: bool  # explicit seeks permitted
+
+
+_SEMANTICS: dict[AccessMode, ModeSemantics] = {
+    AccessMode.M_UNIX: ModeSemantics(
+        shared_pointer=False, node_order=False, fcfs_order=False,
+        fixed_records=False, collective=False, atomic=True, seekable=True,
+    ),
+    AccessMode.M_LOG: ModeSemantics(
+        shared_pointer=True, node_order=False, fcfs_order=True,
+        fixed_records=False, collective=False, atomic=True, seekable=False,
+    ),
+    AccessMode.M_SYNC: ModeSemantics(
+        shared_pointer=True, node_order=True, fcfs_order=False,
+        fixed_records=False, collective=False, atomic=True, seekable=False,
+    ),
+    AccessMode.M_RECORD: ModeSemantics(
+        shared_pointer=False, node_order=False, fcfs_order=True,
+        fixed_records=True, collective=False, atomic=True, seekable=True,
+    ),
+    AccessMode.M_GLOBAL: ModeSemantics(
+        shared_pointer=True, node_order=False, fcfs_order=False,
+        fixed_records=False, collective=True, atomic=True, seekable=False,
+    ),
+    AccessMode.M_ASYNC: ModeSemantics(
+        shared_pointer=False, node_order=False, fcfs_order=False,
+        fixed_records=False, collective=False, atomic=False, seekable=True,
+    ),
+}
+
+
+def semantics(mode: AccessMode) -> ModeSemantics:
+    """Semantics record for ``mode``."""
+    return _SEMANTICS[mode]

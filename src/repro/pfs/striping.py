@@ -1,0 +1,150 @@
+"""File striping arithmetic.
+
+PFS stripes files across the I/O nodes in 64 KB units (§3.2), round-robin
+starting from a per-file first I/O node.  This module is pure math — the
+filesystem uses it to decompose a logical extent into per-I/O-node chunks
+and to map logical offsets to physical disk addresses.
+
+All functions are deterministic; the decomposition/reassembly pair is a
+bijection (property-tested), which is what guarantees the simulated data
+path touches exactly the bytes the application asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.units import STRIPE_UNIT
+from ..util.validation import check_nonneg, check_positive
+
+__all__ = ["StripeLayout", "Chunk"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One per-I/O-node piece of a logical extent.
+
+    Attributes
+    ----------
+    ionode:
+        Index of the serving I/O node.
+    disk_offset:
+        Physical byte address on that I/O node's array.
+    nbytes:
+        Length of the piece.
+    logical_offset:
+        Where the piece starts in the file's logical byte space.
+    """
+
+    ionode: int
+    disk_offset: int
+    nbytes: int
+    logical_offset: int
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Striping map for one file.
+
+    Parameters
+    ----------
+    n_ionodes:
+        Number of I/O nodes in the stripe group.
+    stripe_unit:
+        Bytes per stripe unit (PFS default 64 KB).
+    first_ionode:
+        I/O node holding stripe 0 (files start on different nodes to
+        spread load).
+    base:
+        Physical base address of this file's region on every I/O node
+        (the simple allocator gives each file a contiguous region per
+        node).
+    """
+
+    n_ionodes: int
+    stripe_unit: int = STRIPE_UNIT
+    first_ionode: int = 0
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_ionodes, "n_ionodes")
+        check_positive(self.stripe_unit, "stripe_unit")
+        check_nonneg(self.base, "base")
+        if not 0 <= self.first_ionode < self.n_ionodes:
+            raise ValueError(
+                f"first_ionode {self.first_ionode} outside 0..{self.n_ionodes - 1}"
+            )
+
+    # -- point mapping ----------------------------------------------------
+    def ionode_of(self, offset: int) -> int:
+        """I/O node serving logical byte ``offset``."""
+        check_nonneg(offset, "offset")
+        stripe = offset // self.stripe_unit
+        return (self.first_ionode + stripe) % self.n_ionodes
+
+    def disk_address(self, offset: int) -> int:
+        """Physical address of logical byte ``offset`` on its I/O node."""
+        check_nonneg(offset, "offset")
+        stripe = offset // self.stripe_unit
+        local_stripe = stripe // self.n_ionodes
+        return self.base + local_stripe * self.stripe_unit + offset % self.stripe_unit
+
+    # -- extent decomposition ----------------------------------------------
+    def decompose(self, offset: int, nbytes: int) -> list[Chunk]:
+        """Split a logical extent into per-I/O-node chunks.
+
+        Consecutive stripe units landing on the same I/O node (i.e. when
+        the extent wraps the whole stripe group) are coalesced into one
+        chunk per contiguous physical run, which is how the server-side
+        request scheduler would issue them.
+        """
+        check_nonneg(offset, "offset")
+        check_nonneg(nbytes, "nbytes")
+        if nbytes == 0:
+            return []
+        pieces: list[Chunk] = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            in_stripe = self.stripe_unit - pos % self.stripe_unit
+            take = min(remaining, in_stripe)
+            pieces.append(
+                Chunk(
+                    ionode=self.ionode_of(pos),
+                    disk_offset=self.disk_address(pos),
+                    nbytes=take,
+                    logical_offset=pos,
+                )
+            )
+            pos += take
+            remaining -= take
+        return _coalesce(pieces)
+
+    def span_bytes(self, offset: int, nbytes: int) -> dict[int, int]:
+        """Bytes of the extent served by each I/O node (for load analyses)."""
+        out: dict[int, int] = {}
+        for chunk in self.decompose(offset, nbytes):
+            out[chunk.ionode] = out.get(chunk.ionode, 0) + chunk.nbytes
+        return out
+
+
+def _coalesce(pieces: list[Chunk]) -> list[Chunk]:
+    """Merge physically contiguous same-I/O-node pieces, preserving order."""
+    merged: list[Chunk] = []
+    # Index of the last piece per ionode, for O(n) adjacency checks.
+    last_for_node: dict[int, int] = {}
+    for piece in pieces:
+        idx = last_for_node.get(piece.ionode)
+        if idx is not None:
+            prev = merged[idx]
+            if prev.disk_offset + prev.nbytes == piece.disk_offset:
+                merged[idx] = Chunk(
+                    ionode=prev.ionode,
+                    disk_offset=prev.disk_offset,
+                    nbytes=prev.nbytes + piece.nbytes,
+                    logical_offset=prev.logical_offset,
+                )
+                continue
+        last_for_node[piece.ionode] = len(merged)
+        merged.append(piece)
+    return merged

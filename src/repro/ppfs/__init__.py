@@ -1,0 +1,22 @@
+"""PPFS: the portable parallel file system with tunable policies."""
+
+from .adaptive import MarkovPredictor, StreamModel
+from .aggregation import ExtentSet
+from .cache import BlockCache, CacheStats
+from .policies import PPFSPolicies
+from .prefetch import NoPrefetcher, SequentialPrefetcher
+from .server import PPFS
+from .writebehind import WriteBehindManager
+
+__all__ = [
+    "MarkovPredictor",
+    "StreamModel",
+    "ExtentSet",
+    "BlockCache",
+    "CacheStats",
+    "PPFSPolicies",
+    "NoPrefetcher",
+    "SequentialPrefetcher",
+    "PPFS",
+    "WriteBehindManager",
+]

@@ -1,0 +1,109 @@
+"""Adaptive access-pattern classification and prediction (§10).
+
+The paper closes with the goal of "general, adaptive prefetching methods
+that can learn to hide input/output latency by automatically classifying
+and predicting access patterns".  :class:`MarkovPredictor` implements
+that idea at block granularity: a first-order Markov model over block
+*deltas* per stream.
+
+* Constant delta +1 -> classified sequential, prefetch ahead.
+* Constant delta k != 1 -> classified strided, prefetch along the stride.
+* No dominant delta -> classified irregular, prefetch disabled (a random
+  stream would only pollute the cache).
+
+Confidence is the relative frequency of the dominant delta; prediction
+turns on once confidence crosses a threshold.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..analysis.patterns import PatternKind
+
+__all__ = ["StreamModel", "MarkovPredictor"]
+
+
+@dataclass
+class StreamModel:
+    """Per-stream first-order delta model."""
+
+    last_block: int | None = None
+    deltas: Counter = field(default_factory=Counter)
+    accesses: int = 0
+
+    def observe(self, block: int) -> None:
+        if self.last_block is not None:
+            self.deltas[block - self.last_block] += 1
+        self.last_block = block
+        self.accesses += 1
+
+    def dominant_delta(self) -> tuple[int, float]:
+        """(most frequent delta, its relative frequency)."""
+        if not self.deltas:
+            return 0, 0.0
+        delta, count = self.deltas.most_common(1)[0]
+        return int(delta), count / sum(self.deltas.values())
+
+    def classify(self) -> PatternKind:
+        """Pattern label using the analysis module's vocabulary."""
+        if self.accesses < 3:
+            return PatternKind.SINGLE
+        delta, conf = self.dominant_delta()
+        if conf < 0.75:
+            return PatternKind.IRREGULAR
+        if delta == 1:
+            return PatternKind.SEQUENTIAL
+        if delta != 0:
+            return PatternKind.STRIDED
+        return PatternKind.IRREGULAR
+
+
+class MarkovPredictor:
+    """Adaptive per-stream prefetch policy.
+
+    Parameters
+    ----------
+    depth:
+        Blocks staged per prediction.
+    confidence:
+        Minimum dominant-delta frequency before predicting.
+    warmup:
+        Accesses observed before any prediction.
+    """
+
+    def __init__(self, depth: int = 2, confidence: float = 0.6, warmup: int = 3):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if not 0.0 < confidence <= 1.0:
+            raise ValueError(f"confidence must be in (0, 1], got {confidence}")
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2, got {warmup}")
+        self.depth = depth
+        self.confidence = confidence
+        self.warmup = warmup
+        self.streams: dict[tuple[int, int], StreamModel] = {}
+
+    def model(self, stream: tuple[int, int]) -> StreamModel:
+        m = self.streams.get(stream)
+        if m is None:
+            m = StreamModel()
+            self.streams[stream] = m
+        return m
+
+    def observe(self, stream: tuple[int, int], block: int) -> list[int]:
+        """Record a demand access; returns predicted next blocks."""
+        m = self.model(stream)
+        m.observe(block)
+        if m.accesses < self.warmup:
+            return []
+        delta, conf = m.dominant_delta()
+        if conf < self.confidence or delta <= 0:
+            return []
+        return [block + delta * k for k in range(1, self.depth + 1)]
+
+    def classify(self, stream: tuple[int, int]) -> PatternKind:
+        """Current classification of one stream."""
+        m = self.streams.get(stream)
+        return m.classify() if m else PatternKind.SINGLE

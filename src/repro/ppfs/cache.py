@@ -1,0 +1,101 @@
+"""Client-side block cache with pluggable replacement.
+
+PPFS "provides user control of file cache sizes and policies" (§9); this
+is the per-compute-node block cache behind PPFS reads and prefetches.
+LRU suits sequential-with-reuse streams; MRU protects a scanning workload
+from flushing its own working set (the classic cyclic-access result).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["BlockCache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    __slots__ = ("hits", "misses", "evictions", "prefetch_hits")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.prefetch_hits = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BlockCache:
+    """Fixed-capacity cache of (file_id, block_index) keys.
+
+    Parameters
+    ----------
+    capacity_blocks:
+        Number of blocks held.
+    policy:
+        'lru' (evict least recent) or 'mru' (evict most recent).
+    """
+
+    def __init__(self, capacity_blocks: int, policy: str = "lru"):
+        if capacity_blocks < 1:
+            raise ValueError(f"capacity_blocks must be >= 1, got {capacity_blocks}")
+        if policy not in ("lru", "mru"):
+            raise ValueError(f"policy must be lru/mru, got {policy!r}")
+        self.capacity = capacity_blocks
+        self.policy = policy
+        self.stats = CacheStats()
+        # key -> prefetched flag; order = recency (oldest first).
+        self._entries: OrderedDict[tuple[int, int], bool] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def lookup(self, file_id: int, block: int) -> bool:
+        """Check (and touch) a block; updates hit/miss statistics."""
+        key = (file_id, block)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        if entry:  # first demand hit on a prefetched block
+            self.stats.prefetch_hits += 1
+            self._entries[key] = False
+        self._entries.move_to_end(key)
+        return True
+
+    def insert(self, file_id: int, block: int, prefetched: bool = False) -> None:
+        """Add a block, evicting per policy when full."""
+        key = (file_id, block)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            # lru: evict oldest; mru: evict newest (last inserted).
+            self._entries.popitem(last=self.policy == "mru")
+            self.stats.evictions += 1
+        self._entries[key] = prefetched
+
+    def invalidate(self, file_id: int, block: int | None = None) -> int:
+        """Drop one block, or every block of a file; returns drop count."""
+        if block is not None:
+            return 1 if self._entries.pop((file_id, block), None) is not None else 0
+        victims = [k for k in self._entries if k[0] == file_id]
+        for k in victims:
+            del self._entries[k]
+        return len(victims)
+
+    def resident(self, file_id: int) -> list[int]:
+        """Block indices of a file currently cached (ascending)."""
+        return sorted(b for f, b in self._entries if f == file_id)

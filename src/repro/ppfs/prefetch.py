@@ -1,0 +1,49 @@
+"""Prefetch policies.
+
+Small per-stream predictors the PPFS read path consults after each
+demand access: given the block just touched, which blocks should be
+staged next?  :class:`NoPrefetcher` and :class:`SequentialPrefetcher`
+are the classic fixed policies; the adaptive, pattern-classifying
+predictor of §10 lives in :mod:`repro.ppfs.adaptive`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NoPrefetcher", "SequentialPrefetcher"]
+
+
+class NoPrefetcher:
+    """Never prefetches."""
+
+    def observe(self, stream: tuple[int, int], block: int) -> list[int]:
+        """Record a demand access; returns blocks to stage (none)."""
+        return []
+
+
+class SequentialPrefetcher:
+    """Fixed sequential readahead.
+
+    After two consecutive +1 block accesses on a stream, stages the next
+    ``depth`` blocks.  The simple policy that serves "small sequential
+    requests" well (§10) and wastes effort on irregular streams — the
+    contrast the adaptive bench quantifies.
+    """
+
+    def __init__(self, depth: int = 2):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._last: dict[tuple[int, int], int] = {}
+        self._runs: dict[tuple[int, int], int] = {}
+
+    def observe(self, stream: tuple[int, int], block: int) -> list[int]:
+        """Record a demand access; returns blocks to stage."""
+        last = self._last.get(stream)
+        if last is not None and block == last + 1:
+            self._runs[stream] = self._runs.get(stream, 0) + 1
+        else:
+            self._runs[stream] = 0
+        self._last[stream] = block
+        if self._runs.get(stream, 0) >= 1:
+            return [block + k for k in range(1, self.depth + 1)]
+        return []

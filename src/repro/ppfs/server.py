@@ -1,0 +1,280 @@
+"""PPFS — the portable parallel file system with tunable policies.
+
+A drop-in for :class:`repro.pfs.PFS` (the application skeletons and the
+Pablo capture layer work unchanged) that adds the policy layer of the
+paper's PPFS (§5.2, §9, §10):
+
+* **client block caching** with LRU/MRU replacement,
+* **prefetching** — fixed sequential readahead or the adaptive Markov
+  pattern predictor,
+* **write-behind** — writes complete into buffers at memory speed,
+* **global request aggregation** — pending writes coalesce into large
+  contiguous transfers before touching the I/O nodes.
+
+Policy handling applies to plain-pointer modes (M_UNIX / M_ASYNC); the
+coordinated PFS modes (shared pointers, fixed records, collective) pass
+through to the base implementation unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..machine.paragon import Paragon
+from ..pfs.costs import CostModel
+from ..pfs.filesystem import PFS, SEEK_CUR, SEEK_END, SEEK_SET
+from ..pfs.errors import PFSError
+from .adaptive import MarkovPredictor
+from .cache import BlockCache
+from .policies import PPFSPolicies
+from .prefetch import NoPrefetcher, SequentialPrefetcher
+from .writebehind import WriteBehindManager
+
+__all__ = ["PPFS"]
+
+
+class PPFS(PFS):
+    """Policy-driven parallel file system (see module docstring)."""
+
+    def __init__(
+        self,
+        machine: Paragon,
+        policies: Optional[PPFSPolicies] = None,
+        costs: Optional[CostModel] = None,
+        track_content: bool = False,
+    ):
+        super().__init__(machine, costs, track_content)
+        self.policies = policies or PPFSPolicies()
+        self._caches: dict[int, BlockCache] = {}
+        pol = self.policies
+        if pol.prefetch == "sequential":
+            self.prefetcher = SequentialPrefetcher(pol.prefetch_depth)
+        elif pol.prefetch == "adaptive":
+            self.prefetcher = MarkovPredictor(depth=pol.prefetch_depth)
+        else:
+            self.prefetcher = NoPrefetcher()
+        self.writeback = WriteBehindManager(self) if pol.write_behind else None
+        # Second-level (I/O-node) caches, shared across clients (§8).
+        self._server_caches: dict[int, BlockCache] = {}
+
+    # -- two-level buffering -----------------------------------------------------
+    def server_cache(self, ionode: int) -> Optional[BlockCache]:
+        """The shared cache at one I/O node (None when disabled)."""
+        if self.policies.server_cache_blocks == 0:
+            return None
+        cache = self._server_caches.get(ionode)
+        if cache is None:
+            cache = BlockCache(self.policies.server_cache_blocks, "lru")
+            self._server_caches[ionode] = cache
+        return cache
+
+    def server_cache_stats(self):
+        """Aggregated hit/miss counts across the I/O-node caches."""
+        from .cache import CacheStats
+
+        total = CacheStats()
+        for cache in self._server_caches.values():
+            total.hits += cache.stats.hits
+            total.misses += cache.stats.misses
+            total.evictions += cache.stats.evictions
+        return total
+
+    def _transfer(self, node: int, f, offset: int, nbytes: int, is_write: bool):
+        """Data path with optional I/O-node caching.
+
+        Read chunks fully resident in the serving I/O node's cache cost a
+        server visit (CPU + queueing) but no disk motion; misses serve
+        from disk and populate the cache.  Writes go through to disk and
+        refresh the cached blocks (write-through at the second level —
+        write-behind buffering is the client-side policy's job).
+        """
+        if self.policies.server_cache_blocks == 0 or nbytes <= 0:
+            result = yield from super()._transfer(node, f, offset, nbytes, is_write)
+            return result
+        mesh = self.machine.mesh
+        block = self.policies.server_cache_block_bytes
+        procs = []
+        for chunk in f.layout.decompose(offset, nbytes):
+            ion = self.machine.ionodes[chunk.ionode]
+            io_pos = self._io_mesh_node(chunk.ionode)
+            cache = self.server_cache(chunk.ionode)
+            assert cache is not None
+            blocks = range(
+                chunk.disk_offset // block,
+                (chunk.disk_offset + chunk.nbytes - 1) // block + 1,
+            )
+            if not is_write:
+                hit = all(cache.lookup(f.file_id, b) for b in blocks)
+            else:
+                hit = False
+            extra = self._chunk_extra(chunk.nbytes, is_write)
+
+            def _one(chunk=chunk, ion=ion, io_pos=io_pos, hit=hit, extra=extra,
+                     cache=cache, blocks=tuple(blocks)):
+                yield self.env.timeout(mesh.message_time(node, io_pos, chunk.nbytes))
+                if hit:
+                    yield self.env.process(
+                        ion.visit(self.policies.server_cache_hit_s)
+                    )
+                else:
+                    yield self.env.process(
+                        ion.serve(chunk.disk_offset, chunk.nbytes, is_write, extra)
+                    )
+                    for b in blocks:
+                        cache.insert(f.file_id, b)
+
+            procs.append(self.env.process(_one()))
+        yield self.env.all_of(procs)
+        yield self.env.timeout(nbytes * self.costs.client_byte_cost_s)
+        return nbytes
+
+    # -- helpers ---------------------------------------------------------------
+    def cache_for(self, node: int) -> Optional[BlockCache]:
+        """The node's block cache (None when caching is disabled)."""
+        if self.policies.cache_blocks == 0:
+            return None
+        cache = self._caches.get(node)
+        if cache is None:
+            cache = BlockCache(self.policies.cache_blocks, self.policies.cache_policy)
+            self._caches[node] = cache
+        return cache
+
+    def cache_stats(self):
+        """Aggregated hit/miss counts across all node caches."""
+        from .cache import CacheStats
+
+        total = CacheStats()
+        for cache in self._caches.values():
+            total.hits += cache.stats.hits
+            total.misses += cache.stats.misses
+            total.evictions += cache.stats.evictions
+            total.prefetch_hits += cache.stats.prefetch_hits
+        return total
+
+    def _plain(self, f) -> bool:
+        """True for modes the policy layer handles."""
+        return not (f.sem.shared_pointer or f.sem.fixed_records or f.sem.collective)
+
+    # -- read path ---------------------------------------------------------------
+    def read(self, node: int, fd: int, nbytes: int, data_out: bool = False):
+        entry = self._entry(node, fd)
+        f = entry.file
+        cache = self.cache_for(node)
+        if cache is None or not self._plain(f) or nbytes < 0:
+            result = yield from super().read(node, fd, nbytes, data_out)
+            return result
+
+        c = self.costs
+        yield self.env.timeout(c.client_op_overhead_s)
+        offset = f.tell(entry)
+        count = f.readable_bytes(offset, nbytes)
+        block_size = self.policies.cache_block_bytes
+        if count:
+            first = offset // block_size
+            last = (offset + count - 1) // block_size
+            # Gather misses; fetch contiguous miss runs as single transfers.
+            missing = [
+                b for b in range(first, last + 1) if not cache.lookup(f.file_id, b)
+            ]
+            run_start = None
+            prev = None
+            runs: list[tuple[int, int]] = []
+            for b in missing:
+                if run_start is None:
+                    run_start = prev = b
+                elif b == prev + 1:
+                    prev = b
+                else:
+                    runs.append((run_start, prev))
+                    run_start = prev = b
+            if run_start is not None:
+                runs.append((run_start, prev))
+            for lo, hi in runs:
+                start = lo * block_size
+                length = f.readable_bytes(start, (hi - lo + 1) * block_size)
+                yield from self._transfer(node, f, start, length, is_write=False)
+                for b in range(lo, hi + 1):
+                    cache.insert(f.file_id, b, prefetched=False)
+            # Demand-access prediction: stage predicted blocks off-thread.
+            stream = (node, f.file_id)
+            predicted = self.prefetcher.observe(stream, last)
+            file_blocks = -(-f.size // block_size) if f.size else 0
+            for b in predicted:
+                if 0 <= b < file_blocks and (f.file_id, b) not in cache:
+                    self._stage_block(node, f, b, cache)
+        f.advance(entry, count)
+        entry.last_op_offset = offset
+        if data_out:
+            return count, f.read_content(offset, count) if f.track_content else b""
+        return count
+
+    def _stage_block(self, node: int, f, block: int, cache: BlockCache) -> None:
+        """Background prefetch of one block into the node's cache."""
+        block_size = self.policies.cache_block_bytes
+        start = block * block_size
+        length = f.readable_bytes(start, block_size)
+        if length <= 0:
+            return
+
+        def _fetch():
+            yield from self._transfer(node, f, start, length, is_write=False)
+            cache.insert(f.file_id, block, prefetched=True)
+
+        self.env.process(_fetch(), name=f"ppfs.prefetch.{f.file_id}.{block}")
+
+    # -- write path ----------------------------------------------------------------
+    def write(self, node: int, fd: int, nbytes: int, data=None):
+        entry = self._entry(node, fd)
+        f = entry.file
+        if self.writeback is None or not self._plain(f) or nbytes < 0:
+            result = yield from super().write(node, fd, nbytes, data)
+            return result
+        if data is not None and len(data) != nbytes:
+            raise PFSError(f"data length {len(data)} != nbytes {nbytes}")
+        f.check_record(nbytes)
+        c = self.costs
+        # Complete at memory speed: overhead + buffer copy.
+        yield self.env.timeout(c.client_op_overhead_s + nbytes * c.client_byte_cost_s)
+        offset = f.tell(entry)
+        cache = self.cache_for(node)
+        if cache is not None and nbytes:
+            block_size = self.policies.cache_block_bytes
+            for b in range(offset // block_size, (offset + nbytes - 1) // block_size + 1):
+                cache.invalidate(f.file_id, b)
+        if f.track_content and data is not None:
+            f.write_content(offset, data)
+        self.writeback.submit(f, offset, nbytes)
+        f.note_write(node, offset, nbytes)
+        f.advance(entry, nbytes)
+        entry.last_op_offset = offset
+        return nbytes
+
+    # -- seek ------------------------------------------------------------------------
+    def seek(self, node: int, fd: int, offset: int, whence: int = SEEK_SET):
+        entry = self._entry(node, fd)
+        f = entry.file
+        if self.writeback is None or not self._plain(f):
+            result = yield from super().seek(node, fd, offset, whence)
+            return result
+        # PPFS seeks are client-local: no shared-file token round trip.
+        if whence == SEEK_SET:
+            target = offset
+        elif whence == SEEK_CUR:
+            target = f.tell(entry) + offset
+        elif whence == SEEK_END:
+            target = f.size + offset
+        else:
+            raise PFSError(f"bad whence {whence}")
+        if target < 0:
+            raise PFSError(f"seek to negative offset {target}")
+        yield self.env.timeout(self.costs.client_op_overhead_s)
+        f.set_pointer(entry, target)
+        return target
+
+    # -- close -----------------------------------------------------------------------
+    def close(self, node: int, fd: int):
+        entry = self._entry(node, fd)
+        f = entry.file
+        if self.writeback is not None:
+            yield from self.writeback.drain_file(f)
+        yield from super().close(node, fd)

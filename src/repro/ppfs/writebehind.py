@@ -1,0 +1,160 @@
+"""Write-behind buffering with global aggregation.
+
+The §5.2 experiment: ESCAT's synchronized 2 KB writes complete into
+client/server buffers immediately, and a background flusher drains them
+as large coalesced transfers — "this combination of policies effectively
+eliminated the behavior seen in Figure 4".
+
+The manager keeps one :class:`~repro.ppfs.aggregation.ExtentSet` per
+file.  Runs reaching ``aggregate_min_bytes`` are drained eagerly; small
+fragments drain on an interval timer.  Flush transfers bypass the PFS
+shared-file token (PPFS owns consistency at the servers) and go straight
+to the I/O-node queues, off every application thread's critical path.
+All buffered data is durable by the time :meth:`drain_file` (called from
+close) returns — write caching here increases achieved bandwidth, it
+does not reduce the volume reaching disk (§8).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..pfs.file import PFSFile
+from ..sim.core import Event
+from .aggregation import ExtentSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import PPFS
+
+__all__ = ["WriteBehindManager"]
+
+
+class WriteBehindManager:
+    """Per-file pending-write buffers plus the background flusher."""
+
+    def __init__(self, fs: "PPFS"):
+        self.fs = fs
+        self.env = fs.env
+        self.pending: dict[int, ExtentSet] = {}  # file_id -> extents
+        self._files: dict[int, PFSFile] = {}
+        self._timer_armed = False
+        self._inflight: set[object] = set()
+        self._idle_event: Event | None = None
+        # Statistics for the ablation bench.
+        self.writes_submitted = 0
+        self.bytes_submitted = 0
+        self.transfers_issued = 0
+        self.bytes_flushed = 0
+
+    @property
+    def aggregation_factor(self) -> float:
+        """Application writes per physical transfer (>1 = aggregation won)."""
+        return (
+            self.writes_submitted / self.transfers_issued
+            if self.transfers_issued
+            else 0.0
+        )
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, f: PFSFile, offset: int, nbytes: int) -> None:
+        """Buffer one application write (returns immediately)."""
+        self.writes_submitted += 1
+        self.bytes_submitted += nbytes
+        self._files[f.file_id] = f
+        extents = self.pending.setdefault(f.file_id, ExtentSet())
+        extents.add(offset, nbytes)
+        pol = self.fs.policies
+        if pol.aggregation:
+            runs = extents.pop_file_runs(min_bytes=pol.aggregate_min_bytes)
+            for start, end in runs:
+                self._start_flush(f, start, end - start)
+        else:
+            # Without aggregation, drain each write as its own transfer.
+            for start, end in extents.pop_all():
+                self._start_flush(f, start, end - start)
+        if self.pending.get(f.file_id) and not self._timer_armed:
+            self._timer_armed = True
+            self.env.process(self._interval_flush(), name="ppfs.flusher")
+
+    # -- flushing ---------------------------------------------------------------
+    def _start_flush(self, f: PFSFile, offset: int, nbytes: int) -> None:
+        """Launch one background transfer; tracked until completion."""
+        self.transfers_issued += 1
+        self.bytes_flushed += nbytes
+        proc = self.env.process(self._flush_extent(f, offset, nbytes))
+        self._inflight.add(proc)
+
+        def _done(_ev, proc=proc):
+            self._inflight.discard(proc)
+            if not self._inflight and self._idle_event is not None:
+                self._idle_event.succeed()
+                self._idle_event = None
+
+        proc.callbacks.append(_done)
+
+    def _flush_extent(self, f: PFSFile, offset: int, nbytes: int):
+        """Server-side transfer: striped I/O-node writes, no client costs."""
+        procs = []
+        for chunk in f.layout.decompose(offset, nbytes):
+            ion = self.fs.machine.ionodes[chunk.ionode]
+            extra = self.fs._chunk_extra(chunk.nbytes, is_write=True)
+            procs.append(
+                self.env.process(
+                    ion.serve(chunk.disk_offset, chunk.nbytes, True, extra)
+                )
+            )
+        yield self.env.all_of(procs)
+
+    def _interval_flush(self):
+        """Periodic flush.
+
+        Without aggregation everything pending drains.  With aggregation,
+        only runs that reached ``aggregate_min_bytes`` drain — smaller
+        fragments keep accumulating (they coalesce with later writes into
+        disk-efficient transfers) and are forced out at close/drain time.
+        """
+        yield self.env.timeout(self.fs.policies.flush_interval_s)
+        self._timer_armed = False
+        pol = self.fs.policies
+        for file_id, extents in list(self.pending.items()):
+            if not extents:
+                continue
+            f = self._files[file_id]
+            if pol.aggregation:
+                runs = extents.pop_file_runs(min_bytes=pol.aggregate_min_bytes)
+            else:
+                runs = extents.pop_all()
+            for start, end in runs:
+                self._start_flush(f, start, end - start)
+        # Remaining fragments wait for more writes (which re-arm the
+        # timer) or for the forced drain at close — never re-arm here, or
+        # an idle simulation would spin on timer events forever.
+
+    # -- draining ----------------------------------------------------------------
+    def flush_file(self, f: PFSFile) -> None:
+        """Push a file's pending extents to the flusher immediately."""
+        extents = self.pending.get(f.file_id)
+        if extents:
+            for start, end in extents.pop_all():
+                self._start_flush(f, start, end - start)
+
+    def drain_file(self, f: PFSFile):
+        """Process generator: flush + wait until the file's data is durable.
+
+        Waits for *all* in-flight transfers (coarse but safe), so a close
+        never returns with the closed file's bytes still in memory.
+        """
+        self.flush_file(f)
+        yield from self.drain_all()
+
+    def drain_all(self):
+        """Process generator: flush everything and wait for quiescence."""
+        for file_id, extents in list(self.pending.items()):
+            if extents:
+                f = self._files[file_id]
+                for start, end in extents.pop_all():
+                    self._start_flush(f, start, end - start)
+        while self._inflight:
+            if self._idle_event is None:
+                self._idle_event = Event(self.env)
+            yield self._idle_event

@@ -1,0 +1,68 @@
+"""Miniature versions of the three applications' actual numerics.
+
+The paper's codes are real scientific programs; this subpackage
+implements the science at laptop scale so the skeletons' compute phases
+correspond to genuine algorithms:
+
+* :mod:`repro.science.chemistry` — restricted Hartree-Fock (STO-3G
+  s-type bases, from-scratch integrals, SCF) validated against Szabo &
+  Ostlund's reference energies — HTF's computation;
+* :mod:`repro.science.scattering` — separable-potential multichannel
+  scattering with an energy-independent quadrature table (the data
+  ESCAT checkpoints and reloads) — ESCAT's computation;
+* :mod:`repro.science.rendering` — diamond-square terrain synthesis and
+  column-ray perspective rendering producing the paper's exact
+  983,040-byte frames — RENDER's computation.
+"""
+
+from .chemistry import (
+    Atom,
+    BasisFunction,
+    Gaussian,
+    Molecule,
+    SCFResult,
+    h2_molecule,
+    heh_plus,
+    mp2_correction,
+    one_electron_integrals,
+    scf,
+    sto3g_basis,
+    two_electron_integrals,
+)
+from .outofcore import MatmulStats, OutOfCoreMatrix, ooc_matmul
+from .rendering import Camera, color_map, diamond_square, frame_bytes, render_view
+from .scattering import (
+    QuadratureTable,
+    ScatteringModel,
+    build_quadrature,
+    cross_sections,
+    solve_energy,
+)
+
+__all__ = [
+    "MatmulStats",
+    "OutOfCoreMatrix",
+    "ooc_matmul",
+    "Atom",
+    "BasisFunction",
+    "Gaussian",
+    "Molecule",
+    "SCFResult",
+    "h2_molecule",
+    "heh_plus",
+    "mp2_correction",
+    "one_electron_integrals",
+    "scf",
+    "sto3g_basis",
+    "two_electron_integrals",
+    "Camera",
+    "color_map",
+    "diamond_square",
+    "frame_bytes",
+    "render_view",
+    "QuadratureTable",
+    "ScatteringModel",
+    "build_quadrature",
+    "cross_sections",
+    "solve_energy",
+]

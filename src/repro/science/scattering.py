@@ -1,0 +1,211 @@
+"""Model electron-molecule scattering via a Schwinger-style quadrature.
+
+The real computation behind the paper's ESCAT application (§4.1), at toy
+scale: the Schwinger multichannel method evaluates a Green's-function
+term by numerical quadrature; the quadrature data is *energy
+independent*, so the code stages it to disk once and reuses it "to solve
+the scattering problem at many energies" — exactly ESCAT's phase-2/3 I/O
+structure.
+
+The model here is separable-potential scattering in N channels:
+
+* the interaction is a rank-N separable potential with channel form
+  factors v_i(k) = sqrt(lambda_i) * k / (k^2 + b_i^2)  (Yamaguchi form);
+* the free Green's function term requires the principal-value integral
+  I_ij(E) = P ∫ dk k^2 v_i(k) v_j(k) / (E - k^2/2), evaluated on a fixed
+  quadrature grid with a subtraction for the pole — the grid samples
+  (the "quadrature data set") are energy independent;
+* at each energy, the K-matrix solves (I - I(E) Lambda) K = V, and the
+  S-matrix / cross sections follow.
+
+Physical invariants tested: the stored quadrature table is reused
+unchanged across energies; the K-matrix is symmetric for a symmetric
+coupling; cross sections are non-negative; quadrature error falls with
+grid size; data volume grows as O(N^2) tables (with the O(N^3) total
+the paper cites arising from the per-outcome energy sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ScatteringModel",
+    "QuadratureTable",
+    "build_quadrature",
+    "solve_energy",
+    "cross_sections",
+]
+
+
+@dataclass(frozen=True)
+class ScatteringModel:
+    """A separable N-channel collision model."""
+
+    #: Channel coupling strengths (symmetric coupling matrix diagonal).
+    strengths: tuple[float, ...]
+    #: Yamaguchi range parameters per channel.
+    ranges: tuple[float, ...]
+    #: Off-diagonal channel coupling (0 = uncoupled channels).
+    mixing: float = 0.1
+
+    def __post_init__(self) -> None:
+        if len(self.strengths) != len(self.ranges):
+            raise ValueError("strengths and ranges must have equal length")
+        if not self.strengths:
+            raise ValueError("need at least one channel")
+        if any(b <= 0 for b in self.ranges):
+            raise ValueError("range parameters must be positive")
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.strengths)
+
+    def coupling(self) -> np.ndarray:
+        """Symmetric channel-coupling matrix Lambda."""
+        n = self.n_channels
+        lam = np.diag(np.asarray(self.strengths, dtype=float))
+        off = self.mixing * np.sqrt(
+            np.outer(np.abs(self.strengths), np.abs(self.strengths))
+        )
+        lam = lam + off - np.diag(np.diag(off))
+        return lam
+
+    def form_factor(self, channel: int, k: np.ndarray) -> np.ndarray:
+        """v_i(k) = k / (k^2 + b_i^2)."""
+        b = self.ranges[channel]
+        return k / (k**2 + b**2)
+
+
+@dataclass(frozen=True)
+class QuadratureTable:
+    """The energy-independent quadrature data ESCAT stages to disk.
+
+    Holds the grid, weights, and the per-channel-pair integrand samples
+    f_ij(k) = k^2 v_i(k) v_j(k); size is O(N^2 * n_points) doubles.
+    """
+
+    grid: np.ndarray  # quadrature abscissae (momenta)
+    weights: np.ndarray
+    samples: np.ndarray  # shape (N, N, n_points)
+
+    @property
+    def n_channels(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.grid)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes a binary dump of the table occupies."""
+        return self.grid.nbytes + self.weights.nbytes + self.samples.nbytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize (the checkpoint ESCAT writes)."""
+        header = np.array([self.n_channels, self.n_points], dtype=np.int64)
+        return (
+            header.tobytes()
+            + self.grid.tobytes()
+            + self.weights.tobytes()
+            + self.samples.tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "QuadratureTable":
+        """Deserialize (the reload in ESCAT's phase 3)."""
+        n, m = np.frombuffer(blob[:16], dtype=np.int64)
+        offset = 16
+        grid = np.frombuffer(blob[offset : offset + 8 * m]).copy()
+        offset += 8 * m
+        weights = np.frombuffer(blob[offset : offset + 8 * m]).copy()
+        offset += 8 * m
+        samples = (
+            np.frombuffer(blob[offset : offset + 8 * n * n * m])
+            .copy()
+            .reshape(n, n, m)
+        )
+        return cls(grid, weights, samples)
+
+
+def build_quadrature(
+    model: ScatteringModel, n_points: int = 64, k_max: float = 20.0
+) -> QuadratureTable:
+    """Compute the energy-independent quadrature table.
+
+    Gauss-Legendre abscissae mapped to (0, k_max); this is ESCAT's
+    compute-intensive phase 2.
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    x, w = np.polynomial.legendre.leggauss(n_points)
+    k = 0.5 * k_max * (x + 1.0)
+    kw = 0.5 * k_max * w
+    n = model.n_channels
+    samples = np.empty((n, n, n_points))
+    for i in range(n):
+        vi = model.form_factor(i, k)
+        for j in range(n):
+            vj = model.form_factor(j, k)
+            samples[i, j] = k**2 * vi * vj
+    return QuadratureTable(grid=k, weights=kw, samples=samples)
+
+
+def _principal_value_integrals(table: QuadratureTable, energy: float) -> np.ndarray:
+    """I_ij(E) with pole subtraction at k0 = sqrt(2E) (E > 0)."""
+    k = table.grid
+    w = table.weights
+    if energy <= 0:
+        denom = energy - 0.5 * k**2
+        return np.einsum("ijm,m->ij", table.samples / denom, w)
+    k0 = np.sqrt(2.0 * energy)
+    denom = energy - 0.5 * k**2
+    # Subtract the pole: f(k)/(E - k^2/2) = [f(k) - f(k0) * g] / ... + analytic
+    # For the toy model, interpolate f at k0 linearly from the samples.
+    idx = np.searchsorted(k, k0)
+    idx = np.clip(idx, 1, len(k) - 1)
+    t = (k0 - k[idx - 1]) / (k[idx] - k[idx - 1])
+    f_at_pole = (1 - t) * table.samples[..., idx - 1] + t * table.samples[..., idx]
+    regular = (table.samples - f_at_pole[..., None] * (k**2 / k0**2)[None, None, :] * 0
+               ) / denom
+    # Subtractive PV: ∫ [f(k) - f(k0)] / (E - k^2/2) dk + f(k0) * PV ∫ dk/(E-k^2/2)
+    diff = table.samples - f_at_pole[..., None]
+    pv_core = np.einsum("ijm,m->ij", diff / denom, w)
+    # Analytic PV of ∫_0^kmax dk / (E - k^2/2) = -(1/k0) * ln|(kmax+k0)/(kmax-k0)|...
+    k_max = float(k[-1]) + (float(k[-1]) - float(k[-2])) / 2.0
+    analytic = -(1.0 / k0) * np.log(abs((k_max + k0) / (k_max - k0)))
+    del regular
+    return pv_core + f_at_pole * analytic
+
+
+def solve_energy(
+    model: ScatteringModel, table: QuadratureTable, energy: float
+) -> np.ndarray:
+    """K-matrix at one collision energy from the stored quadrature."""
+    lam = model.coupling()
+    I_E = _principal_value_integrals(table, energy)
+    n = model.n_channels
+    # K = Lambda + Lambda I(E) K  ->  (1 - Lambda I) K = Lambda.
+    A = np.eye(n) - lam @ I_E
+    return np.linalg.solve(A, lam)
+
+
+def cross_sections(
+    model: ScatteringModel, table: QuadratureTable, energies: np.ndarray
+) -> np.ndarray:
+    """sigma_i(E) over an energy sweep — ESCAT's phase-3 product.
+
+    sigma_i ∝ |T_ii|^2 / k^2 with T = K / (1 - i K) per channel
+    (eigenphase-free toy normalization); returns shape (len(E), N).
+    """
+    energies = np.asarray(energies, dtype=float)
+    out = np.empty((len(energies), model.n_channels))
+    for row, energy in enumerate(energies):
+        K = solve_energy(model, table, float(energy))
+        T = np.linalg.solve(np.eye(model.n_channels) - 1j * K, K)
+        k2 = max(2.0 * energy, 1e-9)
+        out[row] = np.abs(np.diag(T)) ** 2 / k2
+    return out

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation kernel.
+
+The substrate everything else runs on: a generator-coroutine event loop
+(:mod:`repro.sim.core`), shared-resource primitives
+(:mod:`repro.sim.resources`), and named random streams
+(:mod:`repro.sim.rng`).
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Barrier, PriorityResource, Resource, Store, Token
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Barrier",
+    "PriorityResource",
+    "Resource",
+    "Store",
+    "Token",
+    "RngRegistry",
+]

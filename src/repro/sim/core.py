@@ -1,0 +1,399 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine based discrete-event engine in
+the style of SimPy, sufficient to model the Intel Paragon XP/S machine and
+its parallel file system.  Processes are plain Python generators that
+``yield`` :class:`Event` objects; the :class:`Environment` advances a
+virtual clock and resumes processes when the events they wait on fire.
+
+Determinism guarantees
+----------------------
+* Events scheduled for the same simulated time fire in schedule order
+  (a monotone sequence number breaks ties), so a seeded run is perfectly
+  reproducible.
+* The kernel itself consumes no randomness; stochastic components draw
+  from named :mod:`repro.sim.rng` streams.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def proc(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(proc(env, "a", 2.0))
+>>> _ = env.process(proc(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. negative delays, re-triggering)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    Attributes
+    ----------
+    cause:
+        The value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled, waiting in queue
+_PROCESSED = 2  # callbacks executed
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` schedules them
+    on the environment queue; once the clock reaches their time the
+    environment runs their callbacks and marks them *processed*.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when it failed)."""
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire successfully at the current time."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire with an exception."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._schedule(self, 0.0)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._value = value
+        self._ok = True
+        self._state = _TRIGGERED
+        env._schedule(self, self.delay)
+
+
+class Process(Event):
+    """Wraps a generator; completes (as an event) when the generator ends.
+
+    The wrapped generator may ``yield`` another :class:`Event` (including a
+    :class:`Process`) — the process resumes when it fires, receiving its
+    value, or having the exception raised inside the generator when it
+    failed.  Yielding a non-event is a :class:`SimulationError`.
+    """
+
+    __slots__ = ("_generator", "_target", "name", "_observed")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process() requires a generator, got {generator!r}")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # True once another process waits on (observes) this one; an
+        # unobserved failure is re-raised by Environment.run().
+        self._observed = False
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the process at the current time.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot._state = _TRIGGERED
+        env._schedule(boot, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        env = self.env
+        interrupt_event = Event(env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._state = _TRIGGERED
+        interrupt_event.callbacks.append(self._resume_interrupt)
+        env._schedule(interrupt_event, 0.0)
+
+    # -- internal --------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # finished before the interrupt fired
+            return
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        self._step(event.value, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event._value, throw=not event._ok)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._finish(False, exc)
+            return
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._generator.close()
+            self._finish(False, err)
+            return
+        if isinstance(target, Process):
+            target._observed = True
+        if target.processed:
+            # Already fired: resume at the current timestamp.
+            immediate = Event(self.env)
+            immediate._ok = target._ok
+            immediate._value = target._value
+            immediate._state = _TRIGGERED
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate, 0.0)
+        else:
+            self._target = target
+            target.callbacks.append(self._resume)
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._ok = ok
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self, 0.0)
+        if not ok:
+            self.env._note_failure(self, value)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._done = 0
+        for ev in self.events:
+            if isinstance(ev, Process):
+                ev._observed = True
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._observe(ev)
+            else:
+                ev.callbacks.append(self._observe)
+
+    def _observe(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _values(self) -> dict:
+        return {
+            i: ev._value
+            for i, ev in enumerate(self.events)
+            if ev._state >= _TRIGGERED
+        }
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired (dict of values)."""
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._values())
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires (dict of values)."""
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._values())
+
+
+class Environment:
+    """Simulation clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self.now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._unhandled: list[BaseException] = []
+
+    # -- factory helpers ---------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def _note_failure(self, process: Process, exc: BaseException) -> None:
+        if not process._observed:
+            self._unhandled.append(exc)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on empty queue")
+        when, _, event = heapq.heappop(self._queue)
+        self.now = when
+        event._state = _PROCESSED
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Re-raises the first exception from a process nobody waited on, so
+        silent failures cannot corrupt an experiment.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            self.step()
+            if self._unhandled:
+                exc = self._unhandled[0]
+                self._unhandled.clear()
+                raise exc
+        if until is not None and until > self.now:
+            self.now = until

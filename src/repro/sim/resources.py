@@ -1,0 +1,214 @@
+"""Shared resources for the simulation kernel.
+
+Provides the coordination primitives the machine model needs:
+
+* :class:`Resource` — a capacity-limited server with a FIFO request queue
+  (used for disk arms, I/O-node service, mesh links, metadata servers).
+* :class:`PriorityResource` — like :class:`Resource` with numeric
+  priorities (lower first).
+* :class:`Store` — an unbounded (or bounded) FIFO message queue (used for
+  mailbox-style node communication).
+* :class:`Barrier` — an N-party synchronization point (used for the
+  synchronized write groups in ESCAT and node-ordered PFS modes).
+* :class:`Token` — a mutual-exclusion token with FIFO handoff (used for
+  shared-file-pointer PFS modes).
+
+All waiting is expressed through kernel events, so these primitives inherit
+the kernel's determinism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Store", "Barrier", "Token"]
+
+
+class Request(Event):
+    """Event granted once the resource has capacity for the requester."""
+
+    __slots__ = ("resource", "priority", "order")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.order = resource._order
+        resource._order += 1
+
+
+class Resource:
+    """A server pool with ``capacity`` concurrent slots and a FIFO queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... use the resource ...
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+        self._order = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self, priority)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot and admit the next waiter, if any."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError("release() of a request that is not a user")
+        if self.queue:
+            nxt = self._dequeue()
+            self.users.append(nxt)
+            nxt.succeed()
+
+    # FIFO policy; PriorityResource overrides.
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def _dequeue(self) -> Request:
+        return self.queue.popleft()
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by (priority, arrival order)."""
+
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+        # Keep the deque sorted; queues here are short (node counts), so
+        # insertion-sort cost is negligible next to event dispatch.
+        self.queue = deque(sorted(self.queue, key=lambda r: (r.priority, r.order)))
+
+    def _dequeue(self) -> Request:
+        return self.queue.popleft()
+
+
+class Store:
+    """FIFO item queue with blocking ``get`` and optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the event fires when accepted."""
+        ev = Event(self.env)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Obtain the oldest item; the event's value is the item."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self.items.append(item)
+                put_ev.succeed()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Barrier:
+    """N-party barrier: the event fires when ``parties`` processes arrive.
+
+    A barrier is reusable: once it releases, the next ``wait`` starts a new
+    generation.
+    """
+
+    def __init__(self, env: Environment, parties: int):
+        if parties < 1:
+            raise SimulationError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = parties
+        self._arrived = 0
+        self._event = Event(env)
+        self.generation = 0
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; returned event fires when all have."""
+        ev = self._event
+        self._arrived += 1
+        if self._arrived == self.parties:
+            ev.succeed(self.generation)
+            self._arrived = 0
+            self.generation += 1
+            self._event = Event(self.env)
+        return ev
+
+
+class Token:
+    """Mutual-exclusion token with FIFO handoff.
+
+    Models a shared file pointer: the holder performs its operation and
+    passes the token on.  ``acquire`` returns an event that fires when the
+    caller holds the token; ``release`` hands it to the next waiter.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._held = False
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def acquire(self) -> Event:
+        ev = Event(self.env)
+        if not self._held:
+            self._held = True
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if not self._held:
+            raise SimulationError("release() of a token not held")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._held = False

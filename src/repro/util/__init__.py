@@ -1,0 +1,16 @@
+"""Shared helpers: byte units, formatting, validation, descriptive stats."""
+
+from .units import GB, KB, MB, STRIPE_UNIT, fmt_bytes, fmt_seconds
+from .validation import check_nonneg, check_positive, check_range
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "STRIPE_UNIT",
+    "fmt_bytes",
+    "fmt_seconds",
+    "check_nonneg",
+    "check_positive",
+    "check_range",
+]

@@ -1,0 +1,44 @@
+"""Byte-size constants and human-readable formatting.
+
+The paper reports sizes with binary units (4 KB / 64 KB / 256 KB request
+buckets, 64 KB PFS stripe unit); we use the same convention throughout.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB", "STRIPE_UNIT", "fmt_bytes", "fmt_seconds"]
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+#: Intel PFS stripe unit on the Caltech Paragon XP/S (§3.2).
+STRIPE_UNIT: int = 64 * KB
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count like the paper's prose ('2 KB', '1.5 MB').
+
+    >>> fmt_bytes(2048)
+    '2.0 KB'
+    >>> fmt_bytes(983040)
+    '960.0 KB'
+    """
+    n = float(n)
+    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.1f} {name}"
+    return f"{n:.0f} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a duration compactly ('1.75 h', '6,000 s', '12.3 ms').
+
+    >>> fmt_seconds(0.0123)
+    '12.300 ms'
+    """
+    if t >= 3600:
+        return f"{t / 3600:.2f} h"
+    if t >= 1:
+        return f"{t:,.2f} s"
+    return f"{t * 1e3:.3f} ms"

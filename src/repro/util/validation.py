@@ -1,0 +1,29 @@
+"""Small argument-validation helpers used across the machine model.
+
+Centralized so error messages are uniform and easy to test.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_positive", "check_nonneg", "check_range"]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonneg(value: float, name: str) -> float:
+    """Require ``value >= 0``; return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Require ``lo <= value <= hi``; return it."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value

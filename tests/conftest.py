@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import MeshParams, Paragon, ParagonConfig
+
+
+def make_machine(nodes: int = 8, io_nodes: int = 4, seed: int = 7) -> Paragon:
+    """A small machine with a mesh just big enough for ``nodes``."""
+    width = max(2, nodes // 2)
+    height = max(2, -(-nodes // width))
+    return Paragon(
+        ParagonConfig(
+            compute_nodes=nodes,
+            io_nodes=io_nodes,
+            mesh=MeshParams(width=width, height=height),
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture
+def machine() -> Paragon:
+    return make_machine()
+
+
+def drive(machine: Paragon, *generators, names=None):
+    """Run generators as processes to completion; return their values.
+
+    Raises if any process failed or never finished.
+    """
+    names = names or [""] * len(generators)
+    procs = [
+        machine.env.process(gen, name=name)
+        for gen, name in zip(generators, names)
+    ]
+    machine.run()
+    values = []
+    for p in procs:
+        if p.is_alive:
+            raise AssertionError(f"process {p.name!r} never finished")
+        if not p.ok:
+            raise p.value
+        values.append(p.value)
+    return values

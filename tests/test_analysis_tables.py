@@ -1,0 +1,131 @@
+"""Operation-table and size-table tests (the Tables 1-6 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BUCKET_LABELS,
+    OperationTable,
+    SizeTable,
+    bucketize,
+)
+from repro.pablo import Op, Trace
+from repro.util import KB
+
+
+def make_trace(rows):
+    tr = Trace("t")
+    for row in rows:
+        tr.add(*row)
+    return tr
+
+
+MIXED = [
+    (0.0, 0, Op.OPEN, 3, 0, 0, 0.5),
+    (1.0, 0, Op.READ, 3, 0, 1000, 0.1),
+    (2.0, 0, Op.AREAD, 3, 1000, 3 * 1024 * 1024, 0.01),
+    (2.5, 0, Op.IOWAIT, 3, 1000, 0, 0.3),
+    (3.0, 0, Op.WRITE, 3, 0, 2048, 0.2),
+    (4.0, 0, Op.SEEK, 3, 5000, 5000, 0.05),
+    (5.0, 0, Op.CLOSE, 3, 0, 0, 0.1),
+]
+
+
+class TestOperationTable:
+    def test_all_io_row_totals(self):
+        table = OperationTable(make_trace(MIXED))
+        assert table.all_row.count == 7
+        assert table.all_row.volume == 1000 + 3 * 1024 * 1024 + 2048
+        assert table.all_row.node_time_s == pytest.approx(1.26)
+        assert table.all_row.pct_io_time == 100.0
+
+    def test_percentages_sum_to_100(self):
+        table = OperationTable(make_trace(MIXED))
+        assert sum(r.pct_io_time for r in table.rows) == pytest.approx(100.0)
+
+    def test_seek_volume_is_distance(self):
+        table = OperationTable(make_trace(MIXED))
+        assert table.row("Seek").volume == 5000
+
+    def test_seek_distance_not_in_data_volume(self):
+        table = OperationTable(make_trace(MIXED))
+        assert table.all_row.volume < 5000 + 1000 + 3 * 1024 * 1024 + 2048 + 1
+
+    def test_missing_op_row_is_zero(self):
+        table = OperationTable(make_trace(MIXED))
+        assert table.row("Forflush").count == 0
+
+    def test_read_volume_fraction_includes_async(self):
+        table = OperationTable(make_trace(MIXED))
+        expected = (1000 + 3 * 1024 * 1024) / table.all_row.volume
+        assert table.read_volume_fraction() == pytest.approx(expected)
+
+    def test_time_fraction(self):
+        table = OperationTable(make_trace(MIXED))
+        frac = table.time_fraction("Open", "Close")
+        assert frac == pytest.approx(0.6 / 1.26)
+
+    def test_empty_trace(self):
+        table = OperationTable(make_trace([]))
+        assert table.all_row.count == 0
+        assert table.all_row.node_time_s == 0.0
+
+    def test_render_contains_paper_layout(self):
+        text = OperationTable(make_trace(MIXED)).render("Table X")
+        assert "Table X" in text
+        assert "All I/O" in text
+        assert "AsynchRead" in text
+
+
+class TestSizeTable:
+    def test_paper_bucket_edges(self):
+        counts = bucketize(np.array([4095, 4096, 65535, 65536, 262143, 262144]))
+        assert list(counts) == [1, 2, 2, 1]
+
+    def test_rows_split_reads_and_writes(self):
+        table = SizeTable(make_trace(MIXED))
+        assert table.read.buckets == (1, 0, 0, 1)  # 1000 B and 3 MB
+        assert table.write.buckets == (1, 0, 0, 0)
+
+    def test_async_reads_counted_as_reads(self):
+        table = SizeTable(make_trace(MIXED))
+        assert table.read.total == 2
+
+    def test_bimodality_detection(self):
+        table = SizeTable(make_trace(MIXED))
+        assert table.is_bimodal("read")  # buckets 0 and 3
+        assert not table.is_bimodal("write")
+
+    def test_adjacent_buckets_not_bimodal(self):
+        rows = [
+            (0.0, 0, Op.READ, 3, 0, 1000, 0.1),
+            (1.0, 0, Op.READ, 3, 0, 5000, 0.1),
+        ]
+        assert not SizeTable(make_trace(rows)).is_bimodal("read")
+
+    def test_render_has_labels(self):
+        text = SizeTable(make_trace(MIXED)).render()
+        for label in BUCKET_LABELS:
+            assert label in text
+
+    @given(st.lists(st.integers(0, 10 * 1024 * 1024), max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_bucketize_conserves_count(self, sizes):
+        counts = bucketize(np.array(sizes, dtype=np.int64))
+        assert counts.sum() == len(sizes)
+
+    @given(st.integers(0, 10 * 1024 * 1024))
+    @settings(max_examples=80, deadline=None)
+    def test_bucketize_picks_correct_bucket(self, size):
+        counts = bucketize(np.array([size]))
+        if size < 4 * KB:
+            expected = 0
+        elif size < 64 * KB:
+            expected = 1
+        elif size < 256 * KB:
+            expected = 2
+        else:
+            expected = 3
+        assert counts[expected] == 1

@@ -1,0 +1,113 @@
+"""Synthetic-kernel tests plus trace offset-fidelity checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import OperationTable, PatternKind, PatternSummary
+from repro.apps import SyntheticConfig, SyntheticKernel
+from repro.pablo import InstrumentedPFS, Op
+from repro.pfs import AccessMode, PFS
+from tests.conftest import drive, make_machine
+
+
+def run_kernel(config):
+    machine = make_machine(nodes=config.nodes)
+    fs = InstrumentedPFS(PFS(machine))
+    kernel = SyntheticKernel(machine=machine, fs=fs, config=config)
+    return kernel.run()
+
+
+class TestSyntheticKernel:
+    def test_write_kind_counts(self):
+        cfg = SyntheticConfig(nodes=4, ops_per_node=10)
+        trace = run_kernel(cfg)
+        table = OperationTable(trace)
+        assert table.row("Write").count == 40
+        assert table.row("Write").volume == cfg.total_bytes
+        assert table.row("Read").count == 0
+
+    def test_read_kind(self):
+        trace = run_kernel(SyntheticConfig(nodes=4, ops_per_node=10, kind="read"))
+        table = OperationTable(trace)
+        assert table.row("Read").count == 40
+        assert table.row("Write").count == 0
+
+    def test_mixed_kind_alternates(self):
+        trace = run_kernel(SyntheticConfig(nodes=2, ops_per_node=10, kind="mixed"))
+        table = OperationTable(trace)
+        assert table.row("Read").count == 10
+        assert table.row("Write").count == 10
+
+    def test_partitioned_layout_is_sequential_per_node(self):
+        trace = run_kernel(SyntheticConfig(nodes=4, ops_per_node=10))
+        patterns = PatternSummary(trace, kind="write")
+        assert all(s.kind is PatternKind.SEQUENTIAL for s in patterns.streams)
+
+    def test_strided_layout_is_strided_per_node(self):
+        trace = run_kernel(
+            SyntheticConfig(nodes=4, ops_per_node=10, layout="shared-strided")
+        )
+        patterns = PatternSummary(trace, kind="write")
+        assert all(s.kind is PatternKind.STRIDED for s in patterns.streams)
+
+    def test_sequential_layout_needs_no_seeks(self):
+        trace = run_kernel(SyntheticConfig(nodes=4, ops_per_node=10))
+        # One positioning seek per node (node 0 starts at offset 0);
+        # afterwards appends continue at the pointer.
+        assert OperationTable(trace).row("Seek").count == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(kind="scribble")
+        with pytest.raises(ValueError):
+            SyntheticConfig(layout="diagonal")
+        with pytest.raises(ValueError):
+            SyntheticConfig(nodes=0)
+
+
+class TestTraceOffsetFidelity:
+    def test_m_record_trace_offsets_are_slot_offsets(self):
+        machine = make_machine()
+        fs = InstrumentedPFS(PFS(machine))
+        fs.ensure("/rec", size=4 * 256)
+
+        def reader(node):
+            fd = yield from fs.open(
+                node, "/rec", AccessMode.M_RECORD, record_size=256, parties=4
+            )
+            yield from fs.read(node, fd, 256)
+            yield from fs.close(node, fd)
+
+        drive(machine, *[reader(i) for i in range(4)])
+        reads = fs.trace.by_op(Op.READ)
+        # Each node's recorded offset is its slot, not the raw pointer 0.
+        assert sorted(reads["offset"]) == [0, 256, 512, 768]
+
+    def test_m_log_trace_offsets_are_append_positions(self):
+        machine = make_machine()
+        fs = InstrumentedPFS(PFS(machine))
+
+        def writer(node):
+            fd = yield from fs.open(node, "/log", AccessMode.M_LOG, create=True)
+            yield from fs.write(node, fd, 100)
+            yield from fs.close(node, fd)
+
+        drive(machine, *[writer(i) for i in range(4)])
+        writes = fs.trace.by_op(Op.WRITE)
+        assert sorted(writes["offset"]) == [0, 100, 200, 300]
+
+    def test_last_op_offset_accessor(self):
+        machine = make_machine()
+        fs = PFS(machine)
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            assert fs.last_op_offset(0, fd) == -1
+            yield from fs.seek(0, fd, 5000)
+            yield from fs.write(0, fd, 100)
+            assert fs.last_op_offset(0, fd) == 5000
+            yield from fs.seek(0, fd, 0)
+            yield from fs.read(0, fd, 50)
+            assert fs.last_op_offset(0, fd) == 0
+
+        drive(machine, go())

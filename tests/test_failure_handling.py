@@ -1,0 +1,120 @@
+"""Failure propagation: misuse inside workloads surfaces, never hangs."""
+
+import pytest
+
+from repro.apps import Application, small_machine
+from repro.pablo import InstrumentedPFS
+from repro.pfs import AccessMode, BadFileDescriptor, ModeError, PFS, PFSError
+from repro.sim import Barrier
+from tests.conftest import drive, make_machine
+
+
+class _OneNodeApp(Application):
+    """Harness: run a single generator through Application.run()."""
+
+    def __init__(self, machine, fs, body):
+        super().__init__(machine=machine, fs=fs, name="failure-app")
+        self._body = body
+
+    def node_processes(self):
+        yield 0, self._body(self.fs)
+
+
+def run_app(body):
+    machine = small_machine()
+    fs = InstrumentedPFS(PFS(machine))
+    return _OneNodeApp(machine, fs, body).run()
+
+
+class TestApplicationFailures:
+    def test_mode_error_propagates_from_run(self):
+        def body(fs):
+            fd = yield from fs.open(0, "/g", AccessMode.M_GLOBAL, create=True)
+            yield from fs.write(0, fd, 100)
+
+        with pytest.raises(ModeError):
+            run_app(body)
+
+    def test_bad_fd_propagates(self):
+        def body(fs):
+            yield from fs.read(0, 99, 10)
+
+        with pytest.raises(BadFileDescriptor):
+            run_app(body)
+
+    def test_plain_exception_propagates(self):
+        def body(fs):
+            fd = yield from fs.open(0, "/a", create=True)
+            del fd
+            raise RuntimeError("application bug")
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            run_app(body)
+
+    def test_deadlocked_workload_detected(self):
+        machine = small_machine()
+        fs = InstrumentedPFS(PFS(machine))
+        barrier = Barrier(machine.env, parties=2)  # nobody else ever arrives
+
+        class Stuck(Application):
+            def node_processes(self):
+                def body():
+                    yield barrier.wait()
+
+                yield 0, body()
+
+        with pytest.raises(RuntimeError, match="never finished"):
+            Stuck(machine=machine, fs=fs, name="stuck").run()
+
+    def test_negative_io_sizes_rejected_not_hung(self):
+        def body(fs):
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, -5)
+
+        with pytest.raises(PFSError):
+            run_app(body)
+
+
+class TestSimFailureEdges:
+    def test_failure_in_one_process_does_not_corrupt_others(self):
+        machine = make_machine()
+        fs = PFS(machine)
+        results = []
+
+        def good():
+            fd = yield from fs.open(0, "/ok", create=True)
+            yield from fs.write(0, fd, 100)
+            results.append("good done")
+
+        def bad():
+            yield machine.env.timeout(0.01)
+            raise ValueError("boom")
+
+        good_proc = machine.env.process(good())
+        machine.env.process(bad())
+        with pytest.raises(ValueError, match="boom"):
+            machine.run()
+        # The simulation can continue past the surfaced failure.
+        machine.run()
+        assert not good_proc.is_alive
+        assert results == ["good done"]
+
+    def test_failed_open_leaves_fs_consistent(self):
+        machine = make_machine()
+        fs = PFS(machine)
+
+        def bad_then_good():
+            try:
+                yield from fs.open(0, "/missing")
+            except Exception:
+                pass
+            fd = yield from fs.open(0, "/created", create=True)
+            yield from fs.write(0, fd, 10)
+            yield from fs.close(0, fd)
+            return True
+
+        (ok,) = drive(machine, bad_then_good())
+        assert ok
+        assert fs.exists("/created")
+        assert not fs.exists("/missing")

@@ -1,0 +1,169 @@
+"""Reduction tests: lifetime, time-window, file-region; real-time vs
+post-mortem equality and conservation properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pablo import (
+    FileLifetimeSummary,
+    FileRegionSummary,
+    InstrumentedPFS,
+    Op,
+    TimeWindowSummary,
+    Trace,
+)
+from repro.pfs import PFS
+from tests.conftest import drive, make_machine
+
+
+def make_trace(rows):
+    """Trace from (ts, node, op, fid, offset, nbytes, dur) tuples."""
+    tr = Trace("synthetic")
+    for row in rows:
+        tr.add(*row)
+    return tr
+
+
+SAMPLE = [
+    (0.0, 0, Op.OPEN, 3, 0, 0, 0.5),
+    (1.0, 0, Op.WRITE, 3, 0, 1000, 0.2),
+    (2.0, 0, Op.WRITE, 3, 1000, 1000, 0.2),
+    (3.0, 1, Op.OPEN, 3, 0, 0, 0.5),
+    (4.0, 1, Op.READ, 3, 0, 500, 0.1),
+    (5.0, 0, Op.SEEK, 3, 0, 2000, 0.05),
+    (6.0, 0, Op.CLOSE, 3, 0, 0, 0.1),
+    (7.0, 1, Op.CLOSE, 3, 0, 0, 0.1),
+    (8.0, 0, Op.OPEN, 4, 0, 0, 0.5),
+    (9.0, 0, Op.WRITE, 4, 0, 9000, 1.0),
+    (10.5, 0, Op.CLOSE, 4, 0, 0, 0.1),
+]
+
+
+class TestFileLifetime:
+    def test_counts_and_volumes_per_file(self):
+        life = FileLifetimeSummary.from_trace(make_trace(SAMPLE))
+        f3 = life.counters(3)
+        assert f3.count(Op.WRITE) == 2
+        assert f3.volume(Op.WRITE) == 2000
+        assert f3.count(Op.READ) == 1
+        assert f3.count(Op.OPEN) == 2
+        assert life.counters(4).volume(Op.WRITE) == 9000
+
+    def test_durations_accumulate(self):
+        life = FileLifetimeSummary.from_trace(make_trace(SAMPLE))
+        assert life.counters(3).duration(Op.WRITE) == pytest.approx(0.4)
+
+    def test_open_time_per_file(self):
+        life = FileLifetimeSummary.from_trace(make_trace(SAMPLE))
+        # Node 0: open ends 0.5, close ends 6.1 -> 5.6; node 1: 3.5..7.1 -> 3.6.
+        assert life.open_time[3] == pytest.approx(5.6 + 3.6)
+        assert life.open_time[4] == pytest.approx(10.6 - 8.5)
+
+    def test_unseen_file_is_empty(self):
+        life = FileLifetimeSummary.from_trace(make_trace(SAMPLE))
+        assert life.counters(99).total_count == 0
+
+    def test_realtime_equals_postmortem(self):
+        machine = make_machine()
+        ifs = InstrumentedPFS(PFS(machine))
+        live = FileLifetimeSummary()
+        ifs.add_observer(live)
+
+        def worker(node):
+            fd = yield from ifs.open(node, "/f", create=True)
+            yield from ifs.seek(node, fd, node * 5000)
+            yield from ifs.write(node, fd, 3000)
+            yield from ifs.close(node, fd)
+
+        drive(machine, worker(0), worker(1))
+        post = FileLifetimeSummary.from_trace(ifs.trace)
+        fid = next(iter(live.per_file))
+        assert live.per_file[fid].counts == post.per_file[fid].counts
+        assert live.per_file[fid].bytes == post.per_file[fid].bytes
+        assert live.open_time[fid] == pytest.approx(post.open_time[fid])
+
+
+class TestTimeWindow:
+    def test_events_land_in_their_windows(self):
+        tw = TimeWindowSummary.from_trace(make_trace(SAMPLE), window_s=2.0)
+        assert tw.window_counters(0).count(Op.WRITE) == 1  # t=1.0
+        assert tw.window_counters(1).count(Op.WRITE) == 1  # t=2.0
+        assert tw.window_counters(4).volume(Op.WRITE) == 9000  # t=9.0
+
+    def test_window_additivity_reproduces_lifetime(self):
+        trace = make_trace(SAMPLE)
+        tw = TimeWindowSummary.from_trace(trace, window_s=1.5)
+        life = tw.lifetime()
+        assert life.total_count == len(SAMPLE)
+        assert life.volume(Op.WRITE) == 11000
+        assert life.total_duration == pytest.approx(sum(r[6] for r in SAMPLE))
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindowSummary(0)
+
+    @given(st.floats(min_value=0.1, max_value=20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_additivity_holds_for_any_window(self, window):
+        trace = make_trace(SAMPLE)
+        tw = TimeWindowSummary.from_trace(trace, window_s=window)
+        life = tw.lifetime()
+        assert life.total_count == len(SAMPLE)
+        assert life.volume(Op.WRITE) == 11000
+        assert life.volume(Op.READ) == 500
+
+
+class TestFileRegion:
+    def test_bytes_attributed_by_region(self):
+        rows = [(0.0, 0, Op.WRITE, 3, 900, 200, 0.1)]  # spans regions 0/1 @1000
+        fr = FileRegionSummary.from_trace(make_trace(rows), region_bytes=1000)
+        assert fr.region_counters(3, 0).volume(Op.WRITE) == 100
+        assert fr.region_counters(3, 1).volume(Op.WRITE) == 100
+
+    def test_op_counted_once_in_first_region(self):
+        rows = [(0.0, 0, Op.WRITE, 3, 900, 200, 0.1)]
+        fr = FileRegionSummary.from_trace(make_trace(rows), region_bytes=1000)
+        assert fr.region_counters(3, 0).count(Op.WRITE) == 1
+        assert fr.region_counters(3, 1).count(Op.WRITE) == 0
+
+    def test_byte_conservation(self):
+        fr = FileRegionSummary.from_trace(make_trace(SAMPLE), region_bytes=750)
+        assert fr.total_bytes(Op.WRITE) == 11000
+        assert fr.total_bytes(Op.READ) == 500
+
+    def test_file_filter(self):
+        fr = FileRegionSummary.from_trace(
+            make_trace(SAMPLE), region_bytes=1000, file_id=4
+        )
+        assert fr.total_bytes(Op.WRITE) == 9000
+
+    def test_control_ops_ignored(self):
+        fr = FileRegionSummary.from_trace(make_trace(SAMPLE), region_bytes=1000)
+        for (fid, region), ctr in fr.regions.items():
+            assert ctr.count(Op.OPEN) == 0
+            assert ctr.count(Op.SEEK) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 10_000),  # offset
+                st.integers(0, 5_000),  # nbytes
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(1, 4096),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_conservation_property(self, accesses, region_bytes):
+        rows = [
+            (float(i), 0, Op.WRITE, 1, off, n, 0.01)
+            for i, (off, n) in enumerate(accesses)
+        ]
+        fr = FileRegionSummary.from_trace(make_trace(rows), region_bytes=region_bytes)
+        assert fr.total_bytes(Op.WRITE) == sum(n for _, n in accesses)
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(ValueError):
+            FileRegionSummary(0)

@@ -1,0 +1,170 @@
+"""SDDF codec tests: descriptors, both encodings, property round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pablo import Field, RecordDescriptor, SDDFError, SDDFReader, SDDFWriter
+
+
+DESC = RecordDescriptor.build(
+    "Sample",
+    [("t", "double"), ("node", "int"), ("bytes", "long"), ("name", "string")],
+    tag=7,
+)
+
+
+class TestDescriptors:
+    def test_build_convenience(self):
+        assert DESC.name == "Sample"
+        assert [f.type for f in DESC.fields] == ["double", "int", "long", "string"]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SDDFError):
+            Field("x", "float128")
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SDDFError):
+            RecordDescriptor.build("D", [("a", "int"), ("a", "int")])
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(SDDFError):
+            RecordDescriptor("D", ())
+
+    def test_validate_coerces(self):
+        assert DESC.validate(["1.5", "2", "3", 4]) == [1.5, 2, 3, "4"]
+
+    def test_validate_wrong_arity(self):
+        with pytest.raises(SDDFError):
+            DESC.validate([1.0, 2])
+
+    def test_validate_uncoercible(self):
+        with pytest.raises(SDDFError):
+            DESC.validate(["not-a-number", 0, 0, "x"])
+
+
+class TestWriterReader:
+    @pytest.mark.parametrize("binary", [False, True])
+    def test_roundtrip_basic(self, binary):
+        w = SDDFWriter(binary=binary)
+        w.declare(DESC)
+        rows = [(1.5, 3, 12345678901, "alpha"), (2.5, -1, 0, "beta")]
+        w.records(7, rows)
+        r = SDDFReader(w.getvalue()).parse()
+        assert r.descriptors[7].name == "Sample"
+        assert r.records[7] == rows
+
+    def test_record_before_declare_rejected(self):
+        w = SDDFWriter()
+        with pytest.raises(SDDFError):
+            w.record(7, (1.0, 2, 3, "x"))
+
+    def test_duplicate_tag_rejected(self):
+        w = SDDFWriter()
+        w.declare(DESC)
+        with pytest.raises(SDDFError):
+            w.declare(RecordDescriptor.build("Other", [("a", "int")], tag=7))
+
+    def test_multiple_descriptors_interleaved(self):
+        a = RecordDescriptor.build("A", [("x", "int")], tag=1)
+        b = RecordDescriptor.build("B", [("y", "double")], tag=2)
+        w = SDDFWriter()
+        w.declare(a)
+        w.declare(b)
+        w.record(1, (10,))
+        w.record(2, (0.5,))
+        w.record(1, (20,))
+        r = SDDFReader(w.getvalue()).parse()
+        assert r.records[1] == [(10,), (20,)]
+        assert r.records[2] == [(0.5,)]
+
+    def test_ascii_output_is_readable_text(self):
+        w = SDDFWriter(binary=False)
+        w.declare(DESC)
+        w.record(7, (1.0, 2, 3, "hello"))
+        text = w.getvalue().decode("utf-8")
+        assert '"Sample"' in text
+        assert '"hello"' in text
+        assert "double" in text
+
+    def test_string_escaping(self):
+        w = SDDFWriter(binary=False)
+        desc = RecordDescriptor.build("S", [("s", "string")], tag=1)
+        w.declare(desc)
+        tricky = 'quote " and backslash \\ end'
+        w.record(1, (tricky,))
+        r = SDDFReader(w.getvalue()).parse()
+        assert r.records[1] == [(tricky,)]
+
+    def test_truncated_binary_rejected(self):
+        w = SDDFWriter(binary=True)
+        w.declare(DESC)
+        w.record(7, (1.0, 2, 3, "x"))
+        data = w.getvalue()
+        with pytest.raises(SDDFError):
+            SDDFReader(data[:-3]).parse()
+
+    def test_binary_record_before_descriptor_rejected(self):
+        # Craft: magic + record chunk with unknown tag.
+        w = SDDFWriter(binary=True)
+        w.declare(DESC)
+        w.record(7, (1.0, 2, 3, "x"))
+        good = w.getvalue()
+        # Strip the descriptor chunk: magic is 6 bytes, then b"D"...
+        record_at = good.index(b"R")
+        bad = good[:6] + good[record_at:]
+        with pytest.raises(SDDFError):
+            SDDFReader(bad).parse()
+
+    def test_empty_stream_parses(self):
+        r = SDDFReader(b"").parse()
+        assert r.records == {}
+
+
+_value_strategies = {
+    "double": st.floats(allow_nan=False, allow_infinity=False, width=64),
+    "int": st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    "long": st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    "string": st.text(max_size=40),
+}
+
+
+@st.composite
+def descriptor_and_rows(draw):
+    n_fields = draw(st.integers(1, 6))
+    types = [
+        draw(st.sampled_from(["double", "int", "long", "string"]))
+        for _ in range(n_fields)
+    ]
+    fields = [(f"f{i}", t) for i, t in enumerate(types)]
+    desc = RecordDescriptor.build("Gen", fields, tag=draw(st.integers(0, 100)))
+    n_rows = draw(st.integers(0, 20))
+    rows = [
+        tuple(draw(_value_strategies[t]) for t in types) for _ in range(n_rows)
+    ]
+    return desc, rows
+
+
+class TestRoundtripProperties:
+    @given(descriptor_and_rows(), st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_any_schema_roundtrips(self, desc_rows, binary):
+        desc, rows = desc_rows
+        w = SDDFWriter(binary=binary)
+        w.declare(desc)
+        w.records(desc.tag, rows)
+        r = SDDFReader(w.getvalue()).parse()
+        assert r.descriptors[desc.tag].fields == desc.fields
+        assert r.records[desc.tag] == rows
+
+    @given(descriptor_and_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_ascii_and_binary_agree(self, desc_rows):
+        desc, rows = desc_rows
+        outputs = []
+        for binary in (False, True):
+            w = SDDFWriter(binary=binary)
+            w.declare(desc)
+            w.records(desc.tag, rows)
+            outputs.append(SDDFReader(w.getvalue()).parse().records[desc.tag])
+        assert outputs[0] == outputs[1]

@@ -1,0 +1,69 @@
+"""Collective-I/O strategy tests (§8)."""
+
+import pytest
+
+from repro.pfs import PFS, STRATEGIES, collective_read
+from repro.util import KB, MB
+from tests.conftest import make_machine
+
+
+def run(strategy, nranks=8, total=16 * MB, block=8 * KB, io_nodes=4):
+    machine = make_machine(nodes=max(nranks, 8), io_nodes=io_nodes)
+    fs = PFS(machine)
+    fs.ensure("/dataset", size=total)
+    return collective_read(machine, fs, "/dataset", nranks, total, block, strategy)
+
+
+class TestCollectiveRead:
+    def test_all_strategies_move_all_bytes(self):
+        for strategy in STRATEGIES:
+            result = run(strategy)
+            assert result.bytes_read == 16 * MB, strategy
+            assert result.wall_s > 0, strategy
+
+    def test_independent_issues_one_request_per_block(self):
+        result = run("independent")
+        assert result.application_requests == 16 * MB // (8 * KB)
+
+    def test_collective_strategies_issue_one_call_per_rank(self):
+        for strategy in ("two-phase", "disk-directed"):
+            result = run(strategy)
+            assert result.application_requests == 8, strategy
+
+    def test_disk_directed_minimizes_ionode_requests(self):
+        dd = run("disk-directed")
+        ind = run("independent")
+        assert dd.ionode_requests < ind.ionode_requests / 100
+        # One streaming pass per I/O node.
+        assert dd.ionode_requests == 4
+
+    def test_strategy_ordering_for_small_blocks(self):
+        """The §8 conclusion: collective expression lets the file system
+        optimize — each step up the strategy ladder wins decisively."""
+        walls = {s: run(s).wall_s for s in STRATEGIES}
+        assert walls["disk-directed"] < walls["two-phase"]
+        assert walls["two-phase"] < walls["root-broadcast"]
+        assert walls["root-broadcast"] < walls["independent"]
+        # Order-of-magnitude spread between the extremes.
+        assert walls["independent"] / walls["disk-directed"] > 10
+
+    def test_root_broadcast_beats_independent_on_small_blocks(self):
+        """The empirical finding behind ESCAT's and RENDER's design: a
+        single reader plus network broadcast beats per-node strided reads."""
+        assert run("root-broadcast").wall_s < run("independent").wall_s
+
+    def test_independent_improves_with_bigger_blocks(self):
+        small = run("independent", block=8 * KB)
+        big = run("independent", block=512 * KB)
+        assert big.wall_s < small.wall_s
+
+    def test_validation(self):
+        machine = make_machine()
+        fs = PFS(machine)
+        fs.ensure("/d", size=MB)
+        with pytest.raises(ValueError):
+            collective_read(machine, fs, "/d", 4, MB, 8 * KB, "quantum")
+        with pytest.raises(ValueError):
+            collective_read(machine, fs, "/d", 4, MB, 3000, "two-phase")
+        with pytest.raises(ValueError):
+            collective_read(machine, fs, "/d", 0, MB, 8 * KB, "two-phase")

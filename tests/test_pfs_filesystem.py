@@ -1,0 +1,586 @@
+"""PFS behavioral tests: open/close, read/write, seeks, buffering, async I/O."""
+
+import pytest
+
+from repro.pfs import (
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    AccessMode,
+    BadFileDescriptor,
+    CostModel,
+    FileExists,
+    FileNotFound,
+    ModeError,
+    PFS,
+    PFSError,
+)
+from tests.conftest import drive, make_machine
+
+
+@pytest.fixture
+def machine():
+    return make_machine()
+
+
+@pytest.fixture
+def fs(machine):
+    return PFS(machine, track_content=True)
+
+
+def run(machine, gen):
+    (value,) = drive(machine, gen)
+    return value
+
+
+class TestOpenClose:
+    def test_open_missing_without_create_raises(self, machine, fs):
+        def go():
+            yield from fs.open(0, "/missing")
+
+        with pytest.raises(FileNotFound):
+            drive(machine, go())
+
+    def test_create_then_open(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.close(0, fd)
+            fd2 = yield from fs.open(0, "/a")
+            return fd2
+
+        assert run(machine, go()) >= 3
+
+    def test_exclusive_create_of_existing_raises(self, machine, fs):
+        fs.ensure("/a")
+
+        def go():
+            yield from fs.open(0, "/a", create=True, exclusive=True)
+
+        with pytest.raises(FileExists):
+            drive(machine, go())
+
+    def test_fds_are_per_node(self, machine, fs):
+        fs.ensure("/a")
+
+        def opener(node):
+            fd = yield from fs.open(node, "/a")
+            return fd
+
+        fds = drive(machine, opener(0), opener(1))
+        assert fds == [3, 3]
+
+    def test_fd_numbers_increment(self, machine, fs):
+        fs.ensure("/a")
+        fs.ensure("/b")
+
+        def go():
+            fd1 = yield from fs.open(0, "/a")
+            fd2 = yield from fs.open(0, "/b")
+            return (fd1, fd2)
+
+        assert run(machine, go()) == (3, 4)
+
+    def test_operations_on_closed_fd_raise(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.close(0, fd)
+            yield from fs.read(0, fd, 10)
+
+        with pytest.raises(BadFileDescriptor):
+            drive(machine, go())
+
+    def test_concurrent_creates_share_one_file(self, machine, fs):
+        def creator(node):
+            fd = yield from fs.open(node, "/shared", create=True)
+            yield from fs.seek(node, fd, node * 100)
+            yield from fs.write(node, fd, 100, data=bytes([node]) * 100)
+            yield from fs.close(node, fd)
+
+        drive(machine, *[creator(i) for i in range(4)])
+        f = fs.lookup("/shared")
+        assert f.size == 400
+        for i in range(4):
+            assert f.read_content(i * 100, 1) == bytes([i])
+
+    def test_mode_conflict_on_open_raises(self, machine, fs):
+        fs.ensure("/a")
+
+        def go():
+            yield from fs.open(0, "/a", AccessMode.M_UNIX)
+            yield from fs.open(1, "/a", AccessMode.M_LOG)
+
+        with pytest.raises(ModeError):
+            drive(machine, go())
+
+    def test_cold_open_costs_more(self):
+        m1 = make_machine()
+        fs1 = PFS(m1)
+        fs1.ensure("/a")
+        m2 = make_machine()
+        fs2 = PFS(m2)
+        fs2.ensure("/a")
+
+        def opener(fs, cold):
+            def go():
+                yield from fs.open(0, "/a", cold=cold)
+
+            return go()
+
+        drive(m1, opener(fs1, False))
+        drive(m2, opener(fs2, True))
+        assert m2.now == pytest.approx(m1.now + fs1.costs.cold_open_s)
+
+    def test_create_costs_more_than_open(self):
+        m1 = make_machine()
+        fs1 = PFS(m1)
+        fs1.ensure("/a")
+        m2 = make_machine()
+        fs2 = PFS(m2)
+
+        def opener(fs, path, create):
+            def go():
+                yield from fs.open(0, path, create=create)
+
+            return go()
+
+        drive(m1, opener(fs1, "/a", False))
+        drive(m2, opener(fs2, "/b", True))
+        assert m2.now > m1.now
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self, machine, fs):
+        payload = bytes(range(256)) * 8
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, len(payload), data=payload)
+            yield from fs.seek(0, fd, 0)
+            count, data = yield from fs.read(0, fd, len(payload), data_out=True)
+            return count, data
+
+        count, data = run(machine, go())
+        assert count == len(payload)
+        assert data == payload
+
+    def test_read_clips_at_eof(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 100)
+            yield from fs.seek(0, fd, 50)
+            count = yield from fs.read(0, fd, 1000)
+            return count
+
+        assert run(machine, go()) == 50
+
+    def test_read_past_eof_returns_zero(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 10)
+            count = yield from fs.read(0, fd, 10)  # pointer at EOF
+            return count
+
+        assert run(machine, go()) == 0
+
+    def test_pointer_advances_on_both_ops(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 100)
+            assert fs.tell(0, fd) == 100
+            yield from fs.seek(0, fd, 20)
+            yield from fs.read(0, fd, 30)
+            return fs.tell(0, fd)
+
+        assert run(machine, go()) == 50
+
+    def test_negative_sizes_rejected(self, machine, fs):
+        def reader():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.read(0, fd, -1)
+
+        with pytest.raises(PFSError):
+            drive(machine, reader())
+
+    def test_data_length_mismatch_rejected(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 10, data=b"short")
+
+        with pytest.raises(PFSError):
+            drive(machine, go())
+
+    def test_large_write_touches_multiple_ionodes(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/big", create=True)
+            yield from fs.write(0, fd, 4 * 64 * 1024 + 1)
+
+        drive(machine, go())
+        touched = [ion for ion in machine.ionodes if ion.requests_served > 0]
+        assert len(touched) == 4  # four I/O nodes in the test machine
+
+    def test_sparse_read_returns_zero_fill(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.seek(0, fd, 1000)
+            yield from fs.write(0, fd, 10, data=b"x" * 10)
+            yield from fs.seek(0, fd, 0)
+            count, data = yield from fs.read(0, fd, 20, data_out=True)
+            return count, data
+
+        count, data = run(machine, go())
+        assert count == 20
+        assert data == b"\x00" * 20
+
+
+class TestSeek:
+    def test_whence_variants(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 100)
+            a = yield from fs.seek(0, fd, 10, SEEK_SET)
+            b = yield from fs.seek(0, fd, 5, SEEK_CUR)
+            c = yield from fs.seek(0, fd, -20, SEEK_END)
+            return a, b, c
+
+        assert run(machine, go()) == (10, 15, 80)
+
+    def test_negative_target_rejected(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.seek(0, fd, -5)
+
+        with pytest.raises(PFSError):
+            drive(machine, go())
+
+    def test_bad_whence_rejected(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.seek(0, fd, 0, 99)
+
+        with pytest.raises(PFSError):
+            drive(machine, go())
+
+    def test_shared_seek_slower_than_private(self):
+        def scenario(shared):
+            m = make_machine()
+            fs = PFS(m)
+            fs.ensure("/a", size=10_000)
+
+            def opener(node):
+                fd = yield from fs.open(node, "/a")
+                if node == 0:
+                    yield from fs.seek(0, fd, 100)
+                yield from fs.close(node, fd)
+
+            before = m.now
+            if shared:
+                drive(m, opener(0), opener(1))
+            else:
+                drive(m, opener(0))
+            return m.now - before
+
+        # Shared-file seeks pay the token round trip; the difference is
+        # visible even with the extra opener's own open/close costs.
+        assert scenario(True) > scenario(False)
+
+    def test_pointers_do_not_leak_across_opens(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 500)
+            yield from fs.close(0, fd)
+            fd2 = yield from fs.open(0, "/a")
+            return fs.tell(0, fd2)
+
+        assert run(machine, go()) == 0
+
+
+class TestClientBuffering:
+    def test_small_sequential_reads_hit_buffer(self, machine, fs):
+        fs.ensure("/a", size=8192)
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            t_first_start = machine.env.now
+            yield from fs.read(0, fd, 100)  # miss: fetches 4 KB block
+            t_first = machine.env.now - t_first_start
+            t0 = machine.env.now
+            for _ in range(10):
+                yield from fs.read(0, fd, 100)  # hits
+            t_hits = (machine.env.now - t0) / 10
+            return t_first, t_hits
+
+        t_first, t_hits = run(machine, go())
+        assert t_hits < t_first / 3
+        assert t_hits == pytest.approx(fs.costs.client_op_overhead_s)
+
+    def test_write_invalidates_read_buffer(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 4096, data=b"a" * 4096)
+            yield from fs.seek(0, fd, 0)
+            yield from fs.read(0, fd, 100)  # populates buffer
+            yield from fs.seek(0, fd, 0)
+            yield from fs.write(0, fd, 100, data=b"b" * 100)
+            yield from fs.seek(0, fd, 0)
+            count, data = yield from fs.read(0, fd, 100, data_out=True)
+            return data
+
+        assert run(machine, go()) == b"b" * 100
+
+    def test_small_writes_buffered_and_flushed_on_close(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            t0 = machine.env.now
+            yield from fs.write(0, fd, 7, data=b"1234567")
+            dt = machine.env.now - t0
+            yield from fs.close(0, fd)
+            return dt
+
+        dt = run(machine, go())
+        assert dt == pytest.approx(fs.costs.client_op_overhead_s)
+        assert fs.lookup("/a").size == 7
+        assert fs.lookup("/a").read_content(0, 7) == b"1234567"
+
+    def test_buffered_writes_coalesce_content(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            for i in range(5):
+                yield from fs.write(0, fd, 3, data=bytes([i]) * 3)
+            yield from fs.close(0, fd)
+
+        drive(machine, go())
+        f = fs.lookup("/a")
+        assert f.read_content(0, 15) == bytes(
+            b for i in range(5) for b in [i, i, i]
+        )
+
+    def test_shared_files_not_write_buffered(self, machine, fs):
+        fs.ensure("/a")
+
+        def go():
+            fd0 = yield from fs.open(0, "/a")
+            fd1 = yield from fs.open(1, "/a")  # file now shared
+            durations = []
+            for node, fd in ((0, fd0), (1, fd1)):
+                t0 = machine.env.now
+                yield from fs.write(node, fd, 7)
+                durations.append(machine.env.now - t0)
+            return durations
+
+        (durations,) = drive(machine, go())
+        # Both writes hit the data path: much slower than pure overhead.
+        assert all(d > 3 * fs.costs.client_op_overhead_s for d in durations)
+
+
+class TestLsizeFlush:
+    def test_lsize_returns_size(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 12345)
+            size = yield from fs.lsize(0, fd)
+            return size
+
+        assert run(machine, go()) == 12345
+
+    def test_flush_clean_file_is_cheap(self, machine, fs):
+        fs.ensure("/a")
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            t0 = machine.env.now
+            yield from fs.flush(0, fd)
+            return machine.env.now - t0
+
+        assert run(machine, go()) == pytest.approx(fs.costs.client_op_overhead_s)
+
+    def test_flush_dirty_file_visits_ionode(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 100_000)
+            t0 = machine.env.now
+            yield from fs.flush(0, fd)
+            dirty_cost = machine.env.now - t0
+            t0 = machine.env.now
+            yield from fs.flush(0, fd)  # now clean
+            clean_cost = machine.env.now - t0
+            return dirty_cost, clean_cost
+
+        dirty, clean = run(machine, go())
+        assert dirty > clean
+
+
+class TestAsyncReads:
+    def test_aread_issue_is_fast(self, machine, fs):
+        fs.ensure("/a", size=10 * 1024 * 1024)
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            t0 = machine.env.now
+            handle = yield from fs.aread(0, fd, 3 * 1024 * 1024)
+            issue_time = machine.env.now - t0
+            count = yield from fs.iowait(0, handle)
+            return issue_time, count
+
+        issue_time, count = run(machine, go())
+        assert issue_time == pytest.approx(fs.costs.aread_issue_s)
+        assert count == 3 * 1024 * 1024
+
+    def test_pipelined_areads_overlap(self, machine, fs):
+        fs.ensure("/a", size=64 * 1024 * 1024)
+        req = 2 * 1024 * 1024
+
+        def sequential():
+            m = make_machine()
+            f = PFS(m)
+            f.ensure("/a", size=64 * 1024 * 1024)
+
+            def go():
+                fd = yield from f.open(0, "/a")
+                for _ in range(4):
+                    h = yield from f.aread(0, fd, req)
+                    yield from f.iowait(0, h)
+
+            drive(m, go())
+            return m.now
+
+        def pipelined():
+            m = make_machine()
+            f = PFS(m)
+            f.ensure("/a", size=64 * 1024 * 1024)
+
+            def go():
+                fd = yield from f.open(0, "/a")
+                handles = []
+                for _ in range(4):
+                    handles.append((yield from f.aread(0, fd, req)))
+                for h in handles:
+                    yield from f.iowait(0, h)
+
+            drive(m, go())
+            return m.now
+
+        assert pipelined() < sequential()
+
+    def test_aread_advances_pointer_at_issue(self, machine, fs):
+        fs.ensure("/a", size=1_000_000)
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            h1 = yield from fs.aread(0, fd, 1000)
+            h2 = yield from fs.aread(0, fd, 1000)
+            yield from fs.iowait(0, h1)
+            yield from fs.iowait(0, h2)
+            return h1.offset, h2.offset
+
+        assert run(machine, go()) == (0, 1000)
+
+    def test_close_drains_pending_areads(self, machine, fs):
+        fs.ensure("/a", size=10_000_000)
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            yield from fs.aread(0, fd, 5_000_000)
+            yield from fs.close(0, fd)  # must wait for completion
+
+        drive(machine, go())  # no dangling processes -> drive succeeds
+
+    def test_aread_on_shared_pointer_mode_rejected(self, machine, fs):
+        fs.ensure("/log")
+
+        def go():
+            fd = yield from fs.open(0, "/log", AccessMode.M_LOG)
+            yield from fs.aread(0, fd, 100)
+
+        with pytest.raises(ModeError):
+            drive(machine, go())
+
+
+class TestSetiomode:
+    def test_mode_switch_changes_semantics(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 1024, data=b"z" * 1024)
+            yield from fs.setiomode(0, fd, AccessMode.M_RECORD, record_size=512)
+            count = yield from fs.read(0, fd, 512)
+            return count, fs.file_of(0, fd).mode
+
+        count, mode = run(machine, go())
+        assert count == 512
+        assert mode is AccessMode.M_RECORD
+
+    def test_record_mode_requires_record_size(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.setiomode(0, fd, AccessMode.M_RECORD)
+
+        with pytest.raises(ModeError):
+            drive(machine, go())
+
+
+class TestCostModelValidation:
+    def test_defaults_valid(self):
+        CostModel()
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(client_op_overhead_s=-1)
+        with pytest.raises(ValueError):
+            CostModel(open_service_s=0)
+        with pytest.raises(ValueError):
+            CostModel(read_chunk_extra_s=-0.1)
+
+
+class TestUnlinkRename:
+    def test_unlink_removes_file(self, machine, fs):
+        fs.ensure("/doomed")
+
+        def go():
+            yield from fs.unlink(0, "/doomed")
+
+        drive(machine, go())
+        assert not fs.exists("/doomed")
+
+    def test_unlink_missing_raises(self, machine, fs):
+        def go():
+            yield from fs.unlink(0, "/never")
+
+        with pytest.raises(FileNotFound):
+            drive(machine, go())
+
+    def test_unlink_open_file_refused(self, machine, fs):
+        def go():
+            yield from fs.open(0, "/busy", create=True)
+            yield from fs.unlink(0, "/busy")
+
+        with pytest.raises(PFSError):
+            drive(machine, go())
+
+    def test_rename_moves_content(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/old", create=True)
+            yield from fs.write(0, fd, 100, data=b"x" * 100)
+            yield from fs.close(0, fd)
+            yield from fs.rename(0, "/old", "/new")
+
+        drive(machine, go())
+        assert not fs.exists("/old")
+        f = fs.lookup("/new")
+        assert f is not None and f.read_content(0, 3) == b"xxx"
+        assert f.path == "/new"
+
+    def test_rename_onto_existing_raises(self, machine, fs):
+        fs.ensure("/a")
+        fs.ensure("/b")
+
+        def go():
+            yield from fs.rename(0, "/a", "/b")
+
+        with pytest.raises(FileExists):
+            drive(machine, go())
+
+    def test_rename_missing_raises(self, machine, fs):
+        def go():
+            yield from fs.rename(0, "/ghost", "/anything")
+
+        with pytest.raises(FileNotFound):
+            drive(machine, go())

@@ -1,0 +1,294 @@
+"""Access-mode semantics tests: the six PFS modes behave per §3.2."""
+
+import pytest
+
+from repro.pfs import AccessMode, ModeError, PFS, RecordSizeError, semantics
+from tests.conftest import drive, make_machine
+
+
+@pytest.fixture
+def machine():
+    return make_machine()
+
+
+@pytest.fixture
+def fs(machine):
+    return PFS(machine, track_content=True)
+
+
+class TestSemanticsTable:
+    def test_pointer_sharing_axis(self):
+        shared = {m for m in AccessMode if semantics(m).shared_pointer}
+        assert shared == {AccessMode.M_LOG, AccessMode.M_SYNC, AccessMode.M_GLOBAL}
+
+    def test_atomicity_axis(self):
+        non_atomic = {m for m in AccessMode if not semantics(m).atomic}
+        assert non_atomic == {AccessMode.M_ASYNC}
+
+    def test_fixed_records_axis(self):
+        fixed = {m for m in AccessMode if semantics(m).fixed_records}
+        assert fixed == {AccessMode.M_RECORD}
+
+    def test_seekable_axis(self):
+        seekable = {m for m in AccessMode if semantics(m).seekable}
+        assert seekable == {AccessMode.M_UNIX, AccessMode.M_RECORD, AccessMode.M_ASYNC}
+
+    def test_collective_axis(self):
+        collective = {m for m in AccessMode if semantics(m).collective}
+        assert collective == {AccessMode.M_GLOBAL}
+
+
+class TestMUnix:
+    def test_independent_pointers(self, machine, fs):
+        fs.ensure("/a", size=1000)
+
+        def reader(node, amount):
+            fd = yield from fs.open(node, "/a")
+            yield from fs.read(node, fd, amount)
+            return fs.tell(node, fd)
+
+        tells = drive(machine, reader(0, 100), reader(1, 300))
+        assert tells == [100, 300]
+
+    def test_shared_file_writes_are_atomic_serialized(self, machine, fs):
+        fs.ensure("/a")
+        fds = {}
+
+        def setup():
+            for i in range(4):
+                fds[i] = yield from fs.open(i, "/a")
+
+        drive(machine, setup())
+
+        # Count concurrent in-flight *write* transfers under the lock.
+        active = {"count": 0, "max": 0}
+        original = fs._transfer
+
+        def tracking(node, f, offset, nbytes, is_write):
+            if is_write:
+                active["count"] += 1
+                active["max"] = max(active["max"], active["count"])
+            result = yield from original(node, f, offset, nbytes, is_write)
+            if is_write:
+                active["count"] -= 1
+            return result
+
+        fs._transfer = tracking
+
+        def writer(node):
+            yield from fs.seek(node, fds[node], node * 100_000)
+            yield from fs.write(node, fds[node], 100_000)
+
+        drive(machine, *[writer(i) for i in range(4)])
+        assert active["max"] == 1  # never two locked writes at once
+
+
+class TestMLog:
+    def test_shared_pointer_appends_without_overlap(self, machine, fs):
+        def logger(node):
+            fd = yield from fs.open(node, "/log", AccessMode.M_LOG, create=True)
+            yield from fs.write(node, fd, 50, data=bytes([node + 1]) * 50)
+            yield from fs.close(node, fd)
+
+        drive(machine, *[logger(i) for i in range(6)])
+        f = fs.lookup("/log")
+        assert f.size == 300
+        # Every 50-byte slot holds exactly one writer's bytes.
+        writers = {f.read_content(i * 50, 1)[0] for i in range(6)}
+        assert writers == {1, 2, 3, 4, 5, 6}
+
+    def test_seek_rejected(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/log", AccessMode.M_LOG, create=True)
+            yield from fs.seek(0, fd, 0)
+
+        with pytest.raises(ModeError):
+            drive(machine, go())
+
+    def test_shared_pointer_reads_partition_the_file(self, machine, fs):
+        f = fs.ensure("/data", size=400)
+
+        def reader(node):
+            fd = yield from fs.open(node, "/data", AccessMode.M_LOG)
+            count = yield from fs.read(node, fd, 100)
+            return count
+
+        counts = drive(machine, *[reader(i) for i in range(4)])
+        assert counts == [100, 100, 100, 100]
+        assert f.shared_pointer == 400
+
+
+class TestMSync:
+    def test_writes_proceed_in_node_order(self, machine, fs):
+        order = []
+
+        def writer(node):
+            fd = yield from fs.open(
+                node, "/s", AccessMode.M_SYNC, create=True, parties=4
+            )
+            yield from fs.write(node, fd, 10, data=bytes([node]) * 10)
+            order.append(node)
+
+        drive(machine, *[writer(i) for i in reversed(range(4))])
+        assert order == [0, 1, 2, 3]
+
+    def test_data_lands_in_node_order(self, machine, fs):
+        def writer(node):
+            fd = yield from fs.open(
+                node, "/s", AccessMode.M_SYNC, create=True, parties=3
+            )
+            yield from fs.write(node, fd, 4, data=bytes([node]) * 4)
+
+        drive(machine, *[writer(i) for i in (2, 0, 1)])
+        f = fs.lookup("/s")
+        assert [f.read_content(i * 4, 1)[0] for i in range(3)] == [0, 1, 2]
+
+    def test_multiple_rounds_cycle_turns(self, machine, fs):
+        order = []
+
+        def writer(node):
+            fd = yield from fs.open(
+                node, "/s", AccessMode.M_SYNC, create=True, parties=2
+            )
+            for _ in range(2):
+                yield from fs.write(node, fd, 4, data=bytes([node]) * 4)
+                order.append(node)
+
+        drive(machine, writer(1), writer(0))
+        assert order == [0, 1, 0, 1]
+
+
+class TestMRecord:
+    def test_fixed_size_enforced(self, machine, fs):
+        def go():
+            fd = yield from fs.open(
+                0, "/r", AccessMode.M_RECORD, create=True, record_size=256
+            )
+            yield from fs.write(0, fd, 100)
+
+        with pytest.raises(RecordSizeError):
+            drive(machine, go())
+
+    def test_record_size_required_at_open(self, machine, fs):
+        def go():
+            yield from fs.open(0, "/r", AccessMode.M_RECORD, create=True)
+
+        with pytest.raises(ModeError):
+            drive(machine, go())
+
+    def test_writes_interleave_by_node_groups(self, machine, fs):
+        def writer(node):
+            fd = yield from fs.open(
+                node, "/r", AccessMode.M_RECORD, create=True, record_size=128,
+                parties=3,
+            )
+            for k in range(2):
+                yield from fs.write(node, fd, 128, data=bytes([10 * node + k]) * 128)
+
+        drive(machine, writer(0), writer(1), writer(2))
+        f = fs.lookup("/r")
+        # Group 0: record 0 of each node in node order; then group 1.
+        layout = [f.read_content(slot * 128, 1)[0] for slot in range(6)]
+        assert layout == [0, 10, 20, 1, 11, 21]
+
+    def test_reads_follow_same_slot_pattern(self, machine, fs):
+        def writer(node):
+            fd = yield from fs.open(
+                node, "/r", AccessMode.M_RECORD, create=True, record_size=64,
+                parties=2,
+            )
+            yield from fs.write(node, fd, 64, data=bytes([node + 1]) * 64)
+            yield from fs.close(node, fd)
+
+        drive(machine, writer(0), writer(1))
+
+        def reader(node):
+            fd = yield from fs.open(
+                node, "/r", AccessMode.M_RECORD, record_size=64, parties=2
+            )
+            count, data = yield from fs.read(node, fd, 64, data_out=True)
+            return data[0]
+
+        values = drive(machine, reader(0), reader(1))
+        assert values == [1, 2]  # each node reads its own slot back
+
+    def test_mismatched_record_size_rejected(self, machine, fs):
+        def a():
+            yield from fs.open(0, "/r", AccessMode.M_RECORD, create=True, record_size=64)
+
+        def b():
+            yield from fs.open(1, "/r", AccessMode.M_RECORD, record_size=128)
+
+        drive(machine, a())
+        with pytest.raises(ModeError):
+            drive(machine, b())
+
+
+class TestMGlobal:
+    def test_all_nodes_receive_same_data_single_physical_read(self, machine, fs):
+        f = fs.ensure("/g", size=4096)
+        f.track_content = True
+        f._content = bytearray(b"G" * 4096)
+
+        def reader(node):
+            fd = yield from fs.open(node, "/g", AccessMode.M_GLOBAL, parties=4)
+            count, data = yield from fs.read(node, fd, 1024, data_out=True)
+            return count, bytes(data[:1])
+
+        results = drive(machine, *[reader(i) for i in range(4)])
+        assert all(r == (1024, b"G") for r in results)
+        # One logical read -> far fewer I/O-node requests than 4 full reads.
+        total_reqs = sum(ion.requests_served for ion in machine.ionodes)
+        assert total_reqs <= 1  # 1024 bytes = one chunk, read once
+
+    def test_shared_pointer_advances_once(self, machine, fs):
+        f = fs.ensure("/g", size=4096)
+
+        def reader(node):
+            fd = yield from fs.open(node, "/g", AccessMode.M_GLOBAL, parties=2)
+            yield from fs.read(node, fd, 100)
+
+        drive(machine, reader(0), reader(1))
+        assert f.shared_pointer == 100
+
+    def test_writes_rejected(self, machine, fs):
+        def go():
+            fd = yield from fs.open(0, "/g", AccessMode.M_GLOBAL, create=True)
+            yield from fs.write(0, fd, 100)
+
+        with pytest.raises(ModeError):
+            drive(machine, go())
+
+    def test_nobody_proceeds_before_data_lands(self, machine, fs):
+        fs.ensure("/g", size=1_000_000)
+        finish_times = []
+
+        def reader(node, delay):
+            yield machine.env.timeout(delay)
+            fd = yield from fs.open(node, "/g", AccessMode.M_GLOBAL, parties=3)
+            yield from fs.read(node, fd, 500_000)
+            finish_times.append(machine.env.now)
+
+        drive(machine, reader(0, 0.0), reader(1, 0.5), reader(2, 1.0))
+        assert max(finish_times) - min(finish_times) < 1e-9
+
+
+class TestMAsync:
+    def test_no_write_serialization(self, machine):
+        # Same concurrent small-write workload, M_UNIX vs M_ASYNC: the
+        # M_ASYNC version finishes faster because writes skip the token.
+        def scenario(mode):
+            m = make_machine()
+            fs = PFS(m)
+            fs.ensure("/a", size=16 * 64 * 1024)
+
+            def writer(node):
+                fd = yield from fs.open(node, "/a", mode)
+                yield from fs.seek(node, fd, node * 64 * 1024)
+                for _ in range(5):
+                    yield from fs.write(node, fd, 2048)
+
+            drive(m, *[writer(i) for i in range(8)])
+            return m.now
+
+        assert scenario(AccessMode.M_ASYNC) < scenario(AccessMode.M_UNIX)

@@ -1,0 +1,174 @@
+"""Stateful property testing of PFS against a reference model.
+
+Hypothesis drives random open/seek/write/read/close sequences through
+the simulated file system and, in parallel, through a trivial in-memory
+model (a bytearray per file plus integer pointers).  Any divergence in
+returned counts, pointer positions, file sizes, or bytes is a bug in the
+FS semantics — the same oracle style used to validate real file systems.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.pfs import PFS
+from tests.conftest import make_machine
+
+_PATHS = ["/m/a", "/m/b", "/m/c"]
+_NODES = [0, 1]
+
+
+class PFSModelMachine(RuleBasedStateMachine):
+    """Random single-op interleavings vs. the reference model."""
+
+    handles = Bundle("handles")
+
+    @initialize()
+    def setup(self):
+        self.machine = make_machine()
+        self.fs = PFS(self.machine, track_content=True)
+        # Reference model state.
+        self.model_content: dict[str, bytearray] = {}
+        self.model_pos: dict[tuple[int, int], int] = {}  # (node, fd) -> pos
+        self.model_path: dict[tuple[int, int], str] = {}
+        self._payload_counter = 0
+
+    # -- helpers -------------------------------------------------------------
+    def _run(self, gen):
+        proc = self.machine.env.process(gen)
+        self.machine.run()
+        assert not proc.is_alive
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    def _payload(self, n: int) -> bytes:
+        self._payload_counter += 1
+        return bytes((self._payload_counter + i) % 251 for i in range(n))
+
+    # -- rules ------------------------------------------------------------------
+    @rule(target=handles, node=st.sampled_from(_NODES), path=st.sampled_from(_PATHS))
+    def open_file(self, node, path):
+        fd = self._run(self.fs.open(node, path, create=True))
+        key = (node, fd)
+        self.model_content.setdefault(path, bytearray())
+        self.model_pos[key] = 0
+        self.model_path[key] = path
+        return key
+
+    @rule(handle=handles, nbytes=st.integers(0, 5000))
+    def write(self, handle, nbytes):
+        node, fd = handle
+        if handle not in self.model_path:
+            return  # closed in a previous rule
+        data = self._payload(nbytes)
+        count = self._run(self.fs.write(node, fd, nbytes, data=data))
+        assert count == nbytes
+        path = self.model_path[handle]
+        pos = self.model_pos[handle]
+        content = self.model_content[path]
+        end = pos + nbytes
+        if end > len(content):
+            content.extend(b"\x00" * (end - len(content)))
+        content[pos:end] = data
+        self.model_pos[handle] = end
+
+    @rule(handle=handles, nbytes=st.integers(0, 5000))
+    def read(self, handle, nbytes):
+        node, fd = handle
+        if handle not in self.model_path:
+            return
+        count, data = self._run(self.fs.read(node, fd, nbytes, data_out=True))
+        path = self.model_path[handle]
+        pos = self.model_pos[handle]
+        content = self.model_content[path]
+        expected = bytes(content[pos : pos + nbytes])
+        assert count == len(expected)
+        assert bytes(data) == expected
+        self.model_pos[handle] = pos + count
+
+    @rule(handle=handles, offset=st.integers(0, 20_000))
+    def seek(self, handle, offset):
+        node, fd = handle
+        if handle not in self.model_path:
+            return
+        new = self._run(self.fs.seek(node, fd, offset))
+        assert new == offset
+        self.model_pos[handle] = offset
+
+    @rule(handle=handles)
+    def close(self, handle):
+        node, fd = handle
+        if handle not in self.model_path:
+            return
+        self._run(self.fs.close(node, fd))
+        del self.model_path[handle]
+        del self.model_pos[handle]
+
+    @rule(handle=handles)
+    def tell_matches(self, handle):
+        node, fd = handle
+        if handle not in self.model_path:
+            return
+        assert self.fs.tell(node, fd) == self.model_pos[handle]
+
+    @rule(handle=handles)
+    def lsize_matches(self, handle):
+        node, fd = handle
+        if handle not in self.model_path:
+            return
+        size = self._run(self.fs.lsize(node, fd))
+        assert size == len(self.model_content[self.model_path[handle]])
+
+    # -- invariants ----------------------------------------------------------------
+    @invariant()
+    def sizes_match_model(self):
+        if not hasattr(self, "fs"):
+            return
+        for path, content in self.model_content.items():
+            f = self.fs.lookup(path)
+            if f is not None:
+                assert f.size == len(content), path
+
+
+PFSModelMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestPFSStateful = PFSModelMachine.TestCase
+
+
+class PPFSModelMachine(PFSModelMachine):
+    """The same oracle against PPFS with every policy enabled — caching,
+    prefetch, write-behind and aggregation must preserve semantics."""
+
+    @initialize()
+    def setup(self):
+        from repro.ppfs import PPFS, PPFSPolicies
+
+        self.machine = make_machine()
+        self.fs = PPFS(
+            self.machine,
+            policies=PPFSPolicies(
+                write_behind=True,
+                aggregation=True,
+                prefetch="adaptive",
+                server_cache_blocks=32,
+            ),
+            track_content=True,
+        )
+        self.model_content = {}
+        self.model_pos = {}
+        self.model_path = {}
+        self._payload_counter = 0
+
+
+PPFSModelMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestPPFSStateful = PPFSModelMachine.TestCase

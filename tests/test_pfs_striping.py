@@ -1,0 +1,127 @@
+"""Striping arithmetic tests, including property-based bijection checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import Chunk, StripeLayout
+from repro.util import STRIPE_UNIT
+
+
+class TestPointMapping:
+    def test_round_robin_over_ionodes(self):
+        layout = StripeLayout(n_ionodes=4)
+        assert [layout.ionode_of(i * STRIPE_UNIT) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_first_ionode_offset(self):
+        layout = StripeLayout(n_ionodes=4, first_ionode=2)
+        assert layout.ionode_of(0) == 2
+        assert layout.ionode_of(3 * STRIPE_UNIT) == 1
+
+    def test_disk_address_within_stripe(self):
+        layout = StripeLayout(n_ionodes=4, base=1000)
+        assert layout.disk_address(100) == 1100
+        # Stripe 4 is the second stripe on I/O node 0: one local stripe in.
+        assert layout.disk_address(4 * STRIPE_UNIT) == 1000 + STRIPE_UNIT
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            StripeLayout(n_ionodes=0)
+        with pytest.raises(ValueError):
+            StripeLayout(n_ionodes=4, first_ionode=4)
+        with pytest.raises(ValueError):
+            StripeLayout(n_ionodes=4, base=-1)
+
+
+class TestDecompose:
+    def test_empty_extent(self):
+        assert StripeLayout(n_ionodes=4).decompose(0, 0) == []
+
+    def test_within_one_stripe_is_one_chunk(self):
+        layout = StripeLayout(n_ionodes=4)
+        chunks = layout.decompose(100, 1000)
+        assert len(chunks) == 1
+        assert chunks[0] == Chunk(ionode=0, disk_offset=100, nbytes=1000, logical_offset=100)
+
+    def test_stripe_boundary_splits(self):
+        layout = StripeLayout(n_ionodes=4)
+        chunks = layout.decompose(STRIPE_UNIT - 100, 200)
+        assert [(c.ionode, c.nbytes) for c in chunks] == [(0, 100), (1, 100)]
+
+    def test_full_wrap_coalesces_contiguous_runs(self):
+        layout = StripeLayout(n_ionodes=4)
+        # Two full stripe groups: each I/O node gets 2 adjacent local
+        # stripes -> exactly one coalesced chunk per node.
+        chunks = layout.decompose(0, 8 * STRIPE_UNIT)
+        assert len(chunks) == 4
+        assert sorted(c.ionode for c in chunks) == [0, 1, 2, 3]
+        assert all(c.nbytes == 2 * STRIPE_UNIT for c in chunks)
+
+    def test_bytes_conserved(self):
+        layout = StripeLayout(n_ionodes=16)
+        for offset, nbytes in [(0, 1), (12345, 999_999), (STRIPE_UNIT, 3 * STRIPE_UNIT)]:
+            chunks = layout.decompose(offset, nbytes)
+            assert sum(c.nbytes for c in chunks) == nbytes
+
+    def test_span_bytes_matches_decompose(self):
+        layout = StripeLayout(n_ionodes=4)
+        spans = layout.span_bytes(0, 6 * STRIPE_UNIT)
+        assert spans == {0: 2 * STRIPE_UNIT, 1: 2 * STRIPE_UNIT, 2: STRIPE_UNIT, 3: STRIPE_UNIT}
+
+
+@st.composite
+def layouts(draw):
+    n = draw(st.integers(min_value=1, max_value=32))
+    first = draw(st.integers(min_value=0, max_value=n - 1))
+    unit = draw(st.sampled_from([512, 4096, STRIPE_UNIT]))
+    base = draw(st.integers(min_value=0, max_value=10**9))
+    return StripeLayout(n_ionodes=n, stripe_unit=unit, first_ionode=first, base=base)
+
+
+class TestStripingProperties:
+    @given(layouts(), st.integers(0, 10**9), st.integers(0, 4 * 1024 * 1024))
+    @settings(max_examples=150, deadline=None)
+    def test_decomposition_conserves_bytes(self, layout, offset, nbytes):
+        chunks = layout.decompose(offset, nbytes)
+        assert sum(c.nbytes for c in chunks) == nbytes
+
+    @given(layouts(), st.integers(0, 10**9), st.integers(1, 1024 * 1024))
+    @settings(max_examples=150, deadline=None)
+    def test_chunks_map_consistently_with_point_functions(self, layout, offset, nbytes):
+        # Each chunk's first logical byte maps to exactly its disk address
+        # and I/O node per the point functions.
+        for chunk in layout.decompose(offset, nbytes):
+            assert layout.ionode_of(chunk.logical_offset) == chunk.ionode
+            assert layout.disk_address(chunk.logical_offset) == chunk.disk_offset
+
+    @given(layouts(), st.integers(0, 10**8))
+    @settings(max_examples=150, deadline=None)
+    def test_adjacent_bytes_same_stripe_are_physically_adjacent(self, layout, offset):
+        # Offsets within the same stripe unit differ physically as logically.
+        in_stripe = offset % layout.stripe_unit
+        if in_stripe + 1 < layout.stripe_unit:
+            assert (
+                layout.disk_address(offset + 1) == layout.disk_address(offset) + 1
+            )
+
+    @given(layouts(), st.integers(0, 10**8), st.integers(1, 512 * 1024))
+    @settings(max_examples=100, deadline=None)
+    def test_chunks_nonoverlapping_per_ionode(self, layout, offset, nbytes):
+        per_node: dict[int, list[tuple[int, int]]] = {}
+        for c in layout.decompose(offset, nbytes):
+            per_node.setdefault(c.ionode, []).append((c.disk_offset, c.disk_offset + c.nbytes))
+        for spans in per_node.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 <= s2
+
+    @given(layouts(), st.integers(0, 10**8), st.integers(1, 512 * 1024))
+    @settings(max_examples=100, deadline=None)
+    def test_stripe_unit_never_split_across_ionodes(self, layout, offset, nbytes):
+        # Every chunk lies within stripe-unit-aligned physical regions of
+        # one I/O node, i.e. a logical stripe never spans two nodes.
+        for c in layout.decompose(offset, nbytes):
+            first_stripe = c.logical_offset // layout.stripe_unit
+            assert layout.ionode_of(c.logical_offset) == (
+                layout.first_ionode + first_stripe
+            ) % layout.n_ionodes

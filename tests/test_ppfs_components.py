@@ -1,0 +1,283 @@
+"""PPFS component tests: extent sets, cache, prefetchers, predictor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import PatternKind
+from repro.ppfs import (
+    BlockCache,
+    ExtentSet,
+    MarkovPredictor,
+    NoPrefetcher,
+    PPFSPolicies,
+    SequentialPrefetcher,
+)
+
+
+class TestExtentSet:
+    def test_empty(self):
+        es = ExtentSet()
+        assert not es and es.total_bytes == 0
+
+    def test_single_extent(self):
+        es = ExtentSet()
+        es.add(100, 50)
+        assert es.extents() == [(100, 150)]
+
+    def test_adjacent_extents_merge(self):
+        es = ExtentSet()
+        es.add(0, 100)
+        es.add(100, 100)
+        assert es.extents() == [(0, 200)]
+
+    def test_overlapping_extents_merge(self):
+        es = ExtentSet()
+        es.add(0, 100)
+        es.add(50, 100)
+        assert es.extents() == [(0, 150)]
+
+    def test_disjoint_extents_stay_separate(self):
+        es = ExtentSet()
+        es.add(0, 10)
+        es.add(100, 10)
+        assert es.extents() == [(0, 10), (100, 10 + 100)]
+
+    def test_bridge_merges_three(self):
+        es = ExtentSet()
+        es.add(0, 10)
+        es.add(20, 10)
+        es.add(10, 10)  # bridges the gap
+        assert es.extents() == [(0, 30)]
+
+    def test_covers(self):
+        es = ExtentSet()
+        es.add(100, 100)
+        assert es.covers(120, 50)
+        assert not es.covers(90, 20)
+        assert es.covers(0, 0)
+
+    def test_pop_all_empties(self):
+        es = ExtentSet()
+        es.add(0, 10)
+        assert es.pop_all() == [(0, 10)]
+        assert not es
+
+    def test_pop_file_runs_respects_min_bytes(self):
+        es = ExtentSet()
+        es.add(0, 1000)
+        es.add(5000, 10)
+        big = es.pop_file_runs(min_bytes=100)
+        assert big == [(0, 1000)]
+        assert es.extents() == [(5000, 5010)]
+
+    def test_zero_length_ignored(self):
+        es = ExtentSet()
+        es.add(50, 0)
+        assert not es
+
+    def test_invalid_inputs(self):
+        es = ExtentSet()
+        with pytest.raises(ValueError):
+            es.add(-1, 10)
+        with pytest.raises(ValueError):
+            es.add(0, -10)
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 60)), max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_byte_set(self, inserts):
+        es = ExtentSet()
+        model: set[int] = set()
+        for offset, nbytes in inserts:
+            es.add(offset, nbytes)
+            model.update(range(offset, offset + nbytes))
+        # Same coverage...
+        covered = set()
+        for s, e in es.extents():
+            covered.update(range(s, e))
+        assert covered == model
+        assert es.total_bytes == len(model)
+        # ...and maximally coalesced: gaps between consecutive extents.
+        ext = es.extents()
+        for (s1, e1), (s2, e2) in zip(ext, ext[1:]):
+            assert e1 < s2
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        cache = BlockCache(4)
+        assert not cache.lookup(1, 0)
+        cache.insert(1, 0)
+        assert cache.lookup(1, 0)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = BlockCache(2, policy="lru")
+        cache.insert(1, 0)
+        cache.insert(1, 1)
+        cache.lookup(1, 0)  # touch 0: now 1 is oldest
+        cache.insert(1, 2)
+        assert (1, 1) not in cache
+        assert (1, 0) in cache
+
+    def test_mru_evicts_newest(self):
+        cache = BlockCache(2, policy="mru")
+        cache.insert(1, 0)
+        cache.insert(1, 1)
+        cache.insert(1, 2)  # evicts 1 (the most recent resident)
+        assert (1, 0) in cache
+        assert (1, 1) not in cache
+        assert (1, 2) in cache
+
+    def test_capacity_never_exceeded(self):
+        cache = BlockCache(3)
+        for b in range(10):
+            cache.insert(1, b)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_prefetch_hit_accounting(self):
+        cache = BlockCache(4)
+        cache.insert(1, 5, prefetched=True)
+        cache.lookup(1, 5)
+        cache.lookup(1, 5)
+        assert cache.stats.prefetch_hits == 1  # only the first demand hit
+
+    def test_invalidate_single_and_whole_file(self):
+        cache = BlockCache(8)
+        for b in range(3):
+            cache.insert(1, b)
+        cache.insert(2, 0)
+        assert cache.invalidate(1, 1) == 1
+        assert cache.invalidate(1) == 2
+        assert (2, 0) in cache
+
+    def test_resident_listing(self):
+        cache = BlockCache(8)
+        for b in (3, 1, 2):
+            cache.insert(7, b)
+        assert cache.resident(7) == [1, 2, 3]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BlockCache(0)
+        with pytest.raises(ValueError):
+            BlockCache(4, policy="fifo")
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 20), st.booleans()),
+            max_size=100,
+        ),
+        st.integers(1, 8),
+        st.sampled_from(["lru", "mru"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_size_invariant_under_any_sequence(self, ops, capacity, policy):
+        cache = BlockCache(capacity, policy=policy)
+        for fid, block, is_insert in ops:
+            if is_insert:
+                cache.insert(fid, block)
+            else:
+                cache.lookup(fid, block)
+            assert len(cache) <= capacity
+
+
+class TestPrefetchers:
+    def test_no_prefetcher_never_predicts(self):
+        p = NoPrefetcher()
+        for b in range(10):
+            assert p.observe((0, 1), b) == []
+
+    def test_sequential_prefetcher_kicks_in_after_run(self):
+        p = SequentialPrefetcher(depth=3)
+        assert p.observe((0, 1), 0) == []
+        assert p.observe((0, 1), 1) == [2, 3, 4]
+        assert p.observe((0, 1), 2) == [3, 4, 5]
+
+    def test_sequential_prefetcher_resets_on_jump(self):
+        p = SequentialPrefetcher(depth=2)
+        p.observe((0, 1), 0)
+        p.observe((0, 1), 1)
+        assert p.observe((0, 1), 50) == []
+
+    def test_streams_independent(self):
+        p = SequentialPrefetcher(depth=2)
+        p.observe((0, 1), 0)
+        p.observe((0, 1), 1)
+        assert p.observe((0, 2), 7) == []
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            SequentialPrefetcher(depth=0)
+
+
+class TestMarkovPredictor:
+    def test_learns_sequential(self):
+        p = MarkovPredictor(depth=2, warmup=3)
+        preds = [p.observe((0, 1), b) for b in range(6)]
+        assert preds[-1] == [6, 7]
+        assert p.classify((0, 1)) is PatternKind.SEQUENTIAL
+
+    def test_learns_stride(self):
+        p = MarkovPredictor(depth=2, warmup=3)
+        preds = [p.observe((0, 1), b) for b in range(0, 40, 4)]
+        assert preds[-1] == [40, 44]
+        assert p.classify((0, 1)) is PatternKind.STRIDED
+
+    def test_refuses_random(self):
+        p = MarkovPredictor(depth=2, warmup=3)
+        blocks = [0, 17, 3, 99, 5, 42, 8, 61]
+        preds = [p.observe((0, 1), b) for b in blocks]
+        assert preds[-1] == []
+        assert p.classify((0, 1)) is PatternKind.IRREGULAR
+
+    def test_warmup_suppresses_early_predictions(self):
+        p = MarkovPredictor(warmup=5)
+        assert p.observe((0, 1), 0) == []
+        assert p.observe((0, 1), 1) == []
+        assert p.observe((0, 1), 2) == []
+        assert p.observe((0, 1), 3) == []
+
+    def test_backward_deltas_not_prefetched(self):
+        p = MarkovPredictor(warmup=3)
+        preds = [p.observe((0, 1), b) for b in range(20, 0, -2)]
+        assert preds[-1] == []  # negative stride: no forward prefetch
+
+    def test_adapts_after_pattern_change(self):
+        p = MarkovPredictor(depth=1, confidence=0.6, warmup=3)
+        for b in range(8):
+            p.observe((0, 1), b)
+        # Switch to stride 10 for long enough to retrain.
+        last = []
+        for b in range(10, 250, 10):
+            last = p.observe((0, 1), b)
+        assert last == [250]
+
+    def test_unseen_stream_classified_single(self):
+        assert MarkovPredictor().classify((9, 9)) is PatternKind.SINGLE
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(depth=0)
+        with pytest.raises(ValueError):
+            MarkovPredictor(confidence=0.0)
+        with pytest.raises(ValueError):
+            MarkovPredictor(warmup=1)
+
+
+class TestPolicies:
+    def test_presets(self):
+        assert PPFSPolicies.passthrough().cache_blocks == 0
+        tuned = PPFSPolicies.escat_tuned()
+        assert tuned.write_behind and tuned.aggregation
+        assert PPFSPolicies.sequential_reader().prefetch == "sequential"
+        assert PPFSPolicies.adaptive().prefetch == "adaptive"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPFSPolicies(cache_policy="arc")
+        with pytest.raises(ValueError):
+            PPFSPolicies(prefetch="psychic")
+        with pytest.raises(ValueError):
+            PPFSPolicies(flush_interval_s=0)

@@ -1,0 +1,296 @@
+"""PPFS integration tests: policy behavior and end-to-end data integrity."""
+
+import pytest
+
+from repro.pfs import AccessMode, PFS
+from repro.ppfs import PPFS, PPFSPolicies
+from tests.conftest import drive, make_machine
+
+
+def make_ppfs(policies=None, **kwargs):
+    machine = make_machine()
+    return machine, PPFS(machine, policies=policies, **kwargs)
+
+
+class TestReadCaching:
+    def test_repeat_reads_hit_cache(self):
+        machine, fs = make_ppfs(PPFSPolicies())
+        fs.ensure("/a", size=1_000_000)
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            for _ in range(3):
+                yield from fs.seek(0, fd, 0)
+                yield from fs.read(0, fd, 100_000)
+
+        drive(machine, go())
+        stats = fs.cache_stats()
+        assert stats.hits > 0
+        assert stats.hit_rate > 0.5  # second and third passes hit
+
+    def test_cached_reread_is_faster(self):
+        def timed(reread):
+            machine, fs = make_ppfs(PPFSPolicies())
+            fs.ensure("/a", size=1_000_000)
+            times = []
+
+            def go():
+                fd = yield from fs.open(0, "/a")
+                t0 = machine.env.now
+                yield from fs.read(0, fd, 100_000)
+                times.append(machine.env.now - t0)
+                if reread:
+                    yield from fs.seek(0, fd, 0)
+                    t0 = machine.env.now
+                    yield from fs.read(0, fd, 100_000)
+                    times.append(machine.env.now - t0)
+
+            drive(machine, go())
+            return times
+
+        first, second = timed(True)
+        assert second < first / 5
+
+    def test_content_correct_through_cache(self):
+        machine, fs = make_ppfs(PPFSPolicies(), track_content=True)
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            payload = bytes(range(256)) * 512  # 128 KB
+            yield from fs.write(0, fd, len(payload), data=payload)
+            yield from fs.seek(0, fd, 1000)
+            _, data1 = yield from fs.read(0, fd, 500, data_out=True)
+            yield from fs.seek(0, fd, 1000)
+            _, data2 = yield from fs.read(0, fd, 500, data_out=True)  # cached
+            return payload[1000:1500], data1, data2
+
+        (result,) = drive(machine, go())
+        expected, d1, d2 = result
+        assert d1 == expected and d2 == expected
+
+    def test_write_invalidates_cached_blocks(self):
+        machine, fs = make_ppfs(
+            PPFSPolicies(write_behind=True), track_content=True
+        )
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.write(0, fd, 4096, data=b"a" * 4096)
+            yield from fs.seek(0, fd, 0)
+            yield from fs.read(0, fd, 4096)  # cache it
+            yield from fs.seek(0, fd, 0)
+            yield from fs.write(0, fd, 4096, data=b"b" * 4096)
+            yield from fs.seek(0, fd, 0)
+            _, data = yield from fs.read(0, fd, 100, data_out=True)
+            yield from fs.close(0, fd)
+            return data
+
+        (data,) = drive(machine, go())
+        assert data == b"b" * 100
+
+    def test_caching_disabled_passthrough(self):
+        machine, fs = make_ppfs(PPFSPolicies.passthrough())
+        fs.ensure("/a", size=1_000_000)
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            yield from fs.read(0, fd, 100_000)
+
+        drive(machine, go())
+        assert fs.cache_stats().accesses == 0
+
+
+class TestPrefetch:
+    def test_sequential_prefetch_raises_hit_rate(self):
+        def hit_rate(policy):
+            machine, fs = make_ppfs(policy)
+            fs.ensure("/a", size=8_000_000)
+
+            def go():
+                fd = yield from fs.open(0, "/a")
+                for _ in range(60):
+                    yield from fs.read(0, fd, 65536)
+                    yield machine.env.timeout(0.2)  # compute between reads
+
+            drive(machine, go())
+            return fs.cache_stats()
+
+        plain = hit_rate(PPFSPolicies())
+        pref = hit_rate(PPFSPolicies.sequential_reader())
+        assert pref.prefetch_hits > 0
+        assert pref.hit_rate > plain.hit_rate
+
+    def test_adaptive_matches_sequential_on_sequential_stream(self):
+        def run(policy):
+            machine, fs = make_ppfs(policy)
+            fs.ensure("/a", size=8_000_000)
+
+            def go():
+                fd = yield from fs.open(0, "/a")
+                for _ in range(60):
+                    yield from fs.read(0, fd, 65536)
+                    yield machine.env.timeout(0.2)
+
+            drive(machine, go())
+            return fs.cache_stats().prefetch_hits
+
+        assert run(PPFSPolicies.adaptive()) > 0
+
+    def test_adaptive_does_not_prefetch_random_stream(self):
+        machine, fs = make_ppfs(PPFSPolicies.adaptive())
+        fs.ensure("/a", size=8_000_000)
+        offsets = [17, 3, 99, 5, 42, 8, 61, 29, 88, 2]
+
+        def go():
+            fd = yield from fs.open(0, "/a")
+            for block in offsets:
+                yield from fs.seek(0, fd, block * 65536)
+                yield from fs.read(0, fd, 65536)
+                yield machine.env.timeout(0.2)
+
+        drive(machine, go())
+        assert fs.cache_stats().prefetch_hits == 0
+
+
+class TestWriteBehind:
+    def test_writes_complete_at_memory_speed(self):
+        machine, fs = make_ppfs(PPFSPolicies.escat_tuned())
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            t0 = machine.env.now
+            yield from fs.write(0, fd, 2048)
+            dt = machine.env.now - t0
+            yield from fs.close(0, fd)
+            return dt
+
+        (dt,) = drive(machine, go())
+        expected = fs.costs.client_op_overhead_s + 2048 * fs.costs.client_byte_cost_s
+        assert dt == pytest.approx(expected)
+
+    def test_close_makes_data_durable(self):
+        machine, fs = make_ppfs(PPFSPolicies.escat_tuned(), track_content=True)
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            for i in range(10):
+                yield from fs.write(0, fd, 1000, data=bytes([i]) * 1000)
+            yield from fs.close(0, fd)
+
+        drive(machine, go())
+        # All bytes flushed to the I/O nodes by close.
+        assert fs.writeback is not None
+        assert fs.writeback.bytes_flushed == 10_000
+        total_served = sum(ion.bytes_served for ion in machine.ionodes)
+        assert total_served >= 10_000
+        f = fs.lookup("/a")
+        assert f.read_content(5000, 3) == bytes([5]) * 3
+
+    def test_aggregation_reduces_transfer_count(self):
+        def transfers(aggregation):
+            machine, fs = make_ppfs(
+                PPFSPolicies(write_behind=True, aggregation=aggregation)
+            )
+
+            def go():
+                fd = yield from fs.open(0, "/a", create=True)
+                for _ in range(64):
+                    yield from fs.write(0, fd, 2048)  # contiguous 2 KB writes
+                yield from fs.close(0, fd)
+
+            drive(machine, go())
+            assert fs.writeback is not None
+            return fs.writeback.transfers_issued
+
+        assert transfers(True) < transfers(False)
+
+    def test_aggregation_factor_counts(self):
+        machine, fs = make_ppfs(PPFSPolicies.escat_tuned())
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            for _ in range(64):
+                yield from fs.write(0, fd, 2048)
+            yield from fs.close(0, fd)
+
+        drive(machine, go())
+        wb = fs.writeback
+        assert wb.writes_submitted == 64
+        assert wb.bytes_submitted == wb.bytes_flushed == 64 * 2048
+        assert wb.aggregation_factor > 10
+
+    def test_shared_file_seeks_cheap_under_ppfs(self):
+        def seek_cost(ppfs):
+            machine = make_machine()
+            fs = (
+                PPFS(machine, PPFSPolicies.escat_tuned())
+                if ppfs
+                else PFS(machine)
+            )
+            fs.ensure("/a", size=10_000_000)
+            fds = {}
+
+            def setup():
+                for n in range(4):
+                    fds[n] = yield from fs.open(n, "/a")
+
+            drive(machine, setup())
+
+            def seeker(node):
+                t0 = machine.env.now
+                for k in range(10):
+                    yield from fs.seek(node, fds[node], k * 1000)
+                return machine.env.now - t0
+
+            costs = drive(machine, *[seeker(n) for n in range(4)])
+            return max(costs)
+
+        assert seek_cost(True) < seek_cost(False) / 3
+
+    def test_fragmented_writes_held_until_close(self):
+        machine, fs = make_ppfs(
+            PPFSPolicies(write_behind=True, aggregation=True, flush_interval_s=2.0)
+        )
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            # Widely scattered tiny writes: none reach aggregate_min_bytes,
+            # so aggregation keeps buffering them (hoping for neighbours)
+            # until the close-time drain forces them out.
+            for i in range(5):
+                yield from fs.seek(0, fd, i * 1_000_000)
+                yield from fs.write(0, fd, 100)
+            assert fs.writeback.transfers_issued == 0  # still buffered
+            yield machine.env.timeout(3.0)  # interval flush: still too small
+            assert fs.writeback.transfers_issued == 0
+            yield from fs.close(0, fd)
+            assert fs.writeback.transfers_issued == 5  # drained at close
+
+        drive(machine, go())
+
+    def test_interval_flush_drains_everything_without_aggregation(self):
+        machine, fs = make_ppfs(
+            PPFSPolicies(write_behind=True, aggregation=False, flush_interval_s=2.0)
+        )
+
+        def go():
+            fd = yield from fs.open(0, "/a", create=True)
+            yield from fs.seek(0, fd, 1_000_000)
+            yield from fs.write(0, fd, 100)
+            yield machine.env.timeout(3.0)
+            assert fs.writeback.transfers_issued == 1
+            yield from fs.close(0, fd)
+
+        drive(machine, go())
+
+    def test_coordinated_modes_bypass_policies(self):
+        machine, fs = make_ppfs(PPFSPolicies.escat_tuned(), track_content=True)
+
+        def logger(node):
+            fd = yield from fs.open(node, "/log", AccessMode.M_LOG, create=True)
+            yield from fs.write(node, fd, 50, data=bytes([node + 1]) * 50)
+            yield from fs.close(node, fd)
+
+        drive(machine, *[logger(i) for i in range(4)])
+        f = fs.lookup("/log")
+        assert f.size == 200  # M_LOG semantics intact under PPFS

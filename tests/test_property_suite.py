@@ -1,0 +1,159 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* event stream, not just the three
+applications': trace serialization, reduction additivity/conservation,
+phase coverage, and pattern-classifier stability.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    OperationTable,
+    SizeTable,
+    detect_phases,
+    reuse_intervals,
+)
+from repro.analysis.cyclic import detect_cycles
+from repro.pablo import FileLifetimeSummary, Op, TimeWindowSummary, Trace
+
+_DATA_OPS = [Op.READ, Op.WRITE, Op.AREAD]
+_ALL_OPS = list(Op)
+
+
+@st.composite
+def traces(draw, max_events=60):
+    n = draw(st.integers(0, max_events))
+    tr = Trace("prop", nodes=4)
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(0.0, 50.0))
+        op = draw(st.sampled_from(_ALL_OPS))
+        nbytes = (
+            draw(st.integers(0, 4 * 1024 * 1024))
+            if op in _DATA_OPS or op is Op.SEEK
+            else 0
+        )
+        tr.add(
+            t,
+            draw(st.integers(0, 3)),
+            op,
+            draw(st.integers(3, 8)),
+            draw(st.integers(0, 10**7)),
+            nbytes,
+            draw(st.floats(0.0, 5.0)),
+        )
+    return tr
+
+
+class TestTraceProperties:
+    @given(traces(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_sddf_roundtrip_any_trace(self, trace, binary):
+        again = Trace.from_sddf(trace.to_sddf(binary=binary))
+        if len(trace) == 0:
+            assert len(again) == 0
+        else:
+            assert (again.events == trace.events).all()
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_operation_table_percentages(self, trace):
+        table = OperationTable(trace)
+        assert sum(r.count for r in table.rows) == table.all_row.count
+        if table.rows and table.total_time > 0:
+            assert sum(r.pct_io_time for r in table.rows) == pytest.approx(
+                100.0, abs=1e-6
+            )
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_size_table_counts_every_data_op(self, trace):
+        table = SizeTable(trace)
+        ev = trace.events
+        n_reads = (
+            int(np.isin(ev["op"], [int(Op.READ), int(Op.AREAD)]).sum())
+            if len(ev)
+            else 0
+        )
+        n_writes = int((ev["op"] == int(Op.WRITE)).sum()) if len(ev) else 0
+        assert table.read.total == n_reads
+        assert table.write.total == n_writes
+
+
+class TestReductionProperties:
+    @given(traces(), st.floats(0.5, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_window_additivity(self, trace, window):
+        tw = TimeWindowSummary.from_trace(trace, window_s=window)
+        life = tw.lifetime()
+        assert life.total_count == len(trace)
+        total_dur = sum(row[6] for row in trace)
+        assert life.total_duration == pytest.approx(total_dur, rel=1e-9, abs=1e-9)
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_lifetime_volume_matches_trace(self, trace):
+        life = FileLifetimeSummary.from_trace(trace)
+        ev = trace.events
+        for op in (Op.READ, Op.WRITE):
+            total = sum(ctr.volume(op) for ctr in life.per_file.values())
+            expected = (
+                int(ev["nbytes"][ev["op"] == int(op)].sum()) if len(ev) else 0
+            )
+            assert total == expected
+
+
+class TestPhaseProperties:
+    @given(traces(), st.floats(1.0, 200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_phases_tile_without_overlap(self, trace, window):
+        phases = detect_phases(trace, window_s=window)
+        for a, b in zip(phases, phases[1:]):
+            assert a.end == b.start  # contiguous tiling
+        for p in phases:
+            assert p.end > p.start
+
+    @given(traces(), st.floats(1.0, 200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_phase_volumes_conserve_trace_volumes(self, trace, window):
+        phases = detect_phases(trace, window_s=window)
+        ev = trace.events
+        if len(ev) == 0:
+            assert phases == []
+            return
+        read_total = int(
+            ev["nbytes"][np.isin(ev["op"], [int(Op.READ), int(Op.AREAD)])].sum()
+        )
+        write_total = int(ev["nbytes"][ev["op"] == int(Op.WRITE)].sum())
+        # Trimmed idle edges carry no volume, so sums must match exactly.
+        assert sum(p.read_bytes for p in phases) == read_total
+        assert sum(p.write_bytes for p in phases) == write_total
+
+
+class TestCyclicProperties:
+    @given(traces(), st.floats(1.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_cycle_ops_conserve_event_counts(self, trace, gap):
+        cycles = detect_cycles(trace, gap_s=gap)
+        ev = trace.events
+        if len(ev) == 0:
+            return
+        data = ev[np.isin(ev["op"], [int(o) for o in _DATA_OPS])]
+        for fid, fc in cycles.items():
+            n_ops = sum(count for _, _, count in fc.cycles)
+            assert n_ops == int((data["file_id"] == fid).sum())
+
+    @given(traces(), st.integers(4096, 1 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_reuse_counts_partition_touches(self, trace, region):
+        stats = reuse_intervals(trace, region_bytes=region)
+        assert stats.n_reuses >= 0 and stats.n_first_touches >= 0
+        assert 0.0 <= stats.reuse_fraction <= 1.0
+        if stats.n_reuses:
+            # Allow a couple of ulps: the mean of identical floats can
+            # exceed their max by rounding.
+            assert stats.max_interval_s >= stats.mean_interval_s * (1 - 1e-12)
+            assert stats.mean_interval_s >= 0

@@ -1,0 +1,174 @@
+"""Hartree-Fock tests: integrals, SCF convergence, reference energies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.science.chemistry import (
+    Atom,
+    Molecule,
+    h2_molecule,
+    heh_plus,
+    one_electron_integrals,
+    scf,
+    sto3g_basis,
+    two_electron_integrals,
+)
+
+
+@pytest.fixture(scope="module")
+def h2():
+    return h2_molecule()
+
+
+@pytest.fixture(scope="module")
+def h2_integrals(h2):
+    basis = sto3g_basis(h2)
+    S, T, V = one_electron_integrals(basis, h2)
+    eri = two_electron_integrals(basis)
+    return basis, S, T, V, eri
+
+
+class TestIntegrals:
+    def test_overlap_diagonal_is_one(self, h2_integrals):
+        _, S, *_ = h2_integrals
+        assert np.allclose(np.diag(S), 1.0, atol=1e-6)
+
+    def test_overlap_symmetric_with_szabo_value(self, h2_integrals):
+        _, S, *_ = h2_integrals
+        assert S[0, 1] == S[1, 0]
+        # Szabo & Ostlund (3.229): S12 = 0.6593 for H2 at R=1.4.
+        assert S[0, 1] == pytest.approx(0.6593, abs=2e-4)
+
+    def test_kinetic_matches_szabo(self, h2_integrals):
+        _, _, T, _, _ = h2_integrals
+        # S&O (3.230): T11 = 0.7600, T12 = 0.2365.
+        assert T[0, 0] == pytest.approx(0.7600, abs=2e-4)
+        assert T[0, 1] == pytest.approx(0.2365, abs=2e-4)
+
+    def test_nuclear_attraction_matches_szabo(self, h2_integrals):
+        _, _, _, V, _ = h2_integrals
+        # S&O (3.231-3.232): full V11 = -1.8804 (both nuclei), V12 = -1.1948.
+        assert V[0, 0] == pytest.approx(-1.8804, abs=3e-4)
+        assert V[0, 1] == pytest.approx(-1.1948, abs=3e-4)
+
+    def test_eri_values_match_szabo(self, h2_integrals):
+        *_, eri = h2_integrals
+        # S&O (3.235): (11|11)=0.7746, (11|22)=0.5697, (21|11)=0.4441,
+        # (21|21)=0.2970.
+        assert eri[0, 0, 0, 0] == pytest.approx(0.7746, abs=3e-4)
+        assert eri[0, 0, 1, 1] == pytest.approx(0.5697, abs=3e-4)
+        assert eri[1, 0, 0, 0] == pytest.approx(0.4441, abs=3e-4)
+        assert eri[1, 0, 1, 0] == pytest.approx(0.2970, abs=3e-4)
+
+    def test_eri_eightfold_symmetry(self, h2_integrals):
+        *_, eri = h2_integrals
+        n = eri.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    for l in range(n):
+                        v = eri[i, j, k, l]
+                        assert eri[j, i, k, l] == pytest.approx(v)
+                        assert eri[k, l, i, j] == pytest.approx(v)
+                        assert eri[i, j, l, k] == pytest.approx(v)
+
+    def test_eri_count_scales_quartically(self):
+        # The paper's O(N^4) data-volume argument, literally.
+        h4 = Molecule(
+            atoms=tuple(Atom(1, (0.0, 0.0, 1.6 * i)) for i in range(4)),
+            n_electrons=4,
+        )
+        eri = two_electron_integrals(sto3g_basis(h4))
+        assert eri.shape == (4, 4, 4, 4)
+        assert eri.size == 4**4
+
+
+class TestSCF:
+    def test_h2_reference_energy(self, h2):
+        result = scf(h2)
+        assert result.converged
+        # Szabo & Ostlund: E(H2, STO-3G, R=1.4) = -1.1167 hartree.
+        assert result.energy == pytest.approx(-1.1167, abs=2e-4)
+
+    def test_heh_plus_reference_energy(self):
+        result = scf(heh_plus())
+        assert result.converged
+        # Szabo & Ostlund: E(HeH+, STO-3G, R=1.4632) = -2.8606 hartree.
+        assert result.energy == pytest.approx(-2.8606, abs=2e-3)
+
+    def test_density_traces_to_electron_count(self, h2):
+        result = scf(h2)
+        basis = sto3g_basis(h2)
+        S, _, _ = one_electron_integrals(basis, h2)
+        assert float(np.trace(result.density @ S)) == pytest.approx(2.0, abs=1e-8)
+
+    def test_energy_history_settles(self, h2):
+        result = scf(h2)
+        tail = result.energy_history[-2:]
+        assert abs(tail[1] - tail[0]) < 1e-6
+
+    def test_orbital_energies_sorted(self, h2):
+        result = scf(h2)
+        eps = result.orbital_energies
+        assert np.all(np.diff(eps) >= 0)
+        assert eps[0] < 0  # bound occupied orbital
+
+    def test_bond_scan_has_minimum_near_equilibrium(self):
+        lengths = [1.0, 1.4, 2.2]
+        energies = [scf(h2_molecule(r)).energy for r in lengths]
+        assert energies[1] < energies[0]
+        assert energies[1] < energies[2]
+
+    def test_dissociation_raises_energy(self):
+        near = scf(h2_molecule(1.4)).energy
+        far = scf(h2_molecule(4.0)).energy
+        assert far > near
+
+    def test_odd_electron_count_rejected(self):
+        mol = Molecule(atoms=(Atom(1, (0, 0, 0)),), n_electrons=1)
+        with pytest.raises(ValueError):
+            scf(mol)
+
+    def test_unsupported_element_rejected(self):
+        mol = Molecule(atoms=(Atom(6, (0, 0, 0)),), n_electrons=6)
+        with pytest.raises(ValueError):
+            sto3g_basis(mol)
+
+    def test_nuclear_repulsion(self, h2):
+        assert h2.nuclear_repulsion() == pytest.approx(1.0 / 1.4)
+
+    def test_scf_iterations_counted(self, h2):
+        result = scf(h2)
+        assert 2 <= result.iterations <= 20
+
+
+class TestMP2:
+    def test_h2_correlation_matches_literature(self, h2):
+        from repro.science import mp2_correction
+
+        result = scf(h2)
+        e2 = mp2_correction(h2, result)
+        # H2/STO-3G MP2 correlation energy: about -0.0132 hartree.
+        assert e2 == pytest.approx(-0.0132, abs=5e-4)
+
+    def test_correction_is_negative(self, h2):
+        from repro.science import mp2_correction
+
+        for mol in (h2, heh_plus()):
+            e2 = mp2_correction(mol, scf(mol))
+            assert e2 < 0
+
+    def test_correction_small_relative_to_scf(self, h2):
+        from repro.science import mp2_correction
+
+        result = scf(h2)
+        e2 = mp2_correction(h2, result)
+        assert abs(e2) < 0.05 * abs(result.energy)
+
+    def test_mp2_lowers_total_energy(self, h2):
+        from repro.science import mp2_correction
+
+        result = scf(h2)
+        assert result.energy + mp2_correction(h2, result) < result.energy

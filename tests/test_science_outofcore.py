@@ -1,0 +1,154 @@
+"""Out-of-core matrix tests: exactness vs numpy, I/O-volume laws."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import OperationTable
+from repro.pablo import InstrumentedPFS
+from repro.pfs import PFS
+from repro.science.outofcore import MatmulStats, OutOfCoreMatrix, ooc_matmul
+from tests.conftest import drive, make_machine
+
+
+def setup(n=12, block=4, track=True):
+    machine = make_machine()
+    fs = PFS(machine, track_content=track)
+    a = OutOfCoreMatrix(fs, "/ooc/a", n, block)
+    b = OutOfCoreMatrix(fs, "/ooc/b", n, block)
+    c = OutOfCoreMatrix(fs, "/ooc/c", n, block)
+    return machine, fs, a, b, c
+
+
+class TestOutOfCoreMatrix:
+    def test_layout_validation(self):
+        machine = make_machine()
+        fs = PFS(machine)
+        with pytest.raises(ValueError):
+            OutOfCoreMatrix(fs, "/m", 10, 3)  # block must divide n
+        with pytest.raises(ValueError):
+            OutOfCoreMatrix(fs, "/m", 0, 1)
+
+    def test_block_offsets_disjoint_and_ordered(self):
+        machine = make_machine()
+        m = OutOfCoreMatrix(PFS(machine), "/m", 12, 4)
+        offsets = [
+            m.block_offset(i, j) for i in range(3) for j in range(3)
+        ]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == 9
+        assert offsets[1] - offsets[0] == m.block_bytes
+
+    def test_block_roundtrip(self):
+        machine, fs, a, *_ = setup()
+        rng = np.random.default_rng(0)
+        block = rng.random((4, 4))
+
+        def go():
+            yield from a.write_block(0, 1, 2, block)
+            out = yield from a.read_block(0, 1, 2)
+            return out
+
+        (out,) = drive(machine, go())
+        assert np.array_equal(out, block)
+
+    def test_store_load_roundtrip(self):
+        machine, fs, a, *_ = setup()
+        rng = np.random.default_rng(1)
+        matrix = rng.random((12, 12))
+
+        def go():
+            yield from a.store(0, matrix)
+            out = yield from a.load(0)
+            return out
+
+        (out,) = drive(machine, go())
+        assert np.array_equal(out, matrix)
+
+    def test_out_of_range_block_rejected(self):
+        machine = make_machine()
+        m = OutOfCoreMatrix(PFS(machine), "/m", 12, 4)
+        with pytest.raises(IndexError):
+            m.block_offset(3, 0)
+
+
+class TestOocMatmul:
+    def test_matches_numpy_exactly(self):
+        machine, fs, a, b, c = setup(n=12, block=4)
+        rng = np.random.default_rng(2)
+        A = rng.random((12, 12))
+        B = rng.random((12, 12))
+
+        def go():
+            yield from a.store(0, A)
+            yield from b.store(0, B)
+            yield from ooc_matmul(0, a, b, c)
+            out = yield from c.load(0)
+            return out
+
+        (out,) = drive(machine, go())
+        assert np.allclose(out, A @ B, atol=1e-12)
+
+    def test_io_volume_follows_cubic_law(self):
+        machine, fs, a, b, c = setup(n=16, block=4)
+        rng = np.random.default_rng(3)
+
+        def go():
+            yield from a.store(0, rng.random((16, 16)))
+            yield from b.store(0, rng.random((16, 16)))
+            stats = yield from ooc_matmul(0, a, b, c)
+            return stats
+
+        (stats,) = drive(machine, go())
+        nb = 4
+        assert stats.blocks_read == stats.expected_reads(nb) == 2 * nb**3
+        assert stats.blocks_written == stats.expected_writes(nb) == nb**2
+
+    def test_smaller_blocks_mean_more_io(self):
+        def traffic(block):
+            machine, fs, a, b, c = setup(n=16, block=block, track=False)
+
+            def go():
+                stats = yield from ooc_matmul(0, a, b, c)
+                return stats
+
+            (stats,) = drive(machine, go())
+            return stats.blocks_read * a.block_bytes
+
+        # Halving the block doubles total read bytes: 2(n/b)^3 b^2 ~ 1/b.
+        assert traffic(4) == 2 * traffic(8)
+
+    def test_mismatched_operands_rejected(self):
+        machine = make_machine()
+        fs = PFS(machine)
+        a = OutOfCoreMatrix(fs, "/a", 12, 4)
+        b = OutOfCoreMatrix(fs, "/b", 12, 6)
+        c = OutOfCoreMatrix(fs, "/c", 12, 4)
+        with pytest.raises(ValueError):
+            next(ooc_matmul(0, a, b, c))
+
+    def test_trace_shows_out_of_core_signature(self):
+        """Through the instrumented FS, the multiply looks like HTF pscf:
+        cyclic rereads of the operand files."""
+        machine = make_machine()
+        fs = InstrumentedPFS(PFS(machine))
+        a = OutOfCoreMatrix(fs.fs, "/a", 16, 4)
+        b = OutOfCoreMatrix(fs.fs, "/b", 16, 4)
+        c = OutOfCoreMatrix(fs.fs, "/c", 16, 4)
+        # Route matrix I/O through the instrumented facade.
+        a.fs = fs
+        b.fs = fs
+        c.fs = fs
+
+        def go():
+            yield from ooc_matmul(0, a, b, c)
+
+        drive(machine, go())
+        from repro.analysis import IOClass, classify_files
+
+        table = OperationTable(fs.trace)
+        assert table.row("Read").count == 2 * 4**3
+        assert table.row("Write").count == 4**2
+        classes = classify_files(fs.trace, cycle_gap_s=1e9)
+        a_class = classes[fs.fs.lookup("/a").file_id]
+        # Operands are re-read many times over: the out-of-core signature.
+        assert a_class.bytes_read == 4 * (16 * 16 * 8)

@@ -1,0 +1,245 @@
+"""Scattering-model and terrain-rendering tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.science.rendering import save_ppm
+from repro.science import (
+    Camera,
+    QuadratureTable,
+    ScatteringModel,
+    build_quadrature,
+    color_map,
+    cross_sections,
+    diamond_square,
+    frame_bytes,
+    render_view,
+    solve_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ScatteringModel(strengths=(0.8, 0.5, 0.3), ranges=(1.0, 1.3, 1.7))
+
+
+@pytest.fixture(scope="module")
+def table(model):
+    return build_quadrature(model, n_points=96)
+
+
+class TestScatteringModel:
+    def test_coupling_symmetric(self, model):
+        lam = model.coupling()
+        assert np.allclose(lam, lam.T)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScatteringModel(strengths=(1.0,), ranges=())
+        with pytest.raises(ValueError):
+            ScatteringModel(strengths=(), ranges=())
+        with pytest.raises(ValueError):
+            ScatteringModel(strengths=(1.0,), ranges=(-1.0,))
+
+    def test_form_factor_peaks_at_range_scale(self, model):
+        k = np.linspace(0.01, 10, 1000)
+        v = model.form_factor(0, k)
+        peak_k = k[np.argmax(v)]
+        assert peak_k == pytest.approx(model.ranges[0], rel=0.05)
+
+
+class TestQuadratureTable:
+    def test_energy_independent_data(self, model, table):
+        # The same table serves every energy — ESCAT's reuse argument.
+        before = table.samples.copy()
+        for energy in (0.1, 0.7, 1.9):
+            solve_energy(model, table, energy)
+        assert np.array_equal(table.samples, before)
+
+    def test_serialization_roundtrip(self, table):
+        again = QuadratureTable.from_bytes(table.to_bytes())
+        assert np.array_equal(again.grid, table.grid)
+        assert np.array_equal(again.weights, table.weights)
+        assert np.array_equal(again.samples, table.samples)
+
+    def test_size_grows_quadratically_in_channels(self):
+        def nbytes(n_channels):
+            m = ScatteringModel(
+                strengths=tuple([0.5] * n_channels),
+                ranges=tuple([1.0 + 0.1 * i for i in range(n_channels)]),
+            )
+            return build_quadrature(m, n_points=32).samples.nbytes
+
+        assert nbytes(10) / nbytes(5) == pytest.approx(4.0)
+
+    def test_samples_match_form_factors(self, model, table):
+        k = table.grid
+        expected = k**2 * model.form_factor(0, k) * model.form_factor(1, k)
+        assert np.allclose(table.samples[0, 1], expected)
+
+    def test_invalid_points(self, model):
+        with pytest.raises(ValueError):
+            build_quadrature(model, n_points=1)
+
+
+class TestSolve:
+    def test_k_matrix_symmetric(self, model, table):
+        for energy in (-0.5, 0.3, 1.2):
+            K = solve_energy(model, table, energy)
+            assert np.allclose(K, K.T, atol=1e-8), energy
+
+    def test_weak_coupling_linearizes(self, table):
+        # For tiny strengths, K ~= Lambda (first Born term).
+        weak = ScatteringModel(
+            strengths=(1e-6, 1e-6, 1e-6), ranges=(1.0, 1.3, 1.7)
+        )
+        wtable = build_quadrature(weak, n_points=96)
+        K = solve_energy(weak, wtable, 0.5)
+        assert np.allclose(K, weak.coupling(), rtol=1e-3)
+
+    def test_cross_sections_nonnegative(self, model, table):
+        sigma = cross_sections(model, table, np.linspace(0.05, 2.0, 25))
+        assert (sigma >= 0).all()
+        assert sigma.shape == (25, model.n_channels)
+
+    def test_quadrature_convergence(self, model):
+        # Finer grids converge: successive refinements approach a limit.
+        energies = np.array([0.4])
+        results = []
+        for n_points in (32, 64, 128, 256):
+            t = build_quadrature(model, n_points=n_points)
+            results.append(cross_sections(model, t, energies)[0, 0])
+        err_coarse = abs(results[1] - results[3])
+        err_fine = abs(results[2] - results[3])
+        assert err_fine <= err_coarse
+
+
+class TestTerrain:
+    def test_shape_and_normalization(self):
+        h = diamond_square(6, seed=1)
+        assert h.shape == (65, 65)
+        assert h.min() == 0.0 and h.max() == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self):
+        a = diamond_square(5, seed=9)
+        b = diamond_square(5, seed=9)
+        c = diamond_square(5, seed=10)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_roughness_increases_relief(self):
+        def relief(r):
+            h = diamond_square(6, roughness=r, seed=2)
+            return float(np.abs(np.diff(h, axis=0)).mean())
+
+        assert relief(0.8) > relief(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diamond_square(0)
+        with pytest.raises(ValueError):
+            diamond_square(5, roughness=1.5)
+
+    def test_color_map_covers_bands(self):
+        h = np.linspace(0, 1, 101).reshape(101, 1)
+        rgb = color_map(np.tile(h, (1, 3)))
+        assert rgb.dtype == np.uint8
+        assert tuple(rgb[0, 0]) == (30, 60, 150)  # water
+        assert tuple(rgb[-1, 0]) == (245, 245, 250)  # snow
+
+
+class TestRenderView:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        h = diamond_square(7, seed=3)
+        return h, color_map(h)
+
+    def test_paper_frame_size(self, scene):
+        h, c = scene
+        frame = render_view(h, c, Camera(x=10, y=10, height=1.3, heading=0.0))
+        assert frame.shape == (512, 640, 3)
+        assert len(frame_bytes(frame)) == 983040  # Table 3's frame payload
+
+    def test_sky_above_terrain(self, scene):
+        h, c = scene
+        frame = render_view(h, c, Camera(x=10, y=10, height=1.5, heading=0.0))
+        sky = np.array([110, 160, 220])
+        assert (frame[0] == sky).all()  # top row is sky
+        assert not (frame[-1] == sky).all()  # bottom row is terrain
+
+    def test_deterministic(self, scene):
+        h, c = scene
+        cam = Camera(x=20, y=5, height=1.4, heading=1.0)
+        assert np.array_equal(render_view(h, c, cam), render_view(h, c, cam))
+
+    def test_different_views_differ(self, scene):
+        h, c = scene
+        a = render_view(h, c, Camera(x=10, y=10, height=1.4, heading=0.0))
+        b = render_view(h, c, Camera(x=40, y=70, height=1.4, heading=2.0))
+        assert not np.array_equal(a, b)
+
+    def test_higher_camera_sees_more_sky(self, scene):
+        h, c = scene
+        sky = np.array([110, 160, 220])
+
+        def sky_fraction(height):
+            frame = render_view(
+                h, c, Camera(x=10, y=10, height=height, heading=0.0)
+            )
+            return float((frame == sky).all(axis=-1).mean())
+
+        assert sky_fraction(3.0) > sky_fraction(1.1)
+
+    def test_mismatched_inputs_rejected(self, scene):
+        h, _ = scene
+        with pytest.raises(ValueError):
+            render_view(h, np.zeros((3, 3, 3), np.uint8), Camera(0, 0, 1.2, 0))
+
+    def test_column_bands_tile_the_full_frame(self, scene):
+        h, c = scene
+        cam = Camera(x=15, y=25, height=1.6, heading=0.7)
+        full = render_view(h, c, cam, width=120, rows=80)
+        bands = [
+            render_view(h, c, cam, width=120, rows=80, column_range=(lo, lo + 30))
+            for lo in range(0, 120, 30)
+        ]
+        assert np.array_equal(np.concatenate(bands, axis=1), full)
+
+    def test_bad_column_range_rejected(self, scene):
+        h, c = scene
+        with pytest.raises(ValueError):
+            render_view(h, c, Camera(0, 0, 1.2, 0), width=100, column_range=(50, 40))
+        with pytest.raises(ValueError):
+            render_view(h, c, Camera(0, 0, 1.2, 0), width=100, column_range=(0, 200))
+
+    def test_save_ppm_roundtrip(self, scene, tmp_path):
+        h, c = scene
+        frame = render_view(h, c, Camera(5, 5, 1.4, 0.0), width=80, rows=60)
+        path = str(tmp_path / "frame.ppm")
+        save_ppm(frame, path)
+        raw = open(path, "rb").read()
+        header, pixels = raw.split(b"\n", 1)
+        assert header == b"P6 80 60 255"
+        assert pixels == frame.tobytes()
+
+    def test_save_ppm_rejects_bad_input(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ppm(np.zeros((4, 4), dtype=np.uint8), str(tmp_path / "x.ppm"))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_any_camera_produces_valid_frame(self, seed):
+        rng = np.random.default_rng(seed)
+        h = diamond_square(5, seed=seed % 50)
+        c = color_map(h)
+        cam = Camera(
+            x=float(rng.uniform(0, 30)),
+            y=float(rng.uniform(0, 30)),
+            height=float(rng.uniform(0.5, 4.0)),
+            heading=float(rng.uniform(0, 2 * np.pi)),
+        )
+        frame = render_view(h, c, cam, width=80, rows=64)
+        assert frame.shape == (64, 80, 3)
+        assert frame.dtype == np.uint8

@@ -1,0 +1,309 @@
+"""Resource primitive tests: Resource, PriorityResource, Store, Barrier, Token."""
+
+import pytest
+
+from repro.sim import (
+    Barrier,
+    Environment,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Store,
+    Token,
+)
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+    def test_grants_up_to_capacity_immediately(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_queues_beyond_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert r1.triggered and not r2.triggered
+        assert len(res.queue) == 1
+
+    def test_release_admits_next_waiter_fifo(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            req = res.request()
+            yield req
+            yield env.timeout(hold)
+            order.append(tag)
+            res.release(req)
+
+        for tag in ("a", "b", "c"):
+            env.process(user(tag, 1.0))
+        env.run()
+        assert order == ["a", "b", "c"]
+        assert env.now == 3.0
+
+    def test_release_unowned_request_raises(self):
+        env = Environment()
+        res = Resource(env)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_serialization_timing(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        finish = []
+
+        def user():
+            req = res.request()
+            yield req
+            yield env.timeout(2.0)
+            finish.append(env.now)
+            res.release(req)
+
+        for _ in range(4):
+            env.process(user())
+        env.run()
+        assert finish == [2.0, 4.0, 6.0, 8.0]
+
+    def test_parallel_capacity_timing(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        finish = []
+
+        def user():
+            req = res.request()
+            yield req
+            yield env.timeout(2.0)
+            finish.append(env.now)
+            res.release(req)
+
+        for _ in range(4):
+            env.process(user())
+        env.run()
+        assert finish == [2.0, 2.0, 4.0, 4.0]
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+
+        def user(tag, prio):
+            yield env.timeout(0.1)  # arrive while holder owns the slot
+            req = res.request(priority=prio)
+            yield req
+            order.append(tag)
+            res.release(req)
+
+        env.process(holder())
+        env.process(user("low-urgency", 5))
+        env.process(user("high-urgency", 1))
+        env.run()
+        assert order == ["high-urgency", "low-urgency"]
+
+    def test_equal_priority_is_fifo(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+
+        def user(tag):
+            yield env.timeout(0.1)
+            req = res.request(priority=3)
+            yield req
+            order.append(tag)
+            res.release(req)
+
+        env.process(holder())
+        for tag in ("first", "second", "third"):
+            env.process(user(tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        store.put("item")
+        env.process(consumer())
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            got.append(((yield store.get()), env.now))
+
+        def producer():
+            yield env.timeout(3.0)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [("late", 3.0)]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_put_blocks_until_space(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put("a")
+            events.append(("put-a", env.now))
+            yield store.put("b")
+            events.append(("put-b", env.now))
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert events == [("put-a", 0.0), ("put-b", 5.0)]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)
+
+    def test_len_reflects_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestBarrier:
+    def test_releases_when_all_arrive(self):
+        env = Environment()
+        barrier = Barrier(env, parties=3)
+        released = []
+
+        def party(delay):
+            yield env.timeout(delay)
+            yield barrier.wait()
+            released.append(env.now)
+
+        for d in (1.0, 2.0, 3.0):
+            env.process(party(d))
+        env.run()
+        assert released == [3.0, 3.0, 3.0]
+
+    def test_reusable_generations(self):
+        env = Environment()
+        barrier = Barrier(env, parties=2)
+        log = []
+
+        def party(tag):
+            for round_no in range(3):
+                yield env.timeout(1.0)
+                gen = yield barrier.wait()
+                log.append((tag, round_no, gen))
+
+        env.process(party("a"))
+        env.process(party("b"))
+        env.run()
+        gens = sorted({g for _, _, g in log})
+        assert gens == [0, 1, 2]
+        assert len(log) == 6
+
+    def test_single_party_never_blocks(self):
+        env = Environment()
+        barrier = Barrier(env, parties=1)
+        log = []
+
+        def party():
+            yield barrier.wait()
+            log.append(env.now)
+
+        env.process(party())
+        env.run()
+        assert log == [0.0]
+
+    def test_invalid_parties(self):
+        with pytest.raises(SimulationError):
+            Barrier(Environment(), parties=0)
+
+
+class TestToken:
+    def test_acquire_free_token_immediately(self):
+        env = Environment()
+        tok = Token(env)
+        ev = tok.acquire()
+        assert ev.triggered and tok.held
+
+    def test_fifo_handoff(self):
+        env = Environment()
+        tok = Token(env)
+        order = []
+
+        def user(tag, hold):
+            yield tok.acquire()
+            yield env.timeout(hold)
+            order.append((tag, env.now))
+            tok.release()
+
+        for tag in ("a", "b", "c"):
+            env.process(user(tag, 1.0))
+        env.run()
+        assert order == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_release_unheld_raises(self):
+        with pytest.raises(SimulationError):
+            Token(Environment()).release()
+
+    def test_release_with_no_waiters_frees_token(self):
+        env = Environment()
+        tok = Token(env)
+        tok.acquire()
+        tok.release()
+        assert not tok.held

@@ -1,0 +1,74 @@
+"""Units, formatting, and validation helper tests."""
+
+import pytest
+
+from repro.util import (
+    GB,
+    KB,
+    MB,
+    STRIPE_UNIT,
+    check_nonneg,
+    check_positive,
+    check_range,
+    fmt_bytes,
+    fmt_seconds,
+)
+
+
+class TestUnits:
+    def test_binary_prefixes(self):
+        assert KB == 1024
+        assert MB == 1024**2
+        assert GB == 1024**3
+
+    def test_stripe_unit_is_64k(self):
+        assert STRIPE_UNIT == 64 * KB
+
+    @pytest.mark.parametrize(
+        "n, expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2.0 KB"),
+            (983040, "960.0 KB"),
+            (3 * MB, "3.0 MB"),
+            (2 * GB, "2.0 GB"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert fmt_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "t, expected",
+        [
+            (0.0123, "12.300 ms"),
+            (2.5, "2.50 s"),
+            (6000, "1.67 h"),
+        ],
+    )
+    def test_fmt_seconds(self, t, expected):
+        assert fmt_seconds(t) == expected
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+    def test_check_nonneg_accepts_zero(self):
+        assert check_nonneg(0, "x") == 0
+
+    def test_check_nonneg_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonneg(-0.1, "x")
+
+    def test_check_range(self):
+        assert check_range(5, 0, 10, "x") == 5
+        with pytest.raises(ValueError):
+            check_range(11, 0, 10, "x")
+        with pytest.raises(ValueError):
+            check_range(-1, 0, 10, "x")
