@@ -1,6 +1,8 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench examples clean all
+.PHONY: install test bench examples campaign-smoke clean all
+
+CAMPAIGN_CACHE ?= .campaign-cache
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +15,14 @@ bench:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
+
+campaign-smoke:
+	PYTHONPATH=src python -m repro campaign run --name smoke \
+		--apps escat,render,htf --fs pfs,ppfs \
+		--policies none,passthrough,escat_tuned --jobs 4 \
+		--cache-dir $(CAMPAIGN_CACHE) --quiet
+	PYTHONPATH=src python -m repro campaign status --cache-dir $(CAMPAIGN_CACHE)
+	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

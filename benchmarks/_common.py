@@ -4,15 +4,24 @@ from __future__ import annotations
 
 import os
 
+from repro.util import sanitize_filename
+
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 
-def emit(name: str, text: str) -> None:
-    """Print a bench's rendered artifact and save it under output/."""
+def emit(name: str, text: str) -> str:
+    """Print a bench's rendered artifact, save it under output/, return the path.
+
+    ``name`` is sanitized into a filesystem-safe basename, so callers may
+    pass free-form titles (slashes, spaces, colons) without escaping the
+    output directory or producing unopenable files.
+    """
     print(f"\n===== {name} =====\n{text}\n")
     os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as fh:
+    path = os.path.join(OUTPUT_DIR, f"{sanitize_filename(name)}.txt")
+    with open(path, "w") as fh:
         fh.write(text + "\n")
+    return path
 
 
 def compare_rows(title: str, rows: list[tuple[str, object, object]]) -> str:

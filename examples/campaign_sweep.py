@@ -1,0 +1,61 @@
+"""Sweep every PPFS policy preset across all three applications at once.
+
+The campaign engine turns the sequential ``Experiment`` harness into a
+fleet: a declarative grid fans out across worker processes, every
+finished run is cached under its content hash, and the manifest's
+summary table compares policy presets side by side.  Run this script
+twice — the second invocation simulates nothing and answers straight
+from the cache.
+
+    python examples/campaign_sweep.py
+"""
+
+import os
+import tempfile
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.ppfs import PPFSPolicies
+
+
+def main() -> None:
+    presets = PPFSPolicies.presets()
+    spec = CampaignSpec(
+        name="policy-sweep",
+        apps=("escat", "render", "htf"),
+        filesystems=("pfs", "ppfs"),
+        policies=(None, *presets),
+        scales=("small",),
+    )
+    runs = spec.expand()
+    print(f"grid: 3 apps x (PFS baseline + {len(presets)} PPFS presets) "
+          f"-> {len(runs)} runs\n")
+
+    cache_dir = os.environ.get(
+        "REPRO_CAMPAIGN_CACHE", os.path.join(tempfile.gettempdir(), "repro-sweep")
+    )
+    report = CampaignRunner(spec, cache_dir=cache_dir, jobs=4, quiet=True).run()
+    print(report.summary())
+    print(f"\nmanifest: {report.manifest_path}")
+
+    # Rank the presets per app by summed I/O node time against the PFS run.
+    by_app: dict[str, list] = {}
+    for rec in report.manifest.records:
+        if rec.metrics:
+            by_app.setdefault(rec.spec.app, []).append(rec)
+    print("\nI/O node time vs the PFS baseline:")
+    for app, recs in by_app.items():
+        base = next(r for r in recs if r.spec.fs == "pfs")
+        base_io = base.metrics["io_node_time_s"]
+        print(f"  {app}:")
+        for rec in sorted(recs, key=lambda r: r.metrics["io_node_time_s"]):
+            io = rec.metrics["io_node_time_s"]
+            tag = rec.spec.policy or rec.spec.fs
+            print(f"    {tag:<20} {io:>9.2f}s  ({io / base_io:.2f}x)")
+
+    rerun = CampaignRunner(spec, cache_dir=cache_dir, jobs=4, quiet=True).run()
+    print(f"\nre-invocation: {rerun.cached}/{rerun.total} cache hits, "
+          f"{rerun.executed} re-simulations")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,9 @@ The package rebuilds the paper's entire experimental stack in Python:
 * :mod:`repro.ppfs` — the PPFS policy engine (caching, prefetching,
   write-behind, aggregation, adaptive prediction);
 * :mod:`repro.core` — the experiment harness and cross-application
-  comparison.
+  comparison;
+* :mod:`repro.campaign` — parallel experiment campaigns with a
+  content-addressed result cache.
 
 Quickstart
 ----------

@@ -1,0 +1,167 @@
+"""Per-run metric extraction and campaign-level aggregation.
+
+Workers reduce each finished :class:`ExperimentResult` to a small JSON
+record (via the existing ``analysis`` layer) so the campaign driver never
+ships traces between processes — only metrics travel; traces land in the
+cache.  The driver folds the records into a ``manifest.json`` plus a
+rendered summary table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..analysis.operations import OperationTable
+from ..util.validation import sanitize_filename
+from .spec import RunSpec
+
+__all__ = ["run_metrics", "RunRecord", "CampaignManifest", "render_summary"]
+
+
+def run_metrics(result: Any) -> dict[str, Any]:
+    """Reduce one :class:`ExperimentResult` to a JSON-safe metric record.
+
+    Covers the quantities every downstream sweep compares: makespan (sim
+    clock at completion), summed I/O node time, op counts and data
+    volumes, per program and in total.
+    """
+    per_trace: dict[str, Any] = {}
+    total = {
+        "events": 0,
+        "io_node_time_s": 0.0,
+        "read_bytes": 0,
+        "write_bytes": 0,
+        "reads": 0,
+        "writes": 0,
+        "seeks": 0,
+        "opens": 0,
+    }
+    makespan = 0.0
+    for name, trace in result.traces.items():
+        table = OperationTable(trace)
+        rec = {
+            "events": len(trace),
+            "duration_s": round(trace.duration, 9),
+            "io_node_time_s": round(table.total_time, 9),
+            "reads": table.row("Read").count + table.row("AsynchRead").count,
+            "read_bytes": table.row("Read").volume + table.row("AsynchRead").volume,
+            "writes": table.row("Write").count,
+            "write_bytes": table.row("Write").volume,
+            "seeks": table.row("Seek").count,
+            "opens": table.row("Open").count,
+        }
+        per_trace[name] = rec
+        total["events"] += rec["events"]
+        total["io_node_time_s"] = round(total["io_node_time_s"] + rec["io_node_time_s"], 9)
+        total["read_bytes"] += rec["read_bytes"]
+        total["write_bytes"] += rec["write_bytes"]
+        total["reads"] += rec["reads"]
+        total["writes"] += rec["writes"]
+        total["seeks"] += rec["seeks"]
+        total["opens"] += rec["opens"]
+        makespan = max(makespan, trace.duration)
+    sim_now = getattr(getattr(result.machine, "env", None), "now", None)
+    return {
+        "makespan_s": round(float(sim_now) if sim_now is not None else makespan, 9),
+        "traces": per_trace,
+        **total,
+    }
+
+
+@dataclass
+class RunRecord:
+    """One run's outcome inside a campaign."""
+
+    spec: RunSpec
+    status: str = "queued"  # queued|running|cached|done|failed
+    attempts: int = 0
+    metrics: Optional[dict[str, Any]] = None
+    error: str = ""
+    elapsed_s: float = 0.0
+
+    @property
+    def run_hash(self) -> str:
+        return self.spec.run_hash
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hash": self.run_hash,
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "error": self.error,
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class CampaignManifest:
+    """Aggregate record of one campaign invocation."""
+
+    name: str
+    version: str
+    campaign_hash: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        out = {"total": len(self.records), "cached": 0, "done": 0, "failed": 0}
+        for rec in self.records:
+            if rec.status in out:
+                out[rec.status] += 1
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "campaign_hash": self.campaign_hash,
+            "counts": self.counts(),
+            "runs": [rec.to_dict() for rec in self.records],
+        }
+
+    def write(self, directory: str) -> str:
+        """Write ``<sanitized name>.manifest.json`` under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, f"{sanitize_filename(self.name, 'campaign')}.manifest.json"
+        )
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def render_summary(manifest: CampaignManifest) -> str:
+    """Fixed-width per-run table plus the campaign's headline counts."""
+    header = (
+        f"{'run':<30} {'hash':<16} {'status':<7} {'tries':>5} "
+        f"{'makespan(s)':>12} {'io time(s)':>12} {'events':>8}"
+    )
+    lines = [
+        f"campaign {manifest.name!r}  (grid {manifest.campaign_hash}, "
+        f"code v{manifest.version})",
+        header,
+        "-" * len(header),
+    ]
+    for rec in manifest.records:
+        m = rec.metrics or {}
+        mk = f"{m['makespan_s']:.2f}" if "makespan_s" in m else "-"
+        io = f"{m['io_node_time_s']:.2f}" if "io_node_time_s" in m else "-"
+        ev = f"{m['events']:,}" if "events" in m else "-"
+        lines.append(
+            f"{rec.spec.label():<30} {rec.run_hash:<16} {rec.status:<7} "
+            f"{rec.attempts:>5} {mk:>12} {io:>12} {ev:>8}"
+        )
+    c = manifest.counts()
+    lines.append("-" * len(header))
+    lines.append(
+        f"{c['total']} runs: {c['cached']} cached, {c['done']} simulated, "
+        f"{c['failed']} failed"
+    )
+    return "\n".join(lines)

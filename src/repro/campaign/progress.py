@@ -1,0 +1,71 @@
+"""Structured progress reporting for long sweeps.
+
+One fixed-format line per state change::
+
+    [campaign demo] 12 runs: 5 queued 2 running 3 cached 2 done 0 failed | +escat/small/ppfs/adaptive done (1.3s)
+
+The counts always cover the whole grid, so a line is meaningful on its
+own in a log file; the trailing delta names the run that just moved.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["Progress"]
+
+_STATES = ("queued", "running", "cached", "done", "failed")
+
+
+class Progress:
+    """Tracks per-state run counts and emits one line per transition."""
+
+    def __init__(
+        self,
+        name: str,
+        total: int,
+        stream: Optional[TextIO] = None,
+        quiet: bool = False,
+        clock=time.monotonic,
+    ):
+        self.name = name
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.quiet = quiet
+        self._clock = clock
+        self._t0 = clock()
+        self.counts = {state: 0 for state in _STATES}
+        self.counts["queued"] = total
+
+    def move(self, src: str, dst: str, label: str = "", note: str = "") -> None:
+        """Record one run moving ``src`` -> ``dst`` and emit a line."""
+        for state in (src, dst):
+            if state not in self.counts:
+                raise ValueError(f"unknown progress state {state!r}")
+        self.counts[src] -= 1
+        self.counts[dst] += 1
+        delta = f" | +{label} {dst}" if label else ""
+        if note:
+            delta += f" ({note})"
+        self.emit(delta)
+
+    def line(self, suffix: str = "") -> str:
+        counts = " ".join(f"{self.counts[s]} {s}" for s in _STATES)
+        return (
+            f"[campaign {self.name}] {self.total} runs: {counts} "
+            f"[{self._clock() - self._t0:.1f}s]{suffix}"
+        )
+
+    def emit(self, suffix: str = "") -> None:
+        if self.quiet:
+            return
+        print(self.line(suffix), file=self.stream, flush=True)
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self.counts["cached"] + self.counts["done"] + self.counts["failed"]
+            >= self.total
+        )

@@ -1,0 +1,213 @@
+"""Declarative campaign specifications and content-addressed run hashes.
+
+A :class:`CampaignSpec` names a parameter grid — applications, scales,
+file systems, PPFS policy presets, seeds, config overrides — and expands
+it into concrete :class:`RunSpec` records.  Each run spec canonicalizes
+to a stable JSON form whose SHA-256 digest is the run's *content hash*:
+two specs with the same parameters hash identically regardless of how or
+where they were built, which is what lets the result cache make repeat
+campaigns incremental.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Iterable, Optional, Sequence
+
+from ..apps.workloads import paper_machine, small_machine
+from ..core.experiment import Experiment
+from ..core.registry import APPLICATIONS, paper_experiment, small_experiment
+from ..ppfs.policies import PPFSPolicies
+
+__all__ = ["RunSpec", "CampaignSpec", "SPEC_VERSION"]
+
+#: Bumped whenever the canonical form changes meaning; part of the hash,
+#: so stale cache entries from an older scheme are never reused.
+SPEC_VERSION = 1
+
+_SCALES = ("paper", "small")
+_FILESYSTEMS = ("pfs", "ppfs")
+#: Override values must survive a JSON round trip unchanged.
+_OVERRIDE_TYPES = (bool, int, float, str)
+
+
+def _freeze_overrides(overrides: Any) -> tuple[tuple[str, Any], ...]:
+    """Normalize a dict/pair-iterable of config overrides to a sorted tuple."""
+    items = dict(overrides or {}).items()
+    for key, value in items:
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"override keys must be non-empty strings, got {key!r}")
+        if not isinstance(value, _OVERRIDE_TYPES):
+            raise ValueError(
+                f"override {key}={value!r} is not a JSON scalar "
+                f"({'/'.join(t.__name__ for t in _OVERRIDE_TYPES)})"
+            )
+    return tuple(sorted(items))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation run.
+
+    Every field is a primitive, so the record pickles cheaply across the
+    worker-pool boundary and serializes losslessly into cache metadata.
+
+    Parameters
+    ----------
+    app:
+        'escat', 'render' or 'htf'.
+    scale:
+        'paper' (the Tables 1-6 runs) or 'small' (structure-preserving
+        miniatures).
+    fs:
+        'pfs' or 'ppfs'.
+    policy:
+        PPFS policy preset name (see :meth:`PPFSPolicies.presets`), or
+        None for the preset-free default.  Requires ``fs='ppfs'``.
+    seed:
+        Machine RNG seed; None keeps each scale's calibrated default.
+    overrides:
+        Workload-config field overrides, applied with
+        :func:`dataclasses.replace` on the app's config record.
+    """
+
+    app: str
+    scale: str = "small"
+    fs: str = "pfs"
+    policy: Optional[str] = None
+    seed: Optional[int] = None
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.app not in APPLICATIONS:
+            raise ValueError(f"unknown app {self.app!r}; pick from {sorted(APPLICATIONS)}")
+        if self.scale not in _SCALES:
+            raise ValueError(f"scale must be one of {_SCALES}, got {self.scale!r}")
+        if self.fs not in _FILESYSTEMS:
+            raise ValueError(f"fs must be one of {_FILESYSTEMS}, got {self.fs!r}")
+        if self.policy is not None:
+            if self.fs != "ppfs":
+                raise ValueError(f"policy {self.policy!r} requires fs='ppfs'")
+            if self.policy not in PPFSPolicies.presets():
+                raise ValueError(
+                    f"unknown policy preset {self.policy!r}; "
+                    f"pick from {list(PPFSPolicies.presets())}"
+                )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an int or None, got {self.seed!r}")
+        object.__setattr__(self, "overrides", _freeze_overrides(self.overrides))
+
+    # -- identity ----------------------------------------------------------
+    def canonical(self) -> dict[str, Any]:
+        """The hash-defining parameter record (JSON-stable key order)."""
+        return {
+            "version": SPEC_VERSION,
+            "app": self.app,
+            "scale": self.scale,
+            "fs": self.fs,
+            "policy": self.policy,
+            "seed": self.seed,
+            "overrides": {k: v for k, v in self.overrides},
+        }
+
+    @property
+    def run_hash(self) -> str:
+        """Content hash of the canonicalized parameters (hex, 16 chars)."""
+        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Short human identifier for progress lines and tables."""
+        parts = [self.app, self.scale, self.fs]
+        if self.policy:
+            parts.append(self.policy)
+        if self.seed is not None:
+            parts.append(f"seed{self.seed}")
+        return "/".join(parts)
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return self.canonical()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSpec":
+        return cls(
+            app=data["app"],
+            scale=data.get("scale", "small"),
+            fs=data.get("fs", "pfs"),
+            policy=data.get("policy"),
+            seed=data.get("seed"),
+            overrides=tuple(sorted((data.get("overrides") or {}).items())),
+        )
+
+    # -- materialization ---------------------------------------------------
+    def build_experiment(self) -> Experiment:
+        """Assemble the :class:`Experiment` this spec describes."""
+        build = paper_experiment if self.scale == "paper" else small_experiment
+        kwargs: dict[str, Any] = {}
+        if self.overrides:
+            base = APPLICATIONS[self.app][0 if self.scale == "paper" else 1]()
+            kwargs["config"] = dataclasses.replace(base, **dict(self.overrides))
+        if self.seed is not None:
+            factory = paper_machine if self.scale == "paper" else small_machine
+            kwargs["machine_factory"] = partial(factory, seed=self.seed)
+        if self.fs == "ppfs":
+            kwargs["filesystem"] = "ppfs"
+            kwargs["policies"] = (
+                PPFSPolicies.from_name(self.policy) if self.policy else PPFSPolicies()
+            )
+        return build(self.app, **kwargs)
+
+
+@dataclass
+class CampaignSpec:
+    """A parameter grid over :class:`RunSpec` fields.
+
+    ``expand()`` takes the cartesian product and drops the combinations
+    that cannot exist (a PPFS policy preset on plain PFS), so a grid of
+    ``filesystems=('pfs', 'ppfs')`` and several presets yields one PFS
+    baseline plus every PPFS variant — deduplicated by content hash.
+    """
+
+    apps: Sequence[str] = ("escat", "render", "htf")
+    scales: Sequence[str] = ("small",)
+    filesystems: Sequence[str] = ("pfs",)
+    policies: Sequence[Optional[str]] = (None,)
+    seeds: Sequence[Optional[int]] = (None,)
+    overrides: dict[str, Any] = field(default_factory=dict)
+    name: str = "campaign"
+
+    def expand(self) -> list[RunSpec]:
+        """The grid's concrete runs, in deterministic order, deduplicated."""
+        frozen = _freeze_overrides(self.overrides)
+        runs: dict[str, RunSpec] = {}
+        for app, scale, fs, policy, seed in itertools.product(
+            self.apps, self.scales, self.filesystems, self.policies, self.seeds
+        ):
+            if fs == "pfs" and policy is not None:
+                continue
+            spec = RunSpec(
+                app=app, scale=scale, fs=fs, policy=policy, seed=seed, overrides=frozen
+            )
+            runs.setdefault(spec.run_hash, spec)
+        if not runs:
+            raise ValueError("campaign grid expanded to zero runs")
+        return list(runs.values())
+
+    @property
+    def campaign_hash(self) -> str:
+        """Hash over the sorted run hashes (identifies the whole grid)."""
+        digest = hashlib.sha256()
+        for h in sorted(r.run_hash for r in self.expand()):
+            digest.update(h.encode())
+        return digest.hexdigest()[:16]
+
+
+def specs_from_dicts(rows: Iterable[dict[str, Any]]) -> list[RunSpec]:
+    """Rehydrate run specs from manifest/cache JSON rows."""
+    return [RunSpec.from_dict(row) for row in rows]

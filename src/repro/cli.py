@@ -8,6 +8,9 @@
     python -m repro characterize traces/escat.sddf   # report a saved trace
     python -m repro compare traces/*.sddf            # §8 cross-app table
     python -m repro replay traces/escat.sddf --fs ppfs --policies escat_tuned
+    python -m repro campaign run --jobs 4            # parallel sweep + cache
+    python -m repro campaign status                  # what's in the cache
+    python -m repro campaign clean                   # drop cached results
 """
 
 from __future__ import annotations
@@ -18,8 +21,11 @@ import sys
 from typing import Optional
 
 from .analysis.report import CharacterizationReport
+from .campaign.cache import ResultCache
+from .campaign.runner import CampaignRunner, code_version
+from .campaign.spec import CampaignSpec
 from .core.compare import CrossAppComparison
-from .core.registry import paper_experiment, small_experiment
+from .core.registry import APPLICATIONS, paper_experiment, small_experiment
 from .core.replay import replay_trace
 from .pablo.trace import Trace
 from .ppfs.policies import PPFSPolicies
@@ -27,12 +33,27 @@ from .ppfs.server import PPFS
 
 __all__ = ["main"]
 
-_POLICY_PRESETS = {
-    "passthrough": PPFSPolicies.passthrough,
-    "escat_tuned": PPFSPolicies.escat_tuned,
-    "sequential_reader": PPFSPolicies.sequential_reader,
-    "adaptive": PPFSPolicies.adaptive,
-}
+_DEFAULT_CACHE_DIR = ".campaign-cache"
+
+
+def _csv(text: str) -> list[str]:
+    return [item for item in (part.strip() for part in text.split(",")) if item]
+
+
+def _parse_override(pair: str) -> tuple[str, object]:
+    """``key=value`` with value coerced to bool/int/float when it parses."""
+    key, sep, raw = pair.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"--set expects key=value, got {pair!r}")
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return key, lowered == "true"
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            pass
+    return key, raw
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,13 +62,16 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'I/O Characteristics of Scalable "
         "Parallel Applications' (SC '95)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {code_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run an application and characterize it")
-    run.add_argument("app", choices=["escat", "render", "htf"])
+    run.add_argument("app", choices=sorted(APPLICATIONS))
     run.add_argument("--scale", choices=["paper", "small"], default="small")
     run.add_argument("--fs", choices=["pfs", "ppfs"], default="pfs")
-    run.add_argument("--policies", choices=sorted(_POLICY_PRESETS), default=None)
+    run.add_argument("--policies", choices=PPFSPolicies.presets(), default=None)
     run.add_argument("--save-dir", default=None, metavar="DIR",
                      help="write SDDF trace(s) into DIR")
 
@@ -60,13 +84,48 @@ def _build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("replay", help="replay a trace on another configuration")
     rep.add_argument("trace", help="path to a .sddf trace file")
     rep.add_argument("--fs", choices=["pfs", "ppfs"], default="pfs")
-    rep.add_argument("--policies", choices=sorted(_POLICY_PRESETS), default=None)
+    rep.add_argument("--policies", choices=PPFSPolicies.presets(), default=None)
     rep.add_argument("--think", choices=["preserve", "none"], default="preserve")
+
+    camp = sub.add_parser(
+        "campaign", help="run parameter sweeps with a content-addressed cache"
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    crun = csub.add_parser("run", help="expand a grid and execute it")
+    crun.add_argument("--name", default="campaign", help="campaign name")
+    crun.add_argument("--apps", type=_csv, default=sorted(APPLICATIONS),
+                      metavar="A,B", help="comma-separated application names")
+    crun.add_argument("--scales", type=_csv, default=["small"], metavar="S,S")
+    crun.add_argument("--fs", type=_csv, default=["pfs"], metavar="FS,FS",
+                      help="file systems to sweep (pfs,ppfs)")
+    crun.add_argument("--policies", type=_csv, default=["none"], metavar="P,P",
+                      help="PPFS presets; 'none' = no preset "
+                      f"(known: {', '.join(PPFSPolicies.presets())})")
+    crun.add_argument("--seeds", type=_csv, default=["default"], metavar="N,N",
+                      help="machine RNG seeds; 'default' = calibrated seed")
+    crun.add_argument("--set", action="append", type=_parse_override,
+                      default=[], metavar="KEY=VALUE", dest="overrides",
+                      help="workload-config override applied to every run")
+    crun.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (1 = in-process serial)")
+    crun.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="per-run timeout (parallel mode)")
+    crun.add_argument("--retries", type=int, default=1, metavar="N",
+                      help="extra attempts after a failed run")
+    crun.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
+    crun.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    cstat = csub.add_parser("status", help="summarize the result cache")
+    cstat.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
+
+    cclean = csub.add_parser("clean", help="remove all cached results")
+    cclean.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
     return parser
 
 
 def _policies(name: Optional[str]) -> Optional[PPFSPolicies]:
-    return _POLICY_PRESETS[name]() if name else None
+    return PPFSPolicies.from_name(name) if name else None
 
 
 def _cmd_run(args) -> int:
@@ -122,9 +181,71 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_campaign_run(args) -> int:
+    try:
+        spec = CampaignSpec(
+            name=args.name,
+            apps=tuple(args.apps),
+            scales=tuple(args.scales),
+            filesystems=tuple(args.fs),
+            policies=tuple(None if p == "none" else p for p in args.policies),
+            seeds=tuple(None if s == "default" else int(s) for s in args.seeds),
+            overrides=dict(args.overrides),
+        )
+        runs = spec.expand()
+    except ValueError as exc:
+        print(f"bad campaign grid: {exc}", file=sys.stderr)
+        return 2
+    try:
+        runner = CampaignRunner(
+            spec,
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            quiet=args.quiet,
+        )
+    except ValueError as exc:
+        print(f"bad campaign options: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {args.name!r}: {len(runs)} runs, --jobs {args.jobs}, "
+          f"cache {args.cache_dir}")
+    report = runner.run()
+    print(report.summary())
+    print(f"manifest: {report.manifest_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign_status(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    entries = cache.entries()
+    print(f"cache {cache.root}: {len(entries)} run(s), "
+          f"{cache.size_bytes():,} bytes")
+    for run_hash in entries:
+        spec = cache.load_spec(run_hash)
+        metrics = cache.load_metrics(run_hash)
+        label = spec.label() if spec else "?"
+        print(f"  {run_hash}  {label:<30} makespan {metrics['makespan_s']:>10.2f}s  "
+              f"io {metrics['io_node_time_s']:>10.2f}s  {metrics['events']:>7,} events")
+    return 0
+
+
+def _cmd_campaign_clean(args) -> int:
+    removed = ResultCache(args.cache_dir).clean()
+    print(f"removed {removed} cached run(s) from {args.cache_dir}")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "campaign":
+        handler = {
+            "run": _cmd_campaign_run,
+            "status": _cmd_campaign_status,
+            "clean": _cmd_campaign_clean,
+        }[args.campaign_command]
+        return handler(args)
     handler = {
         "run": _cmd_run,
         "characterize": _cmd_characterize,

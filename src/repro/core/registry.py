@@ -33,7 +33,8 @@ def paper_experiment(app: str, **kwargs) -> Experiment:
     """The paper-scale experiment for ``app`` (kwargs override fields)."""
     if app not in APPLICATIONS:
         raise KeyError(f"unknown application {app!r}")
-    return Experiment(app=app, config=APPLICATIONS[app][0](), **kwargs)
+    kwargs.setdefault("config", APPLICATIONS[app][0]())
+    return Experiment(app=app, **kwargs)
 
 
 def small_experiment(app: str, **kwargs) -> Experiment:
@@ -41,4 +42,5 @@ def small_experiment(app: str, **kwargs) -> Experiment:
     if app not in APPLICATIONS:
         raise KeyError(f"unknown application {app!r}")
     kwargs.setdefault("machine_factory", small_machine)
-    return Experiment(app=app, config=APPLICATIONS[app][1](), **kwargs)
+    kwargs.setdefault("config", APPLICATIONS[app][1]())
+    return Experiment(app=app, **kwargs)

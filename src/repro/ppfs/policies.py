@@ -8,6 +8,7 @@ Preset constructors give the configurations the benches compare.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..util.units import KB
 
@@ -69,6 +70,26 @@ class PPFSPolicies:
             raise ValueError("server_cache_hit_s must be >= 0")
 
     # -- presets --------------------------------------------------------------
+    @classmethod
+    def presets(cls) -> tuple[str, ...]:
+        """Names of the registered preset configurations, sorted."""
+        return tuple(sorted(_PRESETS))
+
+    @classmethod
+    def from_name(cls, name: str) -> "PPFSPolicies":
+        """Build the named preset (the registry the CLI and campaign share)."""
+        try:
+            return _PRESETS[name]()
+        except KeyError:
+            raise KeyError(
+                f"unknown policy preset {name!r}; pick from {sorted(_PRESETS)}"
+            ) from None
+
+    @staticmethod
+    def default() -> "PPFSPolicies":
+        """Client caching on, everything else off (the constructor defaults)."""
+        return PPFSPolicies()
+
     @staticmethod
     def passthrough() -> "PPFSPolicies":
         """No caching, no prefetch, synchronous writes (PFS-like)."""
@@ -93,3 +114,15 @@ class PPFSPolicies:
     def two_level() -> "PPFSPolicies":
         """Client caches plus shared I/O-node caches (§8)."""
         return PPFSPolicies(server_cache_blocks=128)
+
+
+#: name -> preset constructor; one source of truth for the CLI and the
+#: campaign grid (``PPFSPolicies.presets()`` / ``PPFSPolicies.from_name()``).
+_PRESETS: dict[str, Callable[[], PPFSPolicies]] = {
+    "default": PPFSPolicies.default,
+    "passthrough": PPFSPolicies.passthrough,
+    "escat_tuned": PPFSPolicies.escat_tuned,
+    "sequential_reader": PPFSPolicies.sequential_reader,
+    "adaptive": PPFSPolicies.adaptive,
+    "two_level": PPFSPolicies.two_level,
+}

@@ -1,7 +1,7 @@
 """Shared helpers: byte units, formatting, validation, descriptive stats."""
 
 from .units import GB, KB, MB, STRIPE_UNIT, fmt_bytes, fmt_seconds
-from .validation import check_nonneg, check_positive, check_range
+from .validation import check_nonneg, check_positive, check_range, sanitize_filename
 
 __all__ = [
     "KB",
@@ -13,4 +13,5 @@ __all__ = [
     "check_nonneg",
     "check_positive",
     "check_range",
+    "sanitize_filename",
 ]

@@ -5,7 +5,33 @@ Centralized so error messages are uniform and easy to test.
 
 from __future__ import annotations
 
-__all__ = ["check_positive", "check_nonneg", "check_range"]
+__all__ = ["check_positive", "check_nonneg", "check_range", "sanitize_filename"]
+
+#: Characters allowed verbatim in generated file names.
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def sanitize_filename(name: str, fallback: str = "artifact") -> str:
+    """Reduce ``name`` to a filesystem-safe basename.
+
+    Path separators, whitespace and shell metacharacters collapse to
+    single underscores; leading dots are stripped so the result is never
+    hidden or a relative path escape.  Empty results fall back to
+    ``fallback``.
+    """
+    out = []
+    last_us = False
+    for ch in name:
+        if ch in _SAFE_CHARS:
+            out.append(ch)
+            last_us = False
+        elif not last_us:
+            out.append("_")
+            last_us = True
+    safe = "".join(out).strip("._")
+    return safe or fallback
 
 
 def check_positive(value: float, name: str) -> float:
