@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench examples campaign-smoke clean all
+.PHONY: install test bench perf examples campaign-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
 
@@ -12,6 +12,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+perf:
+	PYTHONPATH=src:. python benchmarks/bench_kernel_micro.py --scale small
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done

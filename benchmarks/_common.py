@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 
 from repro.util import sanitize_filename
@@ -21,6 +22,20 @@ def emit(name: str, text: str) -> str:
     path = os.path.join(OUTPUT_DIR, f"{sanitize_filename(name)}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    return path
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Save a machine-readable artifact under output/, return the path.
+
+    Companion to :func:`emit` for benches whose results feed tooling (the
+    CI perf-smoke step uploads these) rather than human-readable tables.
+    """
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{sanitize_filename(name)}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path
 
 

@@ -38,8 +38,7 @@ def synthetic_trace(n: int = N_EVENTS) -> Trace:
     ev["nbytes"] = rng.choice([2048, 81920, 983040], size=n, p=[0.5, 0.4, 0.1])
     ev["duration"] = rng.exponential(0.05, n)
     trace = Trace("synthetic-large", nodes=128)
-    trace._rows = list(map(tuple, ev.tolist()))
-    trace._frozen = ev
+    trace.extend(ev)
     return trace
 
 

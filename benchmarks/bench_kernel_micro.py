@@ -1,0 +1,138 @@
+"""Discrete-event kernel microbenchmarks + end-to-end wall times.
+
+Measures the two things the fast-path work optimizes:
+
+* **kernel op throughput** — events dispatched per second under a
+  timeout-heavy load (heap path) and an immediate-resume load (the FIFO
+  deque fast path that replaced throwaway bootstrap/zero-delay Events);
+* **paper-scale wall time** — `Experiment.run()` for each paper app, the
+  number the ISSUE's >= 1.8x acceptance bar is stated against.
+
+Runs two ways:
+
+* under pytest-benchmark (``pytest benchmarks/bench_kernel_micro.py
+  --benchmark-only``) for calibrated microbench numbers;
+* as a script (``python benchmarks/bench_kernel_micro.py [--scale
+  small|paper]``) emitting the machine-readable ``BENCH_kernel.json``
+  artifact the CI perf-smoke step uploads.  ``--scale small`` keeps the
+  CI step to a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core import paper_experiment, small_experiment
+from repro.sim.core import Environment
+
+from benchmarks._common import emit, emit_json
+
+APPS = ("escat", "render", "htf")
+
+
+# -- kernel op throughput ------------------------------------------------------
+def timeout_churn(n_procs: int = 64, n_steps: int = 400) -> int:
+    """Heap-path load: many processes sleeping staggered nonzero delays."""
+    env = Environment()
+
+    def proc(env, i):
+        delay = (i % 7 + 1) * 1e-3
+        for _ in range(n_steps):
+            yield env.timeout(delay)
+
+    for i in range(n_procs):
+        env.process(proc(env, i))
+    env.run()
+    return n_procs * n_steps
+
+
+def immediate_churn(n_procs: int = 64, n_steps: int = 400) -> int:
+    """Deque-path load: zero-delay timeouts resume via the immediate FIFO."""
+    env = Environment()
+
+    def proc(env):
+        for _ in range(n_steps):
+            yield env.timeout(0)
+
+    for _ in range(n_procs):
+        env.process(proc(env))
+    env.run()
+    return n_procs * n_steps
+
+
+def _ops_per_second(fn) -> float:
+    ops = fn()  # warm-up
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        ops = fn()
+        best = min(best, time.perf_counter() - t0)
+    return ops / best
+
+
+# -- end-to-end wall time ------------------------------------------------------
+def app_wall_time(app: str, scale: str = "paper", repeats: int = 1) -> float:
+    """Best-of-N `Experiment.run()` wall seconds."""
+    build = paper_experiment if scale == "paper" else small_experiment
+    best = float("inf")
+    for _ in range(repeats):
+        exp = build(app)
+        t0 = time.perf_counter()
+        exp.run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+def test_kernel_timeout_throughput(benchmark):
+    ops = benchmark(timeout_churn)
+    assert ops == 64 * 400
+
+
+def test_kernel_immediate_throughput(benchmark):
+    ops = benchmark(immediate_churn)
+    assert ops == 64 * 400
+
+
+def test_small_scale_wall_times(benchmark):
+    times = benchmark(lambda: {app: app_wall_time(app, scale="small") for app in APPS})
+    assert all(t > 0 for t in times.values())
+
+
+# -- script entry (CI perf-smoke, `make perf`) ---------------------------------
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="experiment scale for the per-app wall times (default small)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of-N per app (default 2)"
+    )
+    args = parser.parse_args(argv)
+
+    payload = {
+        "scale": args.scale,
+        "kernel_ops_per_s": {
+            "timeout_heap": round(_ops_per_second(timeout_churn)),
+            "immediate_deque": round(_ops_per_second(immediate_churn)),
+        },
+        "app_wall_s": {
+            app: round(app_wall_time(app, scale=args.scale, repeats=args.repeats), 4)
+            for app in APPS
+        },
+    }
+    lines = [f"scale: {args.scale}"]
+    for name, ops in payload["kernel_ops_per_s"].items():
+        lines.append(f"kernel {name:<16} {ops:>12,} events/s")
+    for app, secs in payload["app_wall_s"].items():
+        lines.append(f"wall   {app:<16} {secs:>12.3f} s")
+    emit("kernel_micro", "\n".join(lines))
+    return emit_json("BENCH_kernel", payload)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -25,6 +25,15 @@ from .trace import Trace
 __all__ = ["InstrumentedPFS", "EventObserver"]
 
 
+def _no_perturb() -> tuple:
+    """Zero-overhead stand-in for :meth:`InstrumentedPFS._perturb`.
+
+    Returns an empty iterable so ``yield from self._perturb()`` costs one
+    call and no generator allocation when ``overhead_s == 0``.
+    """
+    return ()
+
+
 class EventObserver(Protocol):
     """Anything that consumes events in real time (e.g. reductions)."""
 
@@ -56,6 +65,11 @@ class InstrumentedPFS:
         self.env = fs.env
         self.trace = trace if trace is not None else Trace()
         self.overhead_s = overhead_s
+        if overhead_s == 0:
+            # Bind the no-op once so the hot per-op path skips generator
+            # creation entirely (the default: the paper reports capture
+            # overhead is modest, and we model it as zero).
+            self._perturb = _no_perturb
         self._observers: list[EventObserver] = []
 
     def add_observer(self, observer: EventObserver) -> None:
@@ -69,8 +83,7 @@ class InstrumentedPFS:
             obs.observe(t0, node, op, file_id, offset, nbytes, duration)
 
     def _perturb(self):
-        if self.overhead_s:
-            yield self.env.timeout(self.overhead_s)
+        yield self.env.timeout(self.overhead_s)
 
     # -- uninstrumented passthroughs -------------------------------------------
     def ensure(self, path: str, file_id: Optional[int] = None, size: int = 0):
@@ -108,7 +121,7 @@ class InstrumentedPFS:
 
     def close(self, node: int, fd: int):
         """Instrumented close."""
-        file_id = self.fs.file_of(node, fd).file_id
+        file_id = self.fs._entry(node, fd).file.file_id
         t0 = self.env.now
         yield from self._perturb()
         yield from self.fs.close(node, fd)
@@ -117,30 +130,33 @@ class InstrumentedPFS:
     def read(self, node: int, fd: int, nbytes: int, data_out: bool = False):
         """Instrumented read; returns bytes read (or ``(count, data)``
         with ``data_out`` and content tracking, as the raw PFS does)."""
-        file_id = self.fs.file_of(node, fd).file_id
+        entry = self.fs._entry(node, fd)
+        file_id = entry.file.file_id
         t0 = self.env.now
         yield from self._perturb()
         result = yield from self.fs.read(node, fd, nbytes, data_out=data_out)
         count = result[0] if data_out else result
-        offset = self.fs.last_op_offset(node, fd)
+        offset = entry.last_op_offset
         self._emit(t0, node, Op.READ, file_id, max(offset, 0), count)
         return result
 
     def write(self, node: int, fd: int, nbytes: int, data=None):
         """Instrumented write; returns bytes written."""
-        file_id = self.fs.file_of(node, fd).file_id
+        entry = self.fs._entry(node, fd)
+        file_id = entry.file.file_id
         t0 = self.env.now
         yield from self._perturb()
         count = yield from self.fs.write(node, fd, nbytes, data=data)
-        offset = self.fs.last_op_offset(node, fd)
+        offset = entry.last_op_offset
         self._emit(t0, node, Op.WRITE, file_id, max(offset, 0), count)
         return count
 
     def seek(self, node: int, fd: int, offset: int, whence: int = SEEK_SET):
         """Instrumented seek; the event's nbytes is the seek *distance*
         (how the paper's Table 5 accounts seek volume)."""
-        file_id = self.fs.file_of(node, fd).file_id
-        before = self.fs.tell(node, fd)
+        entry = self.fs._entry(node, fd)
+        file_id = entry.file.file_id
+        before = entry.file.tell(entry)
         t0 = self.env.now
         yield from self._perturb()
         new = yield from self.fs.seek(node, fd, offset, whence)
@@ -149,7 +165,7 @@ class InstrumentedPFS:
 
     def lsize(self, node: int, fd: int):
         """Instrumented lsize; returns the file size."""
-        file_id = self.fs.file_of(node, fd).file_id
+        file_id = self.fs._entry(node, fd).file.file_id
         t0 = self.env.now
         yield from self._perturb()
         size = yield from self.fs.lsize(node, fd)
@@ -158,7 +174,7 @@ class InstrumentedPFS:
 
     def flush(self, node: int, fd: int):
         """Instrumented flush (Fortran forflush)."""
-        file_id = self.fs.file_of(node, fd).file_id
+        file_id = self.fs._entry(node, fd).file.file_id
         t0 = self.env.now
         yield from self._perturb()
         yield from self.fs.flush(node, fd)
@@ -171,8 +187,9 @@ class InstrumentedPFS:
         :meth:`iowait` event carries the blocking time (Table 3 reports
         them separately).
         """
-        file_id = self.fs.file_of(node, fd).file_id
-        offset = self.fs.tell(node, fd)
+        entry = self.fs._entry(node, fd)
+        file_id = entry.file.file_id
+        offset = entry.file.tell(entry)
         t0 = self.env.now
         yield from self._perturb()
         handle = yield from self.fs.aread(node, fd, nbytes)

@@ -1,18 +1,22 @@
 """Event-trace container with SDDF persistence.
 
-A :class:`Trace` accumulates application-level I/O events during a run,
-then freezes into a NumPy structured array (:data:`EVENT_DTYPE`) for the
-vectorized offline analyses.  Traces serialize to Pablo-style SDDF (ASCII
-or binary) and parse back losslessly.
+A :class:`Trace` accumulates application-level I/O events during a run
+directly into a preallocated NumPy structured buffer (:data:`EVENT_DTYPE`)
+that grows by doubling.  Freezing into the vectorized :attr:`Trace.events`
+view is therefore zero-copy, and a multi-million-event capture costs tens
+of bytes per event instead of a Python tuple plus list slot apiece.
+Traces serialize to Pablo-style SDDF (ASCII or binary) and parse back
+losslessly.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import hashlib
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
-from .events import Op, make_event_array
+from .events import EVENT_DTYPE, Op
 from .sddf import RecordDescriptor, SDDFReader, SDDFWriter
 
 __all__ = ["Trace", "IO_EVENT_DESCRIPTOR"]
@@ -38,9 +42,12 @@ _META_DESCRIPTOR = RecordDescriptor.build(
     tag=0,
 )
 
+#: Initial capacity of the event buffer (rows).
+_INITIAL_CAPACITY = 1024
+
 
 class Trace:
-    """Accumulates I/O events; freezes to a structured array.
+    """Accumulates I/O events in columnar buffers; freezes zero-copy.
 
     Parameters
     ----------
@@ -54,7 +61,8 @@ class Trace:
         self.application = application
         self.nodes = nodes
         self.comment = comment
-        self._rows: list[tuple] = []
+        self._buf: np.ndarray = np.empty(_INITIAL_CAPACITY, dtype=EVENT_DTYPE)
+        self._n = 0
         self._frozen: Optional[np.ndarray] = None
         #: Optional file-id -> path names (informational).
         self.file_names: dict[int, str] = {}
@@ -71,23 +79,52 @@ class Trace:
         duration: float,
     ) -> None:
         """Append one event (invalidates any frozen view)."""
-        self._rows.append(
-            (timestamp, node, int(op), file_id, offset, nbytes, duration)
-        )
+        n = self._n
+        buf = self._buf
+        if n == len(buf):
+            buf = self._grow(n)
+        buf[n] = (timestamp, node, int(op), file_id, offset, nbytes, duration)
+        self._n = n + 1
         self._frozen = None
 
+    def extend(self, rows: Iterable[tuple]) -> None:
+        """Bulk-append ``(timestamp, node, op, file_id, offset, nbytes,
+        duration)`` rows (an ndarray of :data:`EVENT_DTYPE` appends
+        without per-row conversion)."""
+        if isinstance(rows, np.ndarray) and rows.dtype == EVENT_DTYPE:
+            chunk = rows
+        else:
+            chunk = np.array([tuple(r) for r in rows], dtype=EVENT_DTYPE)
+        n, k = self._n, len(chunk)
+        if n + k > len(self._buf):
+            self._grow(n + k)
+        self._buf[n : n + k] = chunk
+        self._n = n + k
+        self._frozen = None
+
+    def _grow(self, need: int) -> np.ndarray:
+        """Double the buffer until it holds ``need + 1`` rows."""
+        cap = max(len(self._buf), _INITIAL_CAPACITY)
+        while cap <= need:
+            cap *= 2
+        grown = np.empty(cap, dtype=EVENT_DTYPE)
+        grown[: self._n] = self._buf[: self._n]
+        self._buf = grown
+        return grown
+
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._n
 
     def __iter__(self) -> Iterator[tuple]:
-        return iter(self._rows)
+        """Iterate events as plain Python tuples (the historical row form)."""
+        return iter(self.events.tolist())
 
     # -- frozen view ----------------------------------------------------------
     @property
     def events(self) -> np.ndarray:
-        """The structured-array view (built lazily, cached)."""
+        """The structured-array view (zero-copy slice of the buffer)."""
         if self._frozen is None:
-            self._frozen = make_event_array(self._rows)
+            self._frozen = self._buf[: self._n]
         return self._frozen
 
     def by_op(self, op: Op) -> np.ndarray:
@@ -106,13 +143,35 @@ class Trace:
         mask = (ev["timestamp"] >= start) & (ev["timestamp"] < end)
         return ev[mask]
 
+    # -- summary statistics ----------------------------------------------------
+    def _span_and_volume(self) -> tuple[float, int]:
+        """(duration span, data-byte volume) in one pass over the buffer."""
+        ev = self.events
+        if self._n == 0:
+            return 0.0, 0
+        ts = ev["timestamp"]
+        span = float((ts + ev["duration"]).max() - ts.min())
+        op = ev["op"]
+        data = (op == int(Op.READ)) | (op == int(Op.AREAD)) | (op == int(Op.WRITE))
+        return span, int(ev["nbytes"][data].sum())
+
     @property
     def duration(self) -> float:
         """Span from first event start to last event end."""
         ev = self.events
-        if len(ev) == 0:
+        if self._n == 0:
             return 0.0
-        return float((ev["timestamp"] + ev["duration"]).max() - ev["timestamp"].min())
+        ts = ev["timestamp"]
+        return float((ts + ev["duration"]).max() - ts.min())
+
+    def content_hash(self) -> str:
+        """SHA-256 over the packed event bytes (bit-identical detector).
+
+        Two traces hash identically iff they contain the same events with
+        the same timestamps in the same order — the determinism invariant
+        the golden tests pin.
+        """
+        return hashlib.sha256(self.events.tobytes()).hexdigest()
 
     # -- persistence ----------------------------------------------------------
     def to_sddf(self, binary: bool = False) -> bytes:
@@ -121,7 +180,7 @@ class Trace:
         w.declare(_META_DESCRIPTOR)
         w.declare(IO_EVENT_DESCRIPTOR)
         w.record(0, (self.application, self.nodes, self.comment))
-        w.records(1, self._rows)
+        w.records(1, self.events.tolist())
         return w.getvalue()
 
     @classmethod
@@ -131,10 +190,11 @@ class Trace:
         meta_rows = r.records.get(0, [])
         app, nodes, comment = meta_rows[0] if meta_rows else ("", 0, "")
         trace = cls(application=app, nodes=nodes, comment=comment)
-        for row in r.records.get(1, []):
-            ts, node, op, fid, offset, nbytes, dur = row
-            trace._rows.append(
+        rows = r.records.get(1, [])
+        if rows:
+            trace.extend(
                 (float(ts), int(node), int(op), int(fid), int(offset), int(nbytes), float(dur))
+                for ts, node, op, fid, offset, nbytes, dur in rows
             )
         return trace
 
@@ -152,9 +212,8 @@ class Trace:
     # -- misc --------------------------------------------------------------
     def summary_line(self) -> str:
         """One-line description for logs."""
-        ev = self.events
-        vol = int(ev["nbytes"][np.isin(ev["op"], [int(Op.READ), int(Op.AREAD), int(Op.WRITE)])].sum()) if len(ev) else 0
+        span, vol = self._span_and_volume()
         return (
             f"{self.application or 'trace'}: {len(self)} events, "
-            f"{vol:,} data bytes, span {self.duration:.1f}s"
+            f"{vol:,} data bytes, span {span:.1f}s"
         )

@@ -31,6 +31,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -115,7 +116,9 @@ class Event:
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.env._schedule(self, 0.0)
+        env = self.env
+        env._immediate.append((env._seq, env.now, self))
+        env._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -127,7 +130,9 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = _TRIGGERED
-        self.env._schedule(self, 0.0)
+        env = self.env
+        env._immediate.append((env._seq, env.now, self))
+        env._seq += 1
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -143,12 +148,20 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = float(delay)
+        # Inlined Event.__init__ plus scheduling: Timeout is the kernel's
+        # most-allocated event type, so it pays to trigger in one shot.
+        self.env = env
+        self.callbacks = []
         self._value = value
         self._ok = True
         self._state = _TRIGGERED
-        env._schedule(self, self.delay)
+        delay = float(delay)
+        self.delay = delay
+        if delay:
+            heapq.heappush(env._queue, (env.now + delay, env._seq, self))
+        else:
+            env._immediate.append((env._seq, env.now, self))
+        env._seq += 1
 
 
 class Process(Event):
@@ -172,11 +185,12 @@ class Process(Event):
         # unobserved failure is re-raised by Environment.run().
         self._observed = False
         self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume the process at the current time.
-        boot = Event(env)
-        boot.callbacks.append(self._resume)
-        boot._state = _TRIGGERED
-        env._schedule(boot, 0.0)
+        # Bootstrap: resume the process at the current time.  A direct
+        # resume record on the immediate deque replaces the throwaway
+        # bootstrap Event; it consumes one sequence number exactly as the
+        # old event did, so the schedule order is unchanged.
+        env._immediate.append((env._seq, env.now, None, self, None, False))
+        env._seq += 1
 
     @property
     def is_alive(self) -> bool:
@@ -235,14 +249,14 @@ class Process(Event):
             return
         if isinstance(target, Process):
             target._observed = True
-        if target.processed:
-            # Already fired: resume at the current timestamp.
-            immediate = Event(self.env)
-            immediate._ok = target._ok
-            immediate._value = target._value
-            immediate._state = _TRIGGERED
-            immediate.callbacks.append(self._resume)
-            self.env._schedule(immediate, 0.0)
+        if target._state == _PROCESSED:
+            # Already fired: resume at the current timestamp via a direct
+            # resume record (one seq number, like the old throwaway Event).
+            env = self.env
+            env._immediate.append(
+                (env._seq, env.now, None, self, target._value, not target._ok)
+            )
+            env._seq += 1
         else:
             self._target = target
             target.callbacks.append(self._resume)
@@ -251,31 +265,35 @@ class Process(Event):
         self._ok = ok
         self._value = value
         self._state = _TRIGGERED
-        self.env._schedule(self, 0.0)
+        env = self.env
+        env._immediate.append((env._seq, env.now, self))
+        env._seq += 1
         if not ok:
-            self.env._note_failure(self, value)
+            env._note_failure(self, value)
 
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
-    __slots__ = ("events", "_done")
+    __slots__ = ("events", "_done", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events = list(events)
         self._done = 0
+        self._count = len(self.events)
         for ev in self.events:
             if isinstance(ev, Process):
                 ev._observed = True
         if not self.events:
             self.succeed({})
             return
+        observe = self._observe
         for ev in self.events:
-            if ev.processed:
-                self._observe(ev)
+            if ev._state == _PROCESSED:
+                observe(ev)
             else:
-                ev.callbacks.append(self._observe)
+                ev.callbacks.append(observe)
 
     def _observe(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -300,8 +318,10 @@ class AllOf(_Condition):
             self.fail(event._value)
             return
         self._done += 1
-        if self._done == len(self.events):
-            self.succeed(self._values())
+        if self._done == self._count:
+            # Every constituent has fired by construction, so the state
+            # filter in the base _values() is dead weight here.
+            self.succeed({i: ev._value for i, ev in enumerate(self.events)})
 
 
 class AnyOf(_Condition):
@@ -321,6 +341,26 @@ class AnyOf(_Condition):
 class Environment:
     """Simulation clock plus event queue.
 
+    Scheduling uses two structures that together realize one total
+    (time, seq) order:
+
+    * ``_queue`` — a binary heap of ``(time, seq, event)`` for events with
+      a strictly positive delay;
+    * ``_immediate`` — a FIFO deque for zero-delay work at the current
+      time.  Entries are ``(seq, time, event)`` or, for direct process
+      resumes that skip the throwaway Event entirely,
+      ``(seq, time, None, process, value, throw)``.
+
+    Every scheduling action consumes exactly one sequence number, and
+    :meth:`step` always executes the entry with the globally smallest
+    ``(time, seq)`` key: the deque is FIFO over monotonically increasing
+    sequence numbers at times <= now, so its head is comparable against
+    the heap top in O(1).  The firing order is therefore *identical* to
+    a single-heap kernel — same-time events still fire in schedule order
+    — while the common zero-delay case avoids the heap's log-n cost and
+    the bootstrap/immediate events avoid allocation altogether (see
+    docs/PERFORMANCE.md for the invariant argument).
+
     Parameters
     ----------
     initial_time:
@@ -330,6 +370,7 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self.now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        self._immediate: deque = deque()
         self._seq = 0
         self._unhandled: list[BaseException] = []
 
@@ -350,13 +391,26 @@ class Environment:
         """An event firing when all of ``events`` have fired."""
         return AllOf(self, events)
 
+    def defer(self, callback: Callable[[Event], None]) -> Event:
+        """Run ``callback`` at the current time, after already-queued
+        same-time work (the callback-level analog of a zero timeout)."""
+        ev = Event(self)
+        ev._state = _TRIGGERED
+        ev.callbacks.append(callback)
+        self._immediate.append((self._seq, self.now, ev))
+        self._seq += 1
+        return ev
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """An event firing when any of ``events`` has fired."""
         return AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        if delay:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        else:
+            self._immediate.append((self._seq, self.now, event))
         self._seq += 1
 
     def _note_failure(self, process: Process, exc: BaseException) -> None:
@@ -365,13 +419,45 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
+        # Immediate entries were scheduled at a time <= now, and every
+        # heap entry lies at >= now, so the deque head (if any) is next.
+        if self._immediate:
+            return self._immediate[0][1]
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
-        if not self._queue:
+        """Process the single next entry in global (time, seq) order."""
+        imm = self._immediate
+        queue = self._queue
+        if imm:
+            head = imm[0]
+            if queue:
+                top = queue[0]
+                # Pop the heap only when it is strictly earlier in the
+                # total (time, seq) order than the deque head.
+                if top[0] < head[1] or (top[0] == head[1] and top[1] < head[0]):
+                    when, _, event = heapq.heappop(queue)
+                    self.now = when
+                    event._state = _PROCESSED
+                    callbacks, event.callbacks = event.callbacks, []
+                    for cb in callbacks:
+                        cb(event)
+                    return
+            imm.popleft()
+            self.now = head[1]
+            if len(head) == 3:
+                event = head[2]
+                event._state = _PROCESSED
+                callbacks, event.callbacks = event.callbacks, []
+                for cb in callbacks:
+                    cb(event)
+            else:
+                # Direct process resume: no Event was allocated.
+                head[3]._step(head[4], head[5])
+            return
+        if not queue:
             raise SimulationError("step() on empty queue")
-        when, _, event = heapq.heappop(self._queue)
+        when, _, event = heapq.heappop(queue)
         self.now = when
         event._state = _PROCESSED
         callbacks, event.callbacks = event.callbacks, []
@@ -386,14 +472,20 @@ class Environment:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        imm = self._immediate
+        queue = self._queue
+        unhandled = self._unhandled
+        step = self.step
+        while imm or queue:
+            # Immediate entries fire at <= now <= until, so the stop check
+            # only matters when the heap is next.
+            if not imm and until is not None and queue[0][0] > until:
                 self.now = until
                 return
-            self.step()
-            if self._unhandled:
-                exc = self._unhandled[0]
-                self._unhandled.clear()
+            step()
+            if unhandled:
+                exc = unhandled[0]
+                unhandled.clear()
                 raise exc
         if until is not None and until > self.now:
             self.now = until

@@ -1,0 +1,91 @@
+"""Golden determinism tests: the simulator is bit-reproducible.
+
+The kernel and data-path fast paths promise *bit-identical* traces — not
+just statistically equivalent ones.  These tests pin that promise three
+ways:
+
+* the same experiment run twice in one process produces byte-identical
+  event streams (:meth:`Trace.content_hash` over the packed buffer);
+* every small-scale app matches the checked-in golden hash in
+  ``tests/data/golden_trace_hashes.json`` — any kernel or data-path
+  change that moves a single timestamp, reorders two same-time events,
+  or drops an event fails here;
+* a campaign executed serially (``jobs=1``) and in parallel worker
+  processes (``jobs=2``) publishes identical trace bytes to the cache.
+
+If a change *intentionally* alters simulated behaviour, regenerate the
+fixture (see docs/PERFORMANCE.md) and say so in the commit message.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, ResultCache
+from repro.campaign.spec import RunSpec
+
+APPS = ("escat", "render", "htf")
+
+_FIXTURE = os.path.join(os.path.dirname(__file__), "data", "golden_trace_hashes.json")
+
+with open(_FIXTURE) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+def _run_hashes(app: str) -> dict[str, str]:
+    result = RunSpec(app, scale="small").build_experiment().run()
+    return {name: trace.content_hash() for name, trace in sorted(result.traces.items())}
+
+
+class TestRepeatedRunsAreBitIdentical:
+    @pytest.mark.parametrize("app", APPS)
+    def test_same_process_repeat(self, app):
+        assert _run_hashes(app) == _run_hashes(app)
+
+
+class TestGoldenHashes:
+    @pytest.mark.parametrize("app", APPS)
+    def test_matches_checked_in_fixture(self, app):
+        got = _run_hashes(app)
+        assert got == GOLDEN[app], (
+            f"{app} trace content drifted from the golden fixture — a kernel "
+            f"or data-path change altered the simulated event stream"
+        )
+
+
+class TestCampaignWorkerCountInvariance:
+    """jobs=1 and jobs=2 must publish byte-identical traces to the cache."""
+
+    def test_serial_and_parallel_agree(self, tmp_path):
+        spec = CampaignSpec(apps=APPS, name="golden")
+        hashes = {}
+        for jobs in (1, 2):
+            cache_dir = str(tmp_path / f"cache-j{jobs}")
+            report = CampaignRunner(spec, cache_dir, jobs=jobs, quiet=True).run()
+            assert report.ok
+            cache = ResultCache(cache_dir)
+            per_run = {}
+            for run in spec.expand():
+                entry = cache.entry_dir(run.run_hash)
+                names = sorted(
+                    f[: -len(".sddf")]
+                    for f in os.listdir(entry)
+                    if f.endswith(".sddf")
+                )
+                per_run[run.run_hash] = {
+                    name: cache.load_trace(run.run_hash, name).content_hash()
+                    for name in names
+                }
+            hashes[jobs] = per_run
+        assert hashes[1] == hashes[2]
+
+    def test_cache_roundtrip_matches_golden(self, tmp_path):
+        """SDDF persistence itself is lossless: cached bytes == live bytes."""
+        spec = CampaignSpec(apps=("escat",), name="golden-roundtrip")
+        cache_dir = str(tmp_path / "cache")
+        assert CampaignRunner(spec, cache_dir, jobs=1, quiet=True).run().ok
+        cache = ResultCache(cache_dir)
+        (run,) = spec.expand()
+        got = cache.load_trace(run.run_hash, "escat").content_hash()
+        assert got == GOLDEN["escat"]["escat"]

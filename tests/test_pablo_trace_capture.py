@@ -98,6 +98,39 @@ class TestTrace:
         drive(machine, simple_workload(ifs))
         assert 0 < ifs.trace.duration <= machine.now
 
+    def test_empty_trace_edge_cases(self):
+        trace = Trace("empty")
+        assert len(trace) == 0
+        assert list(trace) == []
+        assert trace.duration == 0.0
+        assert trace.summary_line() == "empty: 0 events, 0 data bytes, span 0.0s"
+        assert len(trace.events) == 0
+        again = Trace.from_sddf(trace.to_sddf())
+        assert len(again) == 0 and again.application == "empty"
+
+    def test_summary_line_counts_data_ops_only(self, machine, ifs):
+        drive(machine, simple_workload(ifs))
+        line = ifs.trace.summary_line()
+        # read 512 + write 2048 + aread 1024; seek distances are excluded.
+        assert "3,584 data bytes" in line
+        assert line.startswith("test: 10 events")
+
+    def test_grow_and_extend_preserve_rows(self):
+        trace = Trace()
+        rows = [(float(i), i % 4, int(Op.READ), 1, i * 10, 100, 0.5) for i in range(3000)]
+        for r in rows[:1500]:
+            trace.add(*r)
+        trace.extend(rows[1500:])
+        assert len(trace) == 3000
+        assert list(trace) == rows
+
+    def test_content_hash_detects_any_change(self, machine, ifs):
+        drive(machine, simple_workload(ifs))
+        h0 = ifs.trace.content_hash()
+        assert Trace.from_sddf(ifs.trace.to_sddf(binary=True)).content_hash() == h0
+        ifs.trace.add(machine.now, 0, Op.CLOSE, 1, 0, 0, 0.0)
+        assert ifs.trace.content_hash() != h0
+
 
 class TestCapture:
     def test_aread_and_iowait_are_separate_events(self, machine, ifs):
