@@ -15,6 +15,7 @@ bench:
 
 perf:
 	PYTHONPATH=src:. python benchmarks/bench_kernel_micro.py --scale small
+	PYTHONPATH=src:. python benchmarks/bench_ppfs_micro.py --scale small
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done

@@ -1,0 +1,155 @@
+"""PPFS policy-layer microbenchmarks + per-preset wall times.
+
+Measures the pieces the PPFS fast-path work optimizes:
+
+* **block-cache range ops** — lookups/inserts per second through
+  `lookup_range`/`insert_range`/`missing_in_range` (one call per chunk,
+  per-block `OrderedDict` semantics preserved);
+* **extent-set churn** — `ExtentSet.add` + threshold drains, the
+  write-behind flusher's inner loop (`max_run_bytes` keeps the common
+  case O(1));
+* **per-preset wall time** — `Experiment.run()` for each paper app under
+  each PPFS policy preset, the numbers the >= 1.5x acceptance bar is
+  stated against.
+
+Runs two ways:
+
+* under pytest-benchmark (``pytest benchmarks/bench_ppfs_micro.py
+  --benchmark-only``) for calibrated microbench numbers;
+* as a script (``python benchmarks/bench_ppfs_micro.py [--scale
+  small|paper]``) emitting the machine-readable ``BENCH_ppfs.json``
+  artifact the CI perf-smoke step uploads.  ``--scale small`` keeps the
+  CI step to a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.campaign.spec import RunSpec
+from repro.ppfs import BlockCache, ExtentSet
+
+from benchmarks._common import emit, emit_json
+
+APPS = ("escat", "render", "htf")
+PRESETS = ("default", "escat_tuned", "sequential_reader", "adaptive", "two_level")
+
+
+# -- block-cache range-op throughput -------------------------------------------
+def cache_range_churn(rounds: int = 200, blocks: int = 512) -> int:
+    """Scan a file through a smaller-than-file cache with range ops."""
+    cache = BlockCache(blocks // 2, policy="lru")
+    span = 7  # blocks per simulated chunk
+    ops = 0
+    for _ in range(rounds):
+        for first in range(0, blocks - span, span):
+            last = first + span - 1
+            if not cache.lookup_range(1, first, last):
+                cache.missing_in_range(1, first, last)
+                cache.insert_range(1, first, last)
+            ops += span
+    return ops
+
+
+def extent_churn(rounds: int = 300, writes: int = 256) -> int:
+    """Interleaved small writes coalescing into threshold-sized drains."""
+    threshold = 16 * 1024
+    ops = 0
+    for _ in range(rounds):
+        es = ExtentSet()
+        for i in range(writes):
+            # Two interleaved strided writers, as synchronized clients do.
+            es.add((i % 2) * 512 * 1024 + (i // 2) * 2048, 2048)
+            if es.max_run_bytes >= threshold:
+                es.pop_file_runs(threshold)
+            ops += 1
+    return ops
+
+
+def _ops_per_second(fn) -> float:
+    ops = fn()  # warm-up
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        ops = fn()
+        best = min(best, time.perf_counter() - t0)
+    return ops / best
+
+
+# -- per-preset wall time ------------------------------------------------------
+def preset_wall_time(
+    app: str, preset: str, scale: str = "paper", repeats: int = 1
+) -> float:
+    """Best-of-N `Experiment.run()` wall seconds for one PPFS preset."""
+    policy = None if preset == "default" else preset
+    best = float("inf")
+    for _ in range(repeats):
+        exp = RunSpec(app, scale=scale, fs="ppfs", policy=policy).build_experiment()
+        t0 = time.perf_counter()
+        exp.run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+def test_cache_range_throughput(benchmark):
+    ops = benchmark(cache_range_churn)
+    assert ops > 0
+
+
+def test_extent_churn_throughput(benchmark):
+    ops = benchmark(extent_churn)
+    assert ops == 300 * 256
+
+
+def test_small_scale_preset_wall_times(benchmark):
+    times = benchmark(
+        lambda: {
+            preset: preset_wall_time("escat", preset, scale="small")
+            for preset in PRESETS
+        }
+    )
+    assert all(t > 0 for t in times.values())
+
+
+# -- script entry (CI perf-smoke, `make perf`) ---------------------------------
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="experiment scale for the per-preset wall times (default small)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of-N per config (default 2)"
+    )
+    args = parser.parse_args(argv)
+
+    payload = {
+        "scale": args.scale,
+        "policy_ops_per_s": {
+            "cache_range": round(_ops_per_second(cache_range_churn)),
+            "extent_churn": round(_ops_per_second(extent_churn)),
+        },
+        "preset_wall_s": {
+            f"{app}/{preset}": round(
+                preset_wall_time(app, preset, scale=args.scale, repeats=args.repeats),
+                4,
+            )
+            for app in APPS
+            for preset in PRESETS
+        },
+    }
+    lines = [f"scale: {args.scale}"]
+    for name, ops in payload["policy_ops_per_s"].items():
+        lines.append(f"policy {name:<16} {ops:>12,} ops/s")
+    for key, secs in payload["preset_wall_s"].items():
+        lines.append(f"wall   {key:<28} {secs:>10.3f} s")
+    emit("ppfs_micro", "\n".join(lines))
+    return emit_json("BENCH_ppfs", payload)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -72,7 +72,8 @@ class Disk:
 
     def seek_time(self, target: int) -> float:
         """Seek duration from the current head position to ``target``."""
-        check_nonneg(target, "target")
+        if target < 0:  # inline check_nonneg: per-request hot path
+            raise ValueError(f"target must be >= 0, got {target!r}")
         distance = abs(target - self.head_pos)
         if distance == 0:
             return 0.0
@@ -86,8 +87,10 @@ class Disk:
         seek + mean rotational latency + transfer + controller overhead.
         A zero-byte request still pays seek/overhead (a positioning op).
         """
-        check_nonneg(offset, "offset")
-        check_nonneg(nbytes, "nbytes")
+        if offset < 0:  # inline check_nonneg: per-request hot path
+            raise ValueError(f"offset must be >= 0, got {offset!r}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
         p = self.params
         t = self.seek_time(offset) + p.overhead_s
         if nbytes > 0:

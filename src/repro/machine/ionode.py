@@ -44,7 +44,7 @@ class IONodeParams:
             raise ValueError(f"scheduler must be fifo/sstf, got {self.scheduler!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     """One queued request."""
 
@@ -69,6 +69,7 @@ class IONode:
         self.index = index
         self.params = params or IONodeParams()
         self.array = Raid3Array(self.params.raid)
+        self._fifo = self.params.scheduler == "fifo"
         self._pending: list[_Pending] = []
         self._busy = False
         self._order = 0
@@ -104,12 +105,22 @@ class IONode:
         service = yield self.submit(offset, nbytes, is_write, extra_s)
         return service
 
+    def submit_control(self, service_s: float) -> Event:
+        """Queue a control operation (fixed service, no disk motion); the
+        returned event fires on completion.
+
+        Allocation-lean sibling of :meth:`visit` for hot paths that chain
+        callbacks instead of wrapping a generator in a Process — the PPFS
+        server-cache hit path issues through here.
+        """
+        return self._submit(
+            _Pending(0, 0, False, service_s, Event(self.env), control=True)
+        )
+
     def visit(self, service_s: float):
         """Process generator: occupy the server for ``service_s`` without
         touching the array (control operations like flush)."""
-        yield self._submit(
-            _Pending(0, 0, False, service_s, Event(self.env), control=True)
-        )
+        yield self.submit_control(service_s)
 
     def _submit(self, req: _Pending) -> Event:
         req.order = self._order
@@ -127,7 +138,7 @@ class IONode:
     # -- scheduling --------------------------------------------------------------
     def _select(self) -> int:
         """Index of the next request to serve, per the discipline."""
-        if self.params.scheduler == "fifo" or len(self._pending) == 1:
+        if self._fifo or len(self._pending) == 1:
             return 0
         head = self.array._arm.head_pos
         data_disks = self.array.params.data_disks

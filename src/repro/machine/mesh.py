@@ -60,6 +60,12 @@ class Mesh:
     def __init__(self, env: Environment, params: MeshParams | None = None):
         self.env = env
         self.params = params or MeshParams()
+        # Manhattan distances never change for a fixed mesh; the data
+        # path asks for the same (client, I/O node) pairs millions of
+        # times per run.  Message times get a bounded memo of their own —
+        # (src, dst, nbytes) triples repeat constantly under striped I/O.
+        self._hops: dict[tuple[int, int], int] = {}
+        self._msg_memo: dict[tuple[int, int, int], float] = {}
 
     # -- geometry --------------------------------------------------------
     def coords(self, node: int) -> tuple[int, int]:
@@ -71,18 +77,36 @@ class Mesh:
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan distance between two nodes (dimension-order routing)."""
-        sx, sy = self.coords(src)
-        dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        key = (src, dst)
+        h = self._hops.get(key)
+        if h is None:
+            sx, sy = self.coords(src)
+            dx, dy = self.coords(dst)
+            h = self._hops[key] = abs(sx - dx) + abs(sy - dy)
+        return h
 
     # -- timing ----------------------------------------------------------
     def message_time(self, src: int, dst: int, nbytes: int) -> float:
         """One point-to-point message of ``nbytes`` from src to dst."""
-        check_nonneg(nbytes, "nbytes")
-        p = self.params
-        if src == dst:
-            return 0.0
-        return p.latency_s + self.hops(src, dst) * p.per_hop_s + nbytes / p.bandwidth_bps
+        memo = self._msg_memo
+        key = (src, dst, nbytes)
+        t = memo.get(key)
+        if t is None:
+            if nbytes < 0:  # inline check_nonneg: per-message hot path
+                raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+            p = self.params
+            if src == dst:
+                t = 0.0
+            else:
+                t = (
+                    p.latency_s
+                    + self.hops(src, dst) * p.per_hop_s
+                    + nbytes / p.bandwidth_bps
+                )
+            if len(memo) >= 65536:
+                memo.clear()
+            memo[key] = t
+        return t
 
     def broadcast_time(self, root: int, n_nodes: int, nbytes: int) -> float:
         """Binomial-tree broadcast of ``nbytes`` from root to n_nodes-1 others.

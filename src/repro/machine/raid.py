@@ -73,8 +73,10 @@ class Raid3Array:
         ``is_write`` is accepted for interface symmetry; RAID-3 reads and
         writes cost the same (no read-modify-write at byte interleave).
         """
-        check_nonneg(offset, "offset")
-        check_nonneg(nbytes, "nbytes")
+        if offset < 0:  # inline check_nonneg: per-request hot path
+            raise ValueError(f"offset must be >= 0, got {offset!r}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
         p = self.params
         per_disk_offset = offset // p.data_disks
         per_disk_bytes = -(-nbytes // p.data_disks) if nbytes else 0  # ceil

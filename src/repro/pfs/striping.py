@@ -74,6 +74,12 @@ class StripeLayout:
             raise ValueError(
                 f"first_ionode {self.first_ionode} outside 0..{self.n_ionodes - 1}"
             )
+        # Decomposition memo: the layout is frozen, so the chunk list for
+        # a given (offset, nbytes) never changes — and workloads re-issue
+        # the same extents constantly (cyclic scans, synchronized writers,
+        # interval flushes of the same runs).  Bounded so pathological
+        # offset diversity cannot grow it without limit.
+        object.__setattr__(self, "_memo", {})
 
     # -- point mapping ----------------------------------------------------
     def ionode_of(self, offset: int) -> int:
@@ -98,10 +104,16 @@ class StripeLayout:
         chunk per contiguous physical run, which is how the server-side
         request scheduler would issue them.
         """
-        check_nonneg(offset, "offset")
-        check_nonneg(nbytes, "nbytes")
+        if offset < 0:  # inline check_nonneg: per-request hot path
+            raise ValueError(f"offset must be >= 0, got {offset!r}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
         if nbytes == 0:
             return []
+        memo = self._memo
+        cached = memo.get((offset, nbytes))
+        if cached is not None:
+            return cached.copy()
         pieces: list[Chunk] = []
         pos = offset
         remaining = nbytes
@@ -118,7 +130,11 @@ class StripeLayout:
             )
             pos += take
             remaining -= take
-        return _coalesce(pieces)
+        out = _coalesce(pieces)
+        if len(memo) >= 65536:
+            memo.clear()
+        memo[(offset, nbytes)] = out
+        return out.copy()
 
     def span_bytes(self, offset: int, nbytes: int) -> dict[int, int]:
         """Bytes of the extent served by each I/O node (for load analyses)."""

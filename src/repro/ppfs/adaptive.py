@@ -27,24 +27,45 @@ __all__ = ["StreamModel", "MarkovPredictor"]
 
 @dataclass
 class StreamModel:
-    """Per-stream first-order delta model."""
+    """Per-stream first-order delta model.
+
+    The dominant delta is tracked incrementally: counts only grow, so
+    the argmax can change only when the just-incremented delta overtakes
+    (or, being first-seen earlier, ties) the current holder.  That makes
+    :meth:`dominant_delta` O(1) per call — it is consulted on every
+    demand access past warmup — while returning exactly what
+    ``Counter.most_common(1)`` would (ties break toward the delta seen
+    first, matching the stable sort in ``most_common``).
+    """
 
     last_block: int | None = None
     deltas: Counter = field(default_factory=Counter)
     accesses: int = 0
+    _dom_delta: int = 0
+    _dom_count: int = 0
+    _total: int = 0
+    _first_seen: dict = field(default_factory=dict)  # delta -> arrival rank
 
     def observe(self, block: int) -> None:
         if self.last_block is not None:
-            self.deltas[block - self.last_block] += 1
+            delta = block - self.last_block
+            count = self.deltas[delta] + 1
+            self.deltas[delta] = count
+            self._total += 1
+            seen = self._first_seen
+            rank = seen.setdefault(delta, len(seen))
+            if count > self._dom_count or (
+                count == self._dom_count and rank < seen[self._dom_delta]
+            ):
+                self._dom_delta, self._dom_count = delta, count
         self.last_block = block
         self.accesses += 1
 
     def dominant_delta(self) -> tuple[int, float]:
         """(most frequent delta, its relative frequency)."""
-        if not self.deltas:
+        if not self._total:
             return 0, 0.0
-        delta, count = self.deltas.most_common(1)[0]
-        return int(delta), count / sum(self.deltas.values())
+        return self._dom_delta, self._dom_count / self._total
 
     def classify(self) -> PatternKind:
         """Pattern label using the analysis module's vocabulary."""

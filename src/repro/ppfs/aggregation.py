@@ -23,6 +23,7 @@ class ExtentSet:
     def __init__(self) -> None:
         self._starts: list[int] = []
         self._ends: list[int] = []
+        self._max_run = 0
 
     def __len__(self) -> int:
         return len(self._starts)
@@ -34,6 +35,16 @@ class ExtentSet:
     def total_bytes(self) -> int:
         """Bytes covered by all extents."""
         return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    @property
+    def max_run_bytes(self) -> int:
+        """Length of the largest extent, maintained incrementally.
+
+        Lets the write-behind flusher decide in O(1) whether anything can
+        drain (``max_run_bytes >= aggregate_min_bytes``) instead of
+        scanning every pending fragment on each submitted write.
+        """
+        return self._max_run
 
     def extents(self) -> list[tuple[int, int]]:
         """All extents as (start, end) pairs, ascending."""
@@ -56,6 +67,8 @@ class ExtentSet:
             end = max(end, self._ends[hi - 1])
         self._starts[lo:hi] = [start]
         self._ends[lo:hi] = [end]
+        if end - start > self._max_run:
+            self._max_run = end - start
 
     def covers(self, offset: int, nbytes: int) -> bool:
         """True when [offset, offset+nbytes) lies inside one extent."""
@@ -69,6 +82,7 @@ class ExtentSet:
         out = self.extents()
         self._starts.clear()
         self._ends.clear()
+        self._max_run = 0
         return out
 
     def pop_file_runs(self, min_bytes: int = 0) -> list[tuple[int, int]]:
@@ -80,11 +94,15 @@ class ExtentSet:
         keep_s: list[int] = []
         keep_e: list[int] = []
         out: list[tuple[int, int]] = []
+        kept_max = 0
         for s, e in zip(self._starts, self._ends):
             if e - s >= min_bytes:
                 out.append((s, e))
             else:
                 keep_s.append(s)
                 keep_e.append(e)
+                if e - s > kept_max:
+                    kept_max = e - s
         self._starts, self._ends = keep_s, keep_e
+        self._max_run = kept_max
         return out

@@ -4,6 +4,16 @@ PPFS "provides user control of file cache sizes and policies" (§9); this
 is the per-compute-node block cache behind PPFS reads and prefetches.
 LRU suits sequential-with-reuse streams; MRU protects a scanning workload
 from flushing its own working set (the classic cyclic-access result).
+
+The data path touches the cache once per *chunk*, not once per block:
+:meth:`BlockCache.lookup_range`, :meth:`BlockCache.missing_in_range`,
+:meth:`BlockCache.insert_range` and :meth:`BlockCache.invalidate_range`
+walk a block run in one call while performing exactly the per-block
+`OrderedDict` operations (stats, prefetch accounting, recency touches,
+per-block eviction) of the single-block methods, in the same order.  A
+per-file block index keeps :meth:`BlockCache.invalidate_file` and
+:meth:`BlockCache.resident` O(blocks-of-the-file) instead of an
+O(cache-size) scan.
 """
 
 from __future__ import annotations
@@ -32,6 +42,19 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate ``other``'s counters into this one; returns self.
+
+        The one aggregation routine shared by client- and server-side
+        cache roll-ups, so no counter (prefetch_hits included) can be
+        silently dropped by a hand-written copy.
+        """
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.prefetch_hits += other.prefetch_hits
+        return self
+
 
 class BlockCache:
     """Fixed-capacity cache of (file_id, block_index) keys.
@@ -54,6 +77,8 @@ class BlockCache:
         self.stats = CacheStats()
         # key -> prefetched flag; order = recency (oldest first).
         self._entries: OrderedDict[tuple[int, int], bool] = OrderedDict()
+        # file_id -> resident block indices (the per-file invalidation index).
+        self._by_file: dict[int, set[int]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,6 +86,7 @@ class BlockCache:
     def __contains__(self, key: tuple[int, int]) -> bool:
         return key in self._entries
 
+    # -- single-block operations -----------------------------------------------
     def lookup(self, file_id: int, block: int) -> bool:
         """Check (and touch) a block; updates hit/miss statistics."""
         key = (file_id, block)
@@ -82,20 +108,139 @@ class BlockCache:
             self._entries.move_to_end(key)
             return
         if len(self._entries) >= self.capacity:
-            # lru: evict oldest; mru: evict newest (last inserted).
-            self._entries.popitem(last=self.policy == "mru")
-            self.stats.evictions += 1
+            self._evict_one()
         self._entries[key] = prefetched
+        blocks = self._by_file.get(file_id)
+        if blocks is None:
+            blocks = self._by_file[file_id] = set()
+        blocks.add(block)
+
+    def _evict_one(self) -> None:
+        # lru: evict oldest; mru: evict newest (last inserted).
+        (victim_file, victim_block), _ = self._entries.popitem(
+            last=self.policy == "mru"
+        )
+        self.stats.evictions += 1
+        blocks = self._by_file[victim_file]
+        blocks.discard(victim_block)
+        if not blocks:
+            del self._by_file[victim_file]
 
     def invalidate(self, file_id: int, block: int | None = None) -> int:
         """Drop one block, or every block of a file; returns drop count."""
-        if block is not None:
-            return 1 if self._entries.pop((file_id, block), None) is not None else 0
-        victims = [k for k in self._entries if k[0] == file_id]
-        for k in victims:
-            del self._entries[k]
-        return len(victims)
+        if block is None:
+            return self.invalidate_file(file_id)
+        if self._entries.pop((file_id, block), None) is None:
+            return 0
+        blocks = self._by_file[file_id]
+        blocks.discard(block)
+        if not blocks:
+            del self._by_file[file_id]
+        return 1
+
+    def invalidate_file(self, file_id: int) -> int:
+        """Drop every resident block of a file; returns the drop count.
+
+        O(blocks-of-the-file) via the per-file index — not a scan of the
+        whole cache.
+        """
+        blocks = self._by_file.pop(file_id, None)
+        if not blocks:
+            return 0
+        entries = self._entries
+        for b in blocks:
+            del entries[(file_id, b)]
+        return len(blocks)
 
     def resident(self, file_id: int) -> list[int]:
         """Block indices of a file currently cached (ascending)."""
-        return sorted(b for f, b in self._entries if f == file_id)
+        return sorted(self._by_file.get(file_id, ()))
+
+    # -- range operations (one call per chunk) -----------------------------------
+    def lookup_range(self, file_id: int, first: int, last: int) -> bool:
+        """Check-and-touch blocks ``first..last``; True iff all resident.
+
+        Equivalent to ``all(lookup(file_id, b) for b in range(first,
+        last + 1))`` including the short-circuit: blocks before the first
+        miss are touched and counted as hits, the missing block counts
+        one miss, and later blocks are not examined.
+        """
+        entries = self._entries
+        stats = self.stats
+        for b in range(first, last + 1):
+            key = (file_id, b)
+            entry = entries.get(key)
+            if entry is None:
+                stats.misses += 1
+                return False
+            stats.hits += 1
+            if entry:
+                stats.prefetch_hits += 1
+                entries[key] = False
+            entries.move_to_end(key)
+        return True
+
+    def missing_in_range(self, file_id: int, first: int, last: int) -> list[int]:
+        """Look up every block in ``first..last``; return the misses
+        (ascending).  Unlike :meth:`lookup_range` this touches the whole
+        run — the read path wants each resident block's recency refreshed
+        and each absence counted, exactly as a per-block lookup loop did.
+        """
+        entries = self._entries
+        stats = self.stats
+        missing: list[int] = []
+        for b in range(first, last + 1):
+            key = (file_id, b)
+            entry = entries.get(key)
+            if entry is None:
+                stats.misses += 1
+                missing.append(b)
+                continue
+            stats.hits += 1
+            if entry:
+                stats.prefetch_hits += 1
+                entries[key] = False
+            entries.move_to_end(key)
+        return missing
+
+    def insert_range(
+        self, file_id: int, first: int, last: int, prefetched: bool = False
+    ) -> None:
+        """Insert blocks ``first..last`` in ascending order.
+
+        Per-block semantics match :meth:`insert` exactly: a resident
+        block is only touched (its prefetched flag survives), and each
+        insertion of a new block may evict per policy — so under MRU an
+        earlier block of this very range can be the victim, just as in a
+        per-block insert loop.
+        """
+        entries = self._entries
+        by_file = self._by_file
+        capacity = self.capacity
+        for b in range(first, last + 1):
+            key = (file_id, b)
+            if key in entries:
+                entries.move_to_end(key)
+                continue
+            if len(entries) >= capacity:
+                self._evict_one()
+            entries[key] = prefetched
+            blocks = by_file.get(file_id)
+            if blocks is None:
+                blocks = by_file[file_id] = set()
+            blocks.add(b)
+
+    def invalidate_range(self, file_id: int, first: int, last: int) -> int:
+        """Drop blocks ``first..last`` where resident; returns drop count."""
+        blocks = self._by_file.get(file_id)
+        if not blocks:
+            return 0
+        entries = self._entries
+        dropped = 0
+        for b in range(first, last + 1):
+            if entries.pop((file_id, b), None) is not None:
+                blocks.discard(b)
+                dropped += 1
+        if not blocks:
+            del self._by_file[file_id]
+        return dropped

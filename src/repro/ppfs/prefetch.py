@@ -33,17 +33,15 @@ class SequentialPrefetcher:
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         self.depth = depth
-        self._last: dict[tuple[int, int], int] = {}
-        self._runs: dict[tuple[int, int], int] = {}
+        # stream -> (last block, +1-run length): one dict probe per
+        # observation on the demand-read path instead of four.
+        self._streams: dict[tuple[int, int], tuple[int, int]] = {}
 
     def observe(self, stream: tuple[int, int], block: int) -> list[int]:
         """Record a demand access; returns blocks to stage."""
-        last = self._last.get(stream)
-        if last is not None and block == last + 1:
-            self._runs[stream] = self._runs.get(stream, 0) + 1
-        else:
-            self._runs[stream] = 0
-        self._last[stream] = block
-        if self._runs.get(stream, 0) >= 1:
-            return [block + k for k in range(1, self.depth + 1)]
+        state = self._streams.get(stream)
+        run = state[1] + 1 if state is not None and block == state[0] + 1 else 0
+        self._streams[stream] = (block, run)
+        if run:
+            return list(range(block + 1, block + self.depth + 1))
         return []

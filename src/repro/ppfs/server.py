@@ -24,8 +24,9 @@ from ..machine.paragon import Paragon
 from ..pfs.costs import CostModel
 from ..pfs.filesystem import PFS, SEEK_CUR, SEEK_END, SEEK_SET
 from ..pfs.errors import PFSError
+from ..sim.core import Event, Timeout
 from .adaptive import MarkovPredictor
-from .cache import BlockCache
+from .cache import BlockCache, CacheStats
 from .policies import PPFSPolicies
 from .prefetch import NoPrefetcher, SequentialPrefetcher
 from .writebehind import WriteBehindManager
@@ -53,6 +54,11 @@ class PPFS(PFS):
             self.prefetcher = MarkovPredictor(depth=pol.prefetch_depth)
         else:
             self.prefetcher = NoPrefetcher()
+        self._prefetch_on = not isinstance(self.prefetcher, NoPrefetcher)
+        if pol.server_cache_blocks == 0:
+            # No second-level caches: skip the per-call disabled check in
+            # the PPFS override and dispatch straight to the base fan-out.
+            self._fanout = super()._fanout
         self.writeback = WriteBehindManager(self) if pol.write_behind else None
         # Second-level (I/O-node) caches, shared across clients (§8).
         self._server_caches: dict[int, BlockCache] = {}
@@ -70,63 +76,71 @@ class PPFS(PFS):
 
     def server_cache_stats(self):
         """Aggregated hit/miss counts across the I/O-node caches."""
-        from .cache import CacheStats
-
         total = CacheStats()
         for cache in self._server_caches.values():
-            total.hits += cache.stats.hits
-            total.misses += cache.stats.misses
-            total.evictions += cache.stats.evictions
+            total.merge(cache.stats)
         return total
 
-    def _transfer(self, node: int, f, offset: int, nbytes: int, is_write: bool):
-        """Data path with optional I/O-node caching.
+    def _fanout(self, node: int, f, offset: int, nbytes: int, is_write: bool) -> Event:
+        """Striped chunk fan-out with the shared I/O-node caches in the path.
 
-        Read chunks fully resident in the serving I/O node's cache cost a
-        server visit (CPU + queueing) but no disk motion; misses serve
-        from disk and populate the cache.  Writes go through to disk and
-        refresh the cached blocks (write-through at the second level —
-        write-behind buffering is the client-side policy's job).
+        Same shared-countdown pattern as :meth:`PFS._fanout` — one mesh
+        :class:`Timeout` per chunk whose arrival callback submits to the
+        I/O node, no closure/Process/AllOf per chunk.  Read chunks fully
+        resident in the serving node's cache become control submissions
+        (CPU + queueing, no disk motion); misses serve from disk and
+        populate the cache when their service completes.  Writes go
+        through to disk and refresh the cached blocks (write-through at
+        the second level — write-behind buffering is the client-side
+        policy's job).  Hit state is decided per chunk at issue time, as
+        the old per-chunk closures did.  Every replaced hop had zero
+        simulated delay, so completion timestamps are unchanged.
         """
-        if self.policies.server_cache_blocks == 0 or nbytes <= 0:
-            result = yield from super()._transfer(node, f, offset, nbytes, is_write)
-            return result
+        if self.policies.server_cache_blocks == 0:
+            return super()._fanout(node, f, offset, nbytes, is_write)
+        env = self.env
         mesh = self.machine.mesh
         block = self.policies.server_cache_block_bytes
-        procs = []
-        for chunk in f.layout.decompose(offset, nbytes):
+        hit_s = self.policies.server_cache_hit_s
+        file_id = f.file_id
+        chunks = f.layout.decompose(offset, nbytes)
+        done = Event(env)
+        remaining = [len(chunks)]
+
+        def _chunk_done(_ev):
+            remaining[0] -= 1
+            if not remaining[0]:
+                done.succeed()
+
+        for chunk in chunks:
             ion = self.machine.ionodes[chunk.ionode]
             io_pos = self._io_mesh_node(chunk.ionode)
             cache = self.server_cache(chunk.ionode)
             assert cache is not None
-            blocks = range(
-                chunk.disk_offset // block,
-                (chunk.disk_offset + chunk.nbytes - 1) // block + 1,
-            )
-            if not is_write:
-                hit = all(cache.lookup(f.file_id, b) for b in blocks)
+            first = chunk.disk_offset // block
+            last = (chunk.disk_offset + chunk.nbytes - 1) // block
+            hit = not is_write and cache.lookup_range(file_id, first, last)
+            msg = Timeout(env, mesh.message_time(node, io_pos, chunk.nbytes))
+            if hit:
+
+                def _arrived(_ev, ion=ion):
+                    ion.submit_control(hit_s).callbacks.append(_chunk_done)
+
             else:
-                hit = False
-            extra = self._chunk_extra(chunk.nbytes, is_write)
+                extra = self._chunk_extra(chunk.nbytes, is_write)
 
-            def _one(chunk=chunk, ion=ion, io_pos=io_pos, hit=hit, extra=extra,
-                     cache=cache, blocks=tuple(blocks)):
-                yield self.env.timeout(mesh.message_time(node, io_pos, chunk.nbytes))
-                if hit:
-                    yield self.env.process(
-                        ion.visit(self.policies.server_cache_hit_s)
-                    )
-                else:
-                    yield self.env.process(
-                        ion.serve(chunk.disk_offset, chunk.nbytes, is_write, extra)
-                    )
-                    for b in blocks:
-                        cache.insert(f.file_id, b)
+                def _arrived(_ev, ion=ion, chunk=chunk, extra=extra,
+                             cache=cache, first=first, last=last):
+                    def _served(ev):
+                        cache.insert_range(file_id, first, last)
+                        _chunk_done(ev)
 
-            procs.append(self.env.process(_one()))
-        yield self.env.all_of(procs)
-        yield self.env.timeout(nbytes * self.costs.client_byte_cost_s)
-        return nbytes
+                    ion.submit(
+                        chunk.disk_offset, chunk.nbytes, is_write, extra
+                    ).callbacks.append(_served)
+
+            msg.callbacks.append(_arrived)
+        return done
 
     # -- helpers ---------------------------------------------------------------
     def cache_for(self, node: int) -> Optional[BlockCache]:
@@ -141,14 +155,9 @@ class PPFS(PFS):
 
     def cache_stats(self):
         """Aggregated hit/miss counts across all node caches."""
-        from .cache import CacheStats
-
         total = CacheStats()
         for cache in self._caches.values():
-            total.hits += cache.stats.hits
-            total.misses += cache.stats.misses
-            total.evictions += cache.stats.evictions
-            total.prefetch_hits += cache.stats.prefetch_hits
+            total.merge(cache.stats)
         return total
 
     def _plain(self, f) -> bool:
@@ -165,43 +174,60 @@ class PPFS(PFS):
             return result
 
         c = self.costs
-        yield self.env.timeout(c.client_op_overhead_s)
+        env = self.env
+        yield Timeout(env, c.client_op_overhead_s)
         offset = f.tell(entry)
         count = f.readable_bytes(offset, nbytes)
         block_size = self.policies.cache_block_bytes
         if count:
+            file_id = f.file_id
             first = offset // block_size
             last = (offset + count - 1) // block_size
-            # Gather misses; fetch contiguous miss runs as single transfers.
-            missing = [
-                b for b in range(first, last + 1) if not cache.lookup(f.file_id, b)
-            ]
-            run_start = None
-            prev = None
-            runs: list[tuple[int, int]] = []
-            for b in missing:
-                if run_start is None:
-                    run_start = prev = b
-                elif b == prev + 1:
-                    prev = b
-                else:
+            if first == last:
+                # Single-block request (the common shape for small
+                # sequential readers): one lookup, one fetch on miss —
+                # identical stats/recency/transfer behaviour to the run
+                # machinery below, without building any lists.
+                if not cache.lookup(file_id, first):
+                    start = first * block_size
+                    length = f.readable_bytes(start, block_size)
+                    yield self._fanout(node, f, start, length, False)
+                    yield Timeout(env, length * c.client_byte_cost_s)
+                    cache.insert(file_id, first, prefetched=False)
+            else:
+                # Gather misses; fetch contiguous miss runs as single
+                # transfers.
+                missing = cache.missing_in_range(file_id, first, last)
+                run_start = None
+                prev = None
+                runs: list[tuple[int, int]] = []
+                for b in missing:
+                    if run_start is None:
+                        run_start = prev = b
+                    elif b == prev + 1:
+                        prev = b
+                    else:
+                        runs.append((run_start, prev))
+                        run_start = prev = b
+                if run_start is not None:
                     runs.append((run_start, prev))
-                    run_start = prev = b
-            if run_start is not None:
-                runs.append((run_start, prev))
-            for lo, hi in runs:
-                start = lo * block_size
-                length = f.readable_bytes(start, (hi - lo + 1) * block_size)
-                yield from self._transfer(node, f, start, length, is_write=False)
-                for b in range(lo, hi + 1):
-                    cache.insert(f.file_id, b, prefetched=False)
-            # Demand-access prediction: stage predicted blocks off-thread.
-            stream = (node, f.file_id)
-            predicted = self.prefetcher.observe(stream, last)
-            file_blocks = -(-f.size // block_size) if f.size else 0
-            for b in predicted:
-                if 0 <= b < file_blocks and (f.file_id, b) not in cache:
-                    self._stage_block(node, f, b, cache)
+                for lo, hi in runs:
+                    start = lo * block_size
+                    length = f.readable_bytes(start, (hi - lo + 1) * block_size)
+                    # _transfer's body, inlined (same yields, no delegated
+                    # generator per run).
+                    yield self._fanout(node, f, start, length, False)
+                    yield Timeout(env, length * c.client_byte_cost_s)
+                    cache.insert_range(file_id, lo, hi, prefetched=False)
+            if self._prefetch_on:
+                # Demand-access prediction: stage predicted blocks
+                # off-thread.
+                stream = (node, file_id)
+                predicted = self.prefetcher.observe(stream, last)
+                file_blocks = -(-f.size // block_size) if f.size else 0
+                for b in predicted:
+                    if 0 <= b < file_blocks and (file_id, b) not in cache:
+                        self._stage_block(node, f, b, cache)
         f.advance(entry, count)
         entry.last_op_offset = offset
         if data_out:
@@ -209,18 +235,30 @@ class PPFS(PFS):
         return count
 
     def _stage_block(self, node: int, f, block: int, cache: BlockCache) -> None:
-        """Background prefetch of one block into the node's cache."""
+        """Background prefetch of one block into the node's cache.
+
+        Issues the striped fan-out directly and chains the client-copy
+        cost and the cache insert as callbacks — no wrapper Process per
+        staged block.  The insert lands at fan-out completion plus the
+        client byte cost, exactly when the old ``_transfer``-driven fetch
+        generator inserted it.
+        """
         block_size = self.policies.cache_block_bytes
         start = block * block_size
         length = f.readable_bytes(start, block_size)
         if length <= 0:
             return
+        env = self.env
+        file_id = f.file_id
+        copy_s = length * self.costs.client_byte_cost_s
 
-        def _fetch():
-            yield from self._transfer(node, f, start, length, is_write=False)
-            cache.insert(f.file_id, block, prefetched=True)
+        def _landed(_ev):
+            cache.insert(file_id, block, prefetched=True)
 
-        self.env.process(_fetch(), name=f"ppfs.prefetch.{f.file_id}.{block}")
+        def _fetched(_ev):
+            Timeout(env, copy_s).callbacks.append(_landed)
+
+        self._fanout(node, f, start, length, is_write=False).callbacks.append(_fetched)
 
     # -- write path ----------------------------------------------------------------
     def write(self, node: int, fd: int, nbytes: int, data=None):
@@ -234,13 +272,14 @@ class PPFS(PFS):
         f.check_record(nbytes)
         c = self.costs
         # Complete at memory speed: overhead + buffer copy.
-        yield self.env.timeout(c.client_op_overhead_s + nbytes * c.client_byte_cost_s)
+        yield Timeout(self.env, c.client_op_overhead_s + nbytes * c.client_byte_cost_s)
         offset = f.tell(entry)
         cache = self.cache_for(node)
         if cache is not None and nbytes:
             block_size = self.policies.cache_block_bytes
-            for b in range(offset // block_size, (offset + nbytes - 1) // block_size + 1):
-                cache.invalidate(f.file_id, b)
+            cache.invalidate_range(
+                f.file_id, offset // block_size, (offset + nbytes - 1) // block_size
+            )
         if f.track_content and data is not None:
             f.write_content(offset, data)
         self.writeback.submit(f, offset, nbytes)

@@ -13,6 +13,14 @@ to the I/O-node queues, off every application thread's critical path.
 All buffered data is durable by the time :meth:`drain_file` (called from
 close) returns — write caching here increases achieved bandwidth, it
 does not reduce the volume reaching disk (§8).
+
+The flusher is allocation-lean: one submission pass pushes every chunk
+of every drainable run straight onto the I/O-node queues via
+:meth:`~repro.machine.ionode.IONode.submit`, and a single shared
+countdown completes the batch — no per-run flush Process, no per-chunk
+serve generator.  ``ExtentSet.max_run_bytes`` lets :meth:`submit` skip
+the drain scan entirely when no pending run can qualify yet, which is
+the common case under aggregation.
 """
 
 from __future__ import annotations
@@ -61,49 +69,64 @@ class WriteBehindManager:
         self.writes_submitted += 1
         self.bytes_submitted += nbytes
         self._files[f.file_id] = f
-        extents = self.pending.setdefault(f.file_id, ExtentSet())
+        extents = self.pending.get(f.file_id)
+        if extents is None:
+            extents = self.pending[f.file_id] = ExtentSet()
         extents.add(offset, nbytes)
         pol = self.fs.policies
         if pol.aggregation:
-            runs = extents.pop_file_runs(min_bytes=pol.aggregate_min_bytes)
-            for start, end in runs:
-                self._start_flush(f, start, end - start)
+            # O(1) early-out: nothing can drain until some run has grown
+            # to the aggregation threshold.
+            if extents.max_run_bytes >= pol.aggregate_min_bytes:
+                self._start_runs(f, extents.pop_file_runs(pol.aggregate_min_bytes))
         else:
             # Without aggregation, drain each write as its own transfer.
-            for start, end in extents.pop_all():
-                self._start_flush(f, start, end - start)
-        if self.pending.get(f.file_id) and not self._timer_armed:
+            self._start_runs(f, extents.pop_all())
+        if extents and not self._timer_armed:
             self._timer_armed = True
             self.env.process(self._interval_flush(), name="ppfs.flusher")
 
     # -- flushing ---------------------------------------------------------------
-    def _start_flush(self, f: PFSFile, offset: int, nbytes: int) -> None:
-        """Launch one background transfer; tracked until completion."""
-        self.transfers_issued += 1
-        self.bytes_flushed += nbytes
-        proc = self.env.process(self._flush_extent(f, offset, nbytes))
-        self._inflight.add(proc)
+    def _start_runs(self, f: PFSFile, runs: list[tuple[int, int]]) -> None:
+        """Launch one file's drainable runs as background transfers.
 
-        def _done(_ev, proc=proc):
-            self._inflight.discard(proc)
-            if not self._inflight and self._idle_event is not None:
-                self._idle_event.succeed()
-                self._idle_event = None
-
-        proc.callbacks.append(_done)
-
-    def _flush_extent(self, f: PFSFile, offset: int, nbytes: int):
-        """Server-side transfer: striped I/O-node writes, no client costs."""
-        procs = []
-        for chunk in f.layout.decompose(offset, nbytes):
-            ion = self.fs.machine.ionodes[chunk.ionode]
-            extra = self.fs._chunk_extra(chunk.nbytes, is_write=True)
-            procs.append(
-                self.env.process(
-                    ion.serve(chunk.disk_offset, chunk.nbytes, True, extra)
+        One pass submits every stripe chunk of every run directly to its
+        I/O-node queue; a shared countdown over the chunk-completion
+        events tracks the whole batch until it is durable.  Each run
+        still counts as one logical transfer for the aggregation
+        statistics.
+        """
+        if not runs:
+            return
+        fs = self.fs
+        ionodes = fs.machine.ionodes
+        decompose = f.layout.decompose
+        chunk_events: list[Event] = []
+        self.transfers_issued += len(runs)
+        for start, end in runs:
+            nbytes = end - start
+            self.bytes_flushed += nbytes
+            for chunk in decompose(start, nbytes):
+                extra = fs._chunk_extra(chunk.nbytes, is_write=True)
+                chunk_events.append(
+                    ionodes[chunk.ionode].submit(
+                        chunk.disk_offset, chunk.nbytes, True, extra
+                    )
                 )
-            )
-        yield self.env.all_of(procs)
+        token = object()
+        self._inflight.add(token)
+        remaining = [len(chunk_events)]
+
+        def _chunk_done(_ev):
+            remaining[0] -= 1
+            if not remaining[0]:
+                self._inflight.discard(token)
+                if not self._inflight and self._idle_event is not None:
+                    self._idle_event.succeed()
+                    self._idle_event = None
+
+        for ev in chunk_events:
+            ev.callbacks.append(_chunk_done)
 
     def _interval_flush(self):
         """Periodic flush.
@@ -119,13 +142,13 @@ class WriteBehindManager:
         for file_id, extents in list(self.pending.items()):
             if not extents:
                 continue
-            f = self._files[file_id]
             if pol.aggregation:
-                runs = extents.pop_file_runs(min_bytes=pol.aggregate_min_bytes)
+                if extents.max_run_bytes < pol.aggregate_min_bytes:
+                    continue
+                runs = extents.pop_file_runs(pol.aggregate_min_bytes)
             else:
                 runs = extents.pop_all()
-            for start, end in runs:
-                self._start_flush(f, start, end - start)
+            self._start_runs(self._files[file_id], runs)
         # Remaining fragments wait for more writes (which re-arm the
         # timer) or for the forced drain at close — never re-arm here, or
         # an idle simulation would spin on timer events forever.
@@ -135,8 +158,7 @@ class WriteBehindManager:
         """Push a file's pending extents to the flusher immediately."""
         extents = self.pending.get(f.file_id)
         if extents:
-            for start, end in extents.pop_all():
-                self._start_flush(f, start, end - start)
+            self._start_runs(f, extents.pop_all())
 
     def drain_file(self, f: PFSFile):
         """Process generator: flush + wait until the file's data is durable.
@@ -151,9 +173,7 @@ class WriteBehindManager:
         """Process generator: flush everything and wait for quiescence."""
         for file_id, extents in list(self.pending.items()):
             if extents:
-                f = self._files[file_id]
-                for start, end in extents.pop_all():
-                    self._start_flush(f, start, end - start)
+                self._start_runs(self._files[file_id], extents.pop_all())
         while self._inflight:
             if self._idle_event is None:
                 self._idle_event = Event(self.env)

@@ -155,7 +155,8 @@ class Timeout(Event):
         self._value = value
         self._ok = True
         self._state = _TRIGGERED
-        delay = float(delay)
+        if delay.__class__ is not float:
+            delay = float(delay)
         self.delay = delay
         if delay:
             heapq.heappush(env._queue, (env.now + delay, env._seq, self))
@@ -240,15 +241,19 @@ class Process(Event):
                 raise
             self._finish(False, exc)
             return
-        if not isinstance(target, Event):
-            err = SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}"
-            )
-            self._generator.close()
-            self._finish(False, err)
-            return
-        if isinstance(target, Process):
-            target._observed = True
+        cls = target.__class__
+        if cls is not Timeout and cls is not Event:
+            # Exact-class fast path above covers almost every yield on the
+            # data path; only subclasses and errors reach the full checks.
+            if not isinstance(target, Event):
+                err = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                self._generator.close()
+                self._finish(False, err)
+                return
+            if isinstance(target, Process):
+                target._observed = True
         if target._state == _PROCESSED:
             # Already fired: resume at the current timestamp via a direct
             # resume record (one seq number, like the old throwaway Event).

@@ -38,6 +38,25 @@ def _run_hashes(app: str) -> dict[str, str]:
     return {name: trace.content_hash() for name, trace in sorted(result.traces.items())}
 
 
+#: PPFS preset configurations pinned by golden hashes: write-behind +
+#: aggregation (escat_tuned), fixed readahead (sequential_reader), the
+#: adaptive Markov predictor, and the two-level server caches — plus the
+#: default client-cache-only preset.  Together they cover every fast path
+#: in the PPFS policy layer (fan-out override, range cache ops, batched
+#: flusher, no-Process prefetch staging).
+PPFS_PRESETS = ("default", "escat_tuned", "sequential_reader", "adaptive", "two_level")
+
+
+def _run_ppfs_hashes(app: str, preset: str) -> dict[str, str]:
+    policy = None if preset == "default" else preset
+    result = (
+        RunSpec(app, scale="small", fs="ppfs", policy=policy)
+        .build_experiment()
+        .run()
+    )
+    return {name: trace.content_hash() for name, trace in sorted(result.traces.items())}
+
+
 class TestRepeatedRunsAreBitIdentical:
     @pytest.mark.parametrize("app", APPS)
     def test_same_process_repeat(self, app):
@@ -52,6 +71,25 @@ class TestGoldenHashes:
             f"{app} trace content drifted from the golden fixture — a kernel "
             f"or data-path change altered the simulated event stream"
         )
+
+
+class TestPPFSGoldenHashes:
+    """The PPFS policy layer's fast paths keep traces byte-identical."""
+
+    @pytest.mark.parametrize("preset", PPFS_PRESETS)
+    @pytest.mark.parametrize("app", APPS)
+    def test_matches_checked_in_fixture(self, app, preset):
+        key = f"{app}/ppfs/{preset}"
+        got = _run_ppfs_hashes(app, preset)
+        assert got == GOLDEN[key], (
+            f"{key} trace content drifted from the golden fixture — a PPFS "
+            f"policy-layer change altered the simulated event stream"
+        )
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_same_process_repeat(self, app):
+        preset = "escat_tuned"
+        assert _run_ppfs_hashes(app, preset) == _run_ppfs_hashes(app, preset)
 
 
 class TestCampaignWorkerCountInvariance:

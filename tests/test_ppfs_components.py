@@ -183,6 +183,175 @@ class TestBlockCache:
             assert len(cache) <= capacity
 
 
+class TestBlockCacheRangeOps:
+    """Range operations replicate per-block semantics exactly."""
+
+    def test_lookup_range_all_resident(self):
+        cache = BlockCache(8)
+        for b in range(4):
+            cache.insert(1, b)
+        assert cache.lookup_range(1, 0, 3)
+        assert cache.stats.hits == 4 and cache.stats.misses == 0
+
+    def test_lookup_range_short_circuits_on_first_miss(self):
+        cache = BlockCache(8)
+        cache.insert(1, 0)
+        cache.insert(1, 2)
+        assert not cache.lookup_range(1, 0, 2)
+        # Block 0 hit, block 1 missed, block 2 never examined.
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lookup_range_refreshes_recency(self):
+        cache = BlockCache(2, policy="lru")
+        cache.insert(1, 0)
+        cache.insert(1, 1)
+        assert cache.lookup_range(1, 0, 0)  # touch 0: now 1 is oldest
+        cache.insert(1, 2)
+        assert (1, 0) in cache and (1, 1) not in cache
+
+    def test_missing_in_range_touches_every_block(self):
+        cache = BlockCache(8)
+        cache.insert(1, 1)
+        cache.insert(1, 3)
+        assert cache.missing_in_range(1, 0, 4) == [0, 2, 4]
+        # Unlike lookup_range, residents past the first miss still count.
+        assert cache.stats.hits == 2 and cache.stats.misses == 3
+
+    def test_missing_in_range_counts_prefetch_hits(self):
+        cache = BlockCache(8)
+        cache.insert(1, 0, prefetched=True)
+        cache.missing_in_range(1, 0, 1)
+        cache.missing_in_range(1, 0, 1)
+        assert cache.stats.prefetch_hits == 1  # only the first demand hit
+
+    def test_insert_range_lru(self):
+        cache = BlockCache(3, policy="lru")
+        cache.insert_range(1, 0, 2)
+        cache.insert_range(1, 3, 4)  # evicts 0, then 1
+        assert cache.resident(1) == [2, 3, 4]
+
+    def test_insert_range_mru_can_evict_own_blocks(self):
+        # Per-block MRU eviction: once full, each later block of the
+        # range evicts the one inserted just before it.
+        cache = BlockCache(2, policy="mru")
+        cache.insert_range(1, 0, 3)
+        assert cache.resident(1) == [0, 3]
+
+    def test_insert_range_touches_residents(self):
+        cache = BlockCache(4, policy="lru")
+        cache.insert(1, 1, prefetched=True)
+        cache.insert_range(1, 0, 2)
+        # Resident block only touched: its prefetched flag survives.
+        cache.lookup(1, 1)
+        assert cache.stats.prefetch_hits == 1
+
+    def test_invalidate_range(self):
+        cache = BlockCache(8)
+        for b in range(5):
+            cache.insert(1, b)
+        assert cache.invalidate_range(1, 1, 3) == 3
+        assert cache.resident(1) == [0, 4]
+        assert cache.invalidate_range(1, 1, 3) == 0
+
+    def test_per_file_index_tracks_evictions(self):
+        cache = BlockCache(2, policy="lru")
+        cache.insert(1, 0)
+        cache.insert(2, 0)
+        cache.insert(2, 1)  # evicts (1, 0)
+        assert cache.resident(1) == []
+        assert cache.invalidate(1) == 0
+        assert sorted(cache.resident(2)) == [0, 1]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 2), st.integers(0, 8), st.integers(0, 3)),
+            max_size=60,
+        ),
+        st.integers(1, 8),
+        st.sampled_from(["lru", "mru"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_range_ops_match_per_block_reference(self, ops, capacity, policy):
+        """Each range op leaves cache state + stats exactly as the
+        equivalent per-block loop does."""
+        fast = BlockCache(capacity, policy=policy)
+        ref = BlockCache(capacity, policy=policy)
+        for op, fid, first, span in ops:
+            last = first + span
+            if op == 0:
+                assert fast.lookup_range(fid, first, last) == all(
+                    ref.lookup(fid, b) for b in range(first, last + 1)
+                )
+            elif op == 1:
+                missing_ref = [
+                    b for b in range(first, last + 1) if not ref.lookup(fid, b)
+                ]
+                assert fast.missing_in_range(fid, first, last) == missing_ref
+            elif op == 2:
+                fast.insert_range(fid, first, last)
+                for b in range(first, last + 1):
+                    ref.insert(fid, b)
+            elif op == 3:
+                dropped_ref = sum(
+                    ref.invalidate(fid, b) for b in range(first, last + 1)
+                )
+                assert fast.invalidate_range(fid, first, last) == dropped_ref
+            assert list(fast._entries.items()) == list(ref._entries.items())
+            assert (fast.stats.hits, fast.stats.misses, fast.stats.evictions,
+                    fast.stats.prefetch_hits) == (
+                ref.stats.hits, ref.stats.misses, ref.stats.evictions,
+                ref.stats.prefetch_hits)
+
+
+class TestCacheStatsMerge:
+    def test_merge_accumulates_every_counter(self):
+        from repro.ppfs import CacheStats
+
+        a, b = CacheStats(), CacheStats()
+        a.hits, a.misses, a.evictions, a.prefetch_hits = 1, 2, 3, 4
+        b.hits, b.misses, b.evictions, b.prefetch_hits = 10, 20, 30, 40
+        out = a.merge(b)
+        assert out is a
+        assert (a.hits, a.misses, a.evictions, a.prefetch_hits) == (11, 22, 33, 44)
+        # b untouched
+        assert (b.hits, b.misses, b.evictions, b.prefetch_hits) == (10, 20, 30, 40)
+
+
+class TestExtentSetMaxRun:
+    def test_tracks_largest_extent(self):
+        es = ExtentSet()
+        assert es.max_run_bytes == 0
+        es.add(0, 10)
+        es.add(100, 30)
+        assert es.max_run_bytes == 30
+        es.add(10, 90)  # merges 0..10 with 100..130 -> 0..130
+        assert es.max_run_bytes == 130
+
+    def test_resets_on_pop_all(self):
+        es = ExtentSet()
+        es.add(0, 64)
+        es.pop_all()
+        assert es.max_run_bytes == 0
+
+    def test_recomputed_over_kept_extents(self):
+        es = ExtentSet()
+        es.add(0, 100)
+        es.add(200, 40)
+        es.add(300, 60)
+        assert es.pop_file_runs(100) == [(0, 100)]
+        assert es.max_run_bytes == 60  # largest *kept* fragment
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(1, 50)), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scan_under_any_insertions(self, inserts):
+        es = ExtentSet()
+        for off, n in inserts:
+            es.add(off, n)
+            assert es.max_run_bytes == max(
+                (e - s for s, e in es.extents()), default=0
+            )
+
+
 class TestPrefetchers:
     def test_no_prefetcher_never_predicts(self):
         p = NoPrefetcher()

@@ -97,6 +97,22 @@ class TestServerCache:
         policies = PPFSPolicies.two_level()
         assert policies.server_cache_blocks > 0
 
+    def test_stats_aggregate_every_counter(self):
+        """server_cache_stats() must not drop counters when rolling up
+        per-I/O-node caches (prefetch_hits was once silently lost)."""
+        from repro.ppfs import BlockCache
+
+        _, fs = make(PPFSPolicies(server_cache_blocks=64))
+        a = BlockCache(4)
+        a.insert(1, 0, prefetched=True)
+        a.lookup(1, 0)  # hit + prefetch_hit
+        b = BlockCache(4)
+        b.lookup(1, 5)  # miss
+        fs._server_caches[0] = a
+        fs._server_caches[1] = b
+        total = fs.server_cache_stats()
+        assert (total.hits, total.misses, total.prefetch_hits) == (1, 1, 1)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PPFSPolicies(server_cache_blocks=-1)
