@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench perf examples campaign-smoke clean all
+.PHONY: install test bench perf examples campaign-smoke faults-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
 
@@ -16,6 +16,7 @@ bench:
 perf:
 	PYTHONPATH=src:. python benchmarks/bench_kernel_micro.py --scale small
 	PYTHONPATH=src:. python benchmarks/bench_ppfs_micro.py --scale small
+	PYTHONPATH=src:. python benchmarks/bench_faults_overhead.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
@@ -27,6 +28,15 @@ campaign-smoke:
 		--cache-dir $(CAMPAIGN_CACHE) --quiet
 	PYTHONPATH=src python -m repro campaign status --cache-dir $(CAMPAIGN_CACHE)
 	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
+
+faults-smoke:
+	PYTHONPATH=src python -m repro faults example --out $(CAMPAIGN_CACHE).plan.json
+	PYTHONPATH=src python -m repro campaign run --name faults-smoke \
+		--apps escat,render --faults none,$(CAMPAIGN_CACHE).plan.json \
+		--jobs 2 --cache-dir $(CAMPAIGN_CACHE) --quiet
+	PYTHONPATH=src python -m repro campaign status --cache-dir $(CAMPAIGN_CACHE)
+	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
+	rm -f $(CAMPAIGN_CACHE).plan.json
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

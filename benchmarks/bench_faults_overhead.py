@@ -1,0 +1,124 @@
+"""Faults-off overhead benchmark: the subsystem must cost ~nothing idle.
+
+The fault subsystem's acceptance bar is *zero-cost when off*: with no
+fault plan (or an empty one) the only additions to the hot path are one
+``_faulty`` flag check per request submission and one ``_impaired``
+check per array service-time call.  This bench quantifies that:
+
+* **wall time, no plan vs empty plan** — `Experiment.run()` for each
+  app with ``faults=None`` and ``faults=FaultPlan()``; the ratio should
+  sit within run-to-run noise of 1.0;
+* **faulted wall time** — the same runs under a representative plan
+  (disk failure + node outage + drop window), showing what injection
+  actually costs when it is on;
+* **submit-path microbench** — raw `IONode.submit` throughput with the
+  fault state cold, the per-request price of the `_faulty` check.
+
+Runs two ways:
+
+* under pytest-benchmark (``pytest benchmarks/bench_faults_overhead.py
+  --benchmark-only``);
+* as a script (``python benchmarks/bench_faults_overhead.py``) emitting
+  the machine-readable ``BENCH_faults.json`` artifact the CI perf-smoke
+  step uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.registry import small_experiment
+from repro.faults import DiskFailure, FaultPlan, NodeOutage, RequestDrops
+from repro.machine.ionode import IONode
+from repro.sim.core import Environment
+
+from benchmarks._common import emit, emit_json
+
+APPS = ("escat", "render", "htf")
+
+#: Representative plan: one of each fault class, timed for small runs.
+FAULT_PLAN = FaultPlan(
+    disk_failures=(DiskFailure(ionode=1, time_s=2.5, rebuild_delay_s=0.5,
+                               rebuild_bytes=4 * 1024 * 1024),),
+    outages=(NodeOutage(ionode=2, start_s=3.0, duration_s=0.8),),
+    drops=(RequestDrops(probability=0.05, start_s=1.0, duration_s=2.0),),
+)
+
+
+def wall_time(app: str, faults, repeats: int = 3) -> float:
+    """Best-of-N `Experiment.run()` wall seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        exp = small_experiment(app, faults=faults)
+        t0 = time.perf_counter()
+        exp.run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def submit_churn(requests: int = 20_000) -> int:
+    """Drain a healthy I/O node's queue: the per-request flag-check cost."""
+    env = Environment()
+    ion = IONode(env, 0)
+    for i in range(requests):
+        ion.submit((i * 4096) % (1 << 28), 4096, False)
+    env.run()
+    return ion.requests_served
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+def test_submit_path_throughput(benchmark):
+    served = benchmark(submit_churn, 5_000)
+    assert served == 5_000
+
+
+def test_faults_off_wall_time(benchmark):
+    best = benchmark(lambda: wall_time("escat", FaultPlan(), repeats=1))
+    assert best > 0
+
+
+def test_faulted_wall_time(benchmark):
+    best = benchmark(lambda: wall_time("escat", FAULT_PLAN, repeats=1))
+    assert best > 0
+
+
+# -- script entry (CI perf-smoke, `make perf`) ---------------------------------
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N per config (default 3)"
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    served = submit_churn()
+    submit_s = time.perf_counter() - t0
+
+    payload: dict = {
+        "submit_requests_per_s": round(served / submit_s),
+        "wall_s": {},
+        "overhead_ratio": {},
+    }
+    lines = [f"submit path: {payload['submit_requests_per_s']:,} requests/s"]
+    for app in APPS:
+        off = wall_time(app, None, args.repeats)
+        empty = wall_time(app, FaultPlan(), args.repeats)
+        faulted = wall_time(app, FAULT_PLAN, args.repeats)
+        ratio = empty / off if off else float("nan")
+        payload["wall_s"][app] = {
+            "no_plan": round(off, 4),
+            "empty_plan": round(empty, 4),
+            "faulted": round(faulted, 4),
+        }
+        payload["overhead_ratio"][app] = round(ratio, 4)
+        lines.append(
+            f"{app:<8} no-plan {off:>8.4f}s  empty-plan {empty:>8.4f}s "
+            f"(x{ratio:.3f})  faulted {faulted:>8.4f}s"
+        )
+    emit("faults_overhead", "\n".join(lines))
+    return emit_json("BENCH_faults", payload)
+
+
+if __name__ == "__main__":
+    print(main())

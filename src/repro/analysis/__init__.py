@@ -10,6 +10,7 @@ from .operations import OperationTable, OpRow
 from .patterns import PatternKind, PatternSummary, StreamPattern, classify_offsets
 from .phases import Phase, detect_phases
 from .report import CharacterizationReport
+from .resilience import ResilienceReport
 from .sizes import BUCKET_EDGES, BUCKET_LABELS, SizeTable, bucketize
 from .stats import (
     Distribution,
@@ -44,6 +45,7 @@ __all__ = [
     "Phase",
     "detect_phases",
     "CharacterizationReport",
+    "ResilienceReport",
     "BUCKET_EDGES",
     "BUCKET_LABELS",
     "SizeTable",

@@ -52,9 +52,16 @@ class OperationTable:
 
     def __init__(self, trace: Trace):
         ev = trace.events
+        op_col = ev["op"] if len(ev) else np.array([], dtype="u1")
+        # Resilience rows (Op.FAULT and up, from repro.faults) are
+        # bookkeeping, not I/O operations: keep them out of the counts
+        # and the %IOTime base.
+        if len(ev) and (op_col >= int(Op.FAULT)).any():
+            keep = op_col < int(Op.FAULT)
+            ev = ev[keep]
+            op_col = op_col[keep]
         self.total_time = float(ev["duration"].sum()) if len(ev) else 0.0
         self.rows: list[OpRow] = []
-        op_col = ev["op"] if len(ev) else np.array([], dtype="u1")
 
         total_count = int(len(ev))
         total_volume = 0

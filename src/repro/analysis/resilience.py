@@ -1,0 +1,183 @@
+"""Resilience analysis: what did the faults cost?
+
+Reads the FAULT / RETRY / DEGRADED rows the injector appended to a trace
+and summarizes the run's degraded operation: which faults fired, how many
+re-issues the retry layer performed and how long they waited, how long
+each I/O node served in degraded mode — and, given a fault-free *twin*
+trace of the same workload, the makespan slowdown and the per-phase
+slowdown (which phase of the application actually paid for the fault).
+
+Everything derives from trace rows, so ``repro faults report TRACE.sddf``
+reproduces the exact in-process summary from a saved trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+from .phases import detect_phases
+
+__all__ = ["ResilienceReport"]
+
+# FaultKind labels, duplicated from repro.faults.plan by code so the
+# analysis layer stays importable without the faults package in the
+# dependency path of a trace file.
+_KIND_LABELS = {
+    1: "disk-fail",
+    2: "disk-failslow",
+    3: "disk-failslow-end",
+    4: "node-crash",
+    5: "node-restart",
+    6: "rebuild-start",
+    7: "rebuild-done",
+    8: "drop-start",
+    9: "drop-end",
+}
+
+
+@dataclass
+class ResilienceReport:
+    """Summary of a trace's resilience rows (see module docstring).
+
+    Parameters
+    ----------
+    trace:
+        The (possibly faulted) trace to analyze.
+    baseline:
+        Optional fault-free twin of the same workload, enabling the
+        slowdown sections.
+    phase_window_s:
+        Bin width handed to :func:`repro.analysis.phases.detect_phases`
+        for the per-phase comparison.
+    """
+
+    trace: Trace
+    baseline: Optional[Trace] = None
+    phase_window_s: float = 2.0
+
+    fault_counts: dict[str, int] = field(init=False)
+    retry_count: int = field(init=False)
+    retry_wait_s: float = field(init=False)
+    degraded_by_node: dict[int, float] = field(init=False)
+    makespan_s: float = field(init=False)
+    baseline_makespan_s: Optional[float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        ev = self.trace.events
+        op = ev["op"]
+        faults = ev[op == int(Op.FAULT)]
+        self.fault_counts = {}
+        for code in faults["offset"]:
+            label = _KIND_LABELS.get(int(code), f"kind-{int(code)}")
+            self.fault_counts[label] = self.fault_counts.get(label, 0) + 1
+        retries = ev[op == int(Op.RETRY)]
+        self.retry_count = int(len(retries))
+        self.retry_wait_s = float(retries["duration"].sum())
+        degraded = ev[op == int(Op.DEGRADED)]
+        self.degraded_by_node = {}
+        for row in degraded:
+            node = int(row["node"])
+            self.degraded_by_node[node] = (
+                self.degraded_by_node.get(node, 0.0) + float(row["duration"])
+            )
+        self.makespan_s = self._makespan(ev)
+        self.baseline_makespan_s = (
+            self._makespan(self.baseline.events) if self.baseline is not None else None
+        )
+
+    @staticmethod
+    def _makespan(ev: np.ndarray) -> float:
+        # Application-visible span: resilience rows are bookkeeping (a
+        # rebuild can outlive the app), so measure over real ops only.
+        app = ev[ev["op"] < int(Op.FAULT)]
+        if len(app) == 0:
+            return 0.0
+        ts = app["timestamp"]
+        return float((ts + app["duration"]).max())
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def total_degraded_s(self) -> float:
+        return sum(self.degraded_by_node.values())
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """Makespan ratio vs the fault-free twin (None without one)."""
+        if self.baseline_makespan_s is None or self.baseline_makespan_s == 0.0:
+            return None
+        return self.makespan_s / self.baseline_makespan_s
+
+    def phase_slowdowns(self) -> list[tuple[str, float, float, float]]:
+        """Per-phase (label, baseline_s, faulted_s, ratio) vs the twin.
+
+        Phases are detected independently on both traces and paired by
+        index; a count mismatch (a fault that merged or split phases)
+        truncates to the common prefix.
+        """
+        if self.baseline is None:
+            return []
+        ours = detect_phases(self.trace, window_s=self.phase_window_s)
+        theirs = detect_phases(self.baseline, window_s=self.phase_window_s)
+        rows = []
+        for mine, base in zip(ours, theirs):
+            ratio = mine.duration / base.duration if base.duration else float("nan")
+            rows.append((base.label, base.duration, mine.duration, ratio))
+        return rows
+
+    # -- presentation --------------------------------------------------------
+    def summary(self) -> dict:
+        """Plain-dict form (JSON-friendly, deterministic key order)."""
+        out = {
+            "faults": dict(sorted(self.fault_counts.items())),
+            "retries": self.retry_count,
+            "retry_wait_s": round(self.retry_wait_s, 9),
+            "degraded_s_by_node": {
+                str(k): round(v, 9) for k, v in sorted(self.degraded_by_node.items())
+            },
+            "total_degraded_s": round(self.total_degraded_s, 9),
+            "makespan_s": round(self.makespan_s, 9),
+        }
+        if self.baseline_makespan_s is not None:
+            out["baseline_makespan_s"] = round(self.baseline_makespan_s, 9)
+            out["slowdown"] = round(self.slowdown, 9)
+        return out
+
+    def render(self) -> str:
+        """Deterministic text report."""
+        lines = ["Resilience report", "================="]
+        if not self.fault_counts and not self.retry_count and not self.degraded_by_node:
+            lines.append("no fault, retry or degraded events in trace")
+        if self.fault_counts:
+            lines.append("Faults:")
+            for label, count in sorted(self.fault_counts.items()):
+                lines.append(f"  {label:<20} {count}")
+        if self.retry_count:
+            lines.append(
+                f"Retries: {self.retry_count} re-issues, "
+                f"{self.retry_wait_s:.4f}s total backoff wait"
+            )
+        if self.degraded_by_node:
+            lines.append("Degraded service:")
+            for node, seconds in sorted(self.degraded_by_node.items()):
+                lines.append(f"  ionode {node:<3} {seconds:.4f}s")
+            lines.append(f"  total      {self.total_degraded_s:.4f}s")
+        lines.append(f"Makespan: {self.makespan_s:.4f}s")
+        if self.baseline_makespan_s is not None:
+            lines.append(
+                f"Fault-free twin: {self.baseline_makespan_s:.4f}s "
+                f"(slowdown x{self.slowdown:.4f})"
+            )
+            rows = self.phase_slowdowns()
+            if rows:
+                lines.append("Per-phase slowdown (paired by index):")
+                lines.append(f"  {'phase':<8} {'base s':>10} {'fault s':>10} {'ratio':>8}")
+                for label, base_s, mine_s, ratio in rows:
+                    lines.append(
+                        f"  {label:<8} {base_s:>10.3f} {mine_s:>10.3f} {ratio:>8.3f}"
+                    )
+        return "\n".join(lines)

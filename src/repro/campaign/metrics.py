@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..analysis.operations import OperationTable
+from ..pablo.events import Op
 from ..util.validation import sanitize_filename
 from .spec import RunSpec
 
@@ -38,10 +39,15 @@ def run_metrics(result: Any) -> dict[str, Any]:
         "writes": 0,
         "seeks": 0,
         "opens": 0,
+        "faults": 0,
+        "retries": 0,
+        "degraded_s": 0.0,
     }
     makespan = 0.0
     for name, trace in result.traces.items():
         table = OperationTable(trace)
+        ev = trace.events
+        op = ev["op"]
         rec = {
             "events": len(trace),
             "duration_s": round(trace.duration, 9),
@@ -52,6 +58,12 @@ def run_metrics(result: Any) -> dict[str, Any]:
             "write_bytes": table.row("Write").volume,
             "seeks": table.row("Seek").count,
             "opens": table.row("Open").count,
+            # Resilience rows (repro.faults); all zero on fault-free runs.
+            "faults": int((op == int(Op.FAULT)).sum()),
+            "retries": int((op == int(Op.RETRY)).sum()),
+            "degraded_s": round(
+                float(ev["duration"][op == int(Op.DEGRADED)].sum()), 9
+            ),
         }
         per_trace[name] = rec
         total["events"] += rec["events"]
@@ -62,6 +74,9 @@ def run_metrics(result: Any) -> dict[str, Any]:
         total["writes"] += rec["writes"]
         total["seeks"] += rec["seeks"]
         total["opens"] += rec["opens"]
+        total["faults"] += rec["faults"]
+        total["retries"] += rec["retries"]
+        total["degraded_s"] = round(total["degraded_s"] + rec["degraded_s"], 9)
         makespan = max(makespan, trace.duration)
     sim_now = getattr(getattr(result.machine, "env", None), "now", None)
     return {

@@ -22,6 +22,7 @@ from typing import Any, Iterable, Optional, Sequence
 from ..apps.workloads import paper_machine, small_machine
 from ..core.experiment import Experiment
 from ..core.registry import APPLICATIONS, paper_experiment, small_experiment
+from ..faults.plan import FaultPlan
 from ..ppfs.policies import PPFSPolicies
 
 __all__ = ["RunSpec", "CampaignSpec", "SPEC_VERSION"]
@@ -74,6 +75,11 @@ class RunSpec:
     overrides:
         Workload-config field overrides, applied with
         :func:`dataclasses.replace` on the app's config record.
+    faults:
+        Optional fault plan — a :class:`repro.faults.FaultPlan` or its
+        JSON text; stored as canonical JSON so the record stays a
+        picklable primitive.  An empty plan normalizes to None (it
+        produces the identical trace, so it must hash identically).
     """
 
     app: str
@@ -82,6 +88,7 @@ class RunSpec:
     policy: Optional[str] = None
     seed: Optional[int] = None
     overrides: tuple[tuple[str, Any], ...] = ()
+    faults: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPLICATIONS:
@@ -101,11 +108,24 @@ class RunSpec:
         if self.seed is not None and not isinstance(self.seed, int):
             raise ValueError(f"seed must be an int or None, got {self.seed!r}")
         object.__setattr__(self, "overrides", _freeze_overrides(self.overrides))
+        if self.faults is not None:
+            plan = (
+                FaultPlan.from_json(self.faults)
+                if isinstance(self.faults, str)
+                else self.faults
+            )
+            if not isinstance(plan, FaultPlan):
+                raise ValueError(
+                    f"faults must be a FaultPlan or its JSON, got {type(plan).__name__}"
+                )
+            object.__setattr__(
+                self, "faults", None if plan.empty else plan.canonical_json()
+            )
 
     # -- identity ----------------------------------------------------------
     def canonical(self) -> dict[str, Any]:
         """The hash-defining parameter record (JSON-stable key order)."""
-        return {
+        record = {
             "version": SPEC_VERSION,
             "app": self.app,
             "scale": self.scale,
@@ -114,6 +134,10 @@ class RunSpec:
             "seed": self.seed,
             "overrides": {k: v for k, v in self.overrides},
         }
+        # Only present when set: pre-faults cache entries keep their hashes.
+        if self.faults is not None:
+            record["faults"] = self.faults
+        return record
 
     @property
     def run_hash(self) -> str:
@@ -128,6 +152,8 @@ class RunSpec:
             parts.append(self.policy)
         if self.seed is not None:
             parts.append(f"seed{self.seed}")
+        if self.faults is not None:
+            parts.append(f"faults{hashlib.sha256(self.faults.encode()).hexdigest()[:6]}")
         return "/".join(parts)
 
     # -- (de)serialization -------------------------------------------------
@@ -143,6 +169,7 @@ class RunSpec:
             policy=data.get("policy"),
             seed=data.get("seed"),
             overrides=tuple(sorted((data.get("overrides") or {}).items())),
+            faults=data.get("faults"),
         )
 
     # -- materialization ---------------------------------------------------
@@ -161,6 +188,8 @@ class RunSpec:
             kwargs["policies"] = (
                 PPFSPolicies.from_name(self.policy) if self.policy else PPFSPolicies()
             )
+        if self.faults is not None:
+            kwargs["faults"] = FaultPlan.from_json(self.faults)
         return build(self.app, **kwargs)
 
 
@@ -180,19 +209,24 @@ class CampaignSpec:
     policies: Sequence[Optional[str]] = (None,)
     seeds: Sequence[Optional[int]] = (None,)
     overrides: dict[str, Any] = field(default_factory=dict)
+    #: Fault-plan axis: None (fault-free) and/or FaultPlan instances /
+    #: JSON strings — a fault-free baseline plus each faulted twin.
+    fault_plans: Sequence[Optional[Any]] = (None,)
     name: str = "campaign"
 
     def expand(self) -> list[RunSpec]:
         """The grid's concrete runs, in deterministic order, deduplicated."""
         frozen = _freeze_overrides(self.overrides)
         runs: dict[str, RunSpec] = {}
-        for app, scale, fs, policy, seed in itertools.product(
-            self.apps, self.scales, self.filesystems, self.policies, self.seeds
+        for app, scale, fs, policy, seed, faults in itertools.product(
+            self.apps, self.scales, self.filesystems, self.policies, self.seeds,
+            self.fault_plans,
         ):
             if fs == "pfs" and policy is not None:
                 continue
             spec = RunSpec(
-                app=app, scale=scale, fs=fs, policy=policy, seed=seed, overrides=frozen
+                app=app, scale=scale, fs=fs, policy=policy, seed=seed,
+                overrides=frozen, faults=faults,
             )
             runs.setdefault(spec.run_hash, spec)
         if not runs:

@@ -11,6 +11,10 @@
     python -m repro campaign run --jobs 4            # parallel sweep + cache
     python -m repro campaign status                  # what's in the cache
     python -m repro campaign clean                   # drop cached results
+    python -m repro run escat --faults plan.json     # run under injected faults
+    python -m repro faults example --out plan.json   # starter fault plan
+    python -m repro faults show plan.json            # describe a plan
+    python -m repro faults report trace.sddf         # resilience summary
 """
 
 from __future__ import annotations
@@ -21,12 +25,14 @@ import sys
 from typing import Optional
 
 from .analysis.report import CharacterizationReport
+from .analysis.resilience import ResilienceReport
 from .campaign.cache import ResultCache
 from .campaign.runner import CampaignRunner, code_version
 from .campaign.spec import CampaignSpec
 from .core.compare import CrossAppComparison
 from .core.registry import APPLICATIONS, paper_experiment, small_experiment
 from .core.replay import replay_trace
+from .faults.plan import DiskFailure, FaultPlan, NodeOutage, RequestDrops
 from .pablo.trace import Trace
 from .ppfs.policies import PPFSPolicies
 from .ppfs.server import PPFS
@@ -74,6 +80,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policies", choices=PPFSPolicies.presets(), default=None)
     run.add_argument("--save-dir", default=None, metavar="DIR",
                      help="write SDDF trace(s) into DIR")
+    run.add_argument("--faults", default=None, metavar="PLAN",
+                     help="fault plan (JSON file path or inline JSON); "
+                     "prints a resilience report after the run")
 
     char = sub.add_parser("characterize", help="report a saved SDDF trace")
     char.add_argument("trace", help="path to a .sddf trace file")
@@ -116,16 +125,42 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
     crun.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
+    crun.add_argument("--faults", type=_csv, default=["none"], metavar="P,P",
+                      help="fault-plan axis: comma-separated JSON file paths; "
+                      "'none' = fault-free")
+
     cstat = csub.add_parser("status", help="summarize the result cache")
     cstat.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
 
     cclean = csub.add_parser("clean", help="remove all cached results")
     cclean.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
+
+    faults = sub.add_parser("faults", help="fault plans and resilience reports")
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+
+    frep = fsub.add_parser("report", help="resilience summary of a saved trace")
+    frep.add_argument("trace", help="path to a .sddf trace file")
+    frep.add_argument("--baseline", default=None, metavar="TRACE",
+                      help="fault-free twin trace for slowdown comparison")
+
+    fshow = fsub.add_parser("show", help="describe a fault plan")
+    fshow.add_argument("plan", help="fault plan (JSON file path or inline JSON)")
+
+    fex = fsub.add_parser("example", help="emit a starter fault plan")
+    fex.add_argument("--out", default=None, metavar="PATH",
+                     help="write the plan here instead of stdout")
     return parser
 
 
 def _policies(name: Optional[str]) -> Optional[PPFSPolicies]:
     return PPFSPolicies.from_name(name) if name else None
+
+
+def _load_fault_plan(text: str) -> FaultPlan:
+    """A fault plan from a JSON file path or inline JSON text."""
+    if os.path.exists(text):
+        return FaultPlan.load(text)
+    return FaultPlan.from_json(text)
 
 
 def _cmd_run(args) -> int:
@@ -137,10 +172,19 @@ def _cmd_run(args) -> int:
     elif args.policies:
         print("--policies requires --fs ppfs", file=sys.stderr)
         return 2
+    if args.faults:
+        try:
+            kwargs["faults"] = _load_fault_plan(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
     result = build(args.app, **kwargs).run()
     for name, trace in result.traces.items():
         print(CharacterizationReport(trace).render())
         print()
+        if args.faults:
+            print(ResilienceReport(trace).render())
+            print()
         if args.save_dir:
             os.makedirs(args.save_dir, exist_ok=True)
             path = os.path.join(args.save_dir, f"{name}.sddf")
@@ -183,6 +227,9 @@ def _cmd_replay(args) -> int:
 
 def _cmd_campaign_run(args) -> int:
     try:
+        fault_plans = tuple(
+            None if p == "none" else _load_fault_plan(p) for p in args.faults
+        )
         spec = CampaignSpec(
             name=args.name,
             apps=tuple(args.apps),
@@ -191,9 +238,10 @@ def _cmd_campaign_run(args) -> int:
             policies=tuple(None if p == "none" else p for p in args.policies),
             seeds=tuple(None if s == "default" else int(s) for s in args.seeds),
             overrides=dict(args.overrides),
+            fault_plans=fault_plans,
         )
         runs = spec.expand()
-    except ValueError as exc:
+    except (OSError, ValueError) as exc:
         print(f"bad campaign grid: {exc}", file=sys.stderr)
         return 2
     try:
@@ -236,6 +284,50 @@ def _cmd_campaign_clean(args) -> int:
     return 0
 
 
+def _cmd_faults_report(args) -> int:
+    trace = Trace.load(args.trace)
+    baseline = Trace.load(args.baseline) if args.baseline else None
+    print(ResilienceReport(trace, baseline=baseline).render())
+    return 0
+
+
+def _cmd_faults_show(args) -> int:
+    try:
+        plan = _load_fault_plan(args.plan)
+    except (OSError, ValueError) as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    print(plan.describe())
+    return 0
+
+
+def example_fault_plan() -> FaultPlan:
+    """The starter plan ``repro faults example`` emits.
+
+    Sized for the small machine (4 I/O nodes, ~14 s runs): one disk
+    failure mid-run with a short rebuild, one sub-second node outage,
+    and a brief window of 5% request drops.
+    """
+    return FaultPlan(
+        disk_failures=(
+            DiskFailure(ionode=1, time_s=2.5, rebuild_delay_s=0.5,
+                        rebuild_bytes=4 * 1024 * 1024),
+        ),
+        outages=(NodeOutage(ionode=2, start_s=3.0, duration_s=0.8),),
+        drops=(RequestDrops(probability=0.05, start_s=1.0, duration_s=2.0),),
+    )
+
+
+def _cmd_faults_example(args) -> int:
+    plan = example_fault_plan()
+    if args.out:
+        plan.save(args.out)
+        print(f"fault plan written: {args.out}")
+    else:
+        print(plan.to_json())
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -245,6 +337,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             "status": _cmd_campaign_status,
             "clean": _cmd_campaign_clean,
         }[args.campaign_command]
+        return handler(args)
+    if args.command == "faults":
+        handler = {
+            "report": _cmd_faults_report,
+            "show": _cmd_faults_show,
+            "example": _cmd_faults_example,
+        }[args.faults_command]
         return handler(args)
     handler = {
         "run": _cmd_run,

@@ -41,6 +41,8 @@ class ExperimentResult:
     fs: PFS
     traces: dict[str, Trace]
     app: Any = None
+    #: The FaultInjector when the run injected faults (None otherwise).
+    injector: Any = None
 
     @property
     def trace(self) -> Trace:
@@ -68,6 +70,10 @@ class Experiment:
         PPFS policies (filesystem='ppfs' only).
     costs:
         Cost-model override (None = calibrated defaults).
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; a None or empty plan
+        injects nothing and leaves the run byte-identical to a fault-free
+        build.
     """
 
     app: str
@@ -78,6 +84,7 @@ class Experiment:
     costs: Optional[CostModel] = None
     capture_overhead_s: float = 0.0
     observers: list = field(default_factory=list)
+    faults: Any = None
 
     def __post_init__(self) -> None:
         if self.app not in _APP_DEFAULTS:
@@ -99,11 +106,20 @@ class Experiment:
         fs = self.build_fs(machine)
         config = self.config if self.config is not None else _APP_DEFAULTS[self.app]()
 
+        injector = None
+        if self.faults is not None and not self.faults.empty:
+            # Imported here so fault-free builds never touch the subsystem.
+            from ..faults.inject import FaultInjector
+
+            injector = FaultInjector(machine, self.faults, fs=fs).start()
+
         if self.app == "htf":
             if not isinstance(config, HTFConfig):
                 raise TypeError(f"htf needs HTFConfig, got {type(config).__name__}")
             result: HTFResult = HartreeFock(machine, fs, config).run()
-            return ExperimentResult(machine, fs, result.programs())
+            traces = result.programs()
+            self._append_resilience(injector, traces)
+            return ExperimentResult(machine, fs, traces, injector=injector)
 
         instrumented = InstrumentedPFS(fs, overhead_s=self.capture_overhead_s)
         for obs in self.observers:
@@ -117,4 +133,19 @@ class Experiment:
                 raise TypeError(f"render needs RenderConfig, got {type(config).__name__}")
             application = Render(machine=machine, fs=instrumented, config=config)
         trace = application.run()
-        return ExperimentResult(machine, fs, {self.app: trace}, app=application)
+        traces = {self.app: trace}
+        self._append_resilience(injector, traces)
+        return ExperimentResult(machine, fs, traces, app=application, injector=injector)
+
+    @staticmethod
+    def _append_resilience(injector, traces: dict[str, Trace]) -> None:
+        """Close degraded intervals and append the recorder's FAULT /
+        RETRY / DEGRADED rows to every trace, so each saved trace is
+        self-describing about the faults it ran under."""
+        if injector is None:
+            return
+        injector.finalize()
+        rows = injector.recorder.rows
+        if rows:
+            for trace in traces.values():
+                trace.extend(rows)

@@ -1,0 +1,21 @@
+"""repro.faults — deterministic fault injection for the I/O stack.
+
+Declarative :class:`FaultPlan` (disk failures, I/O-node outages,
+transient request drops) + :class:`FaultInjector` driving it against a
+live machine, with retry/failover installed into the file-system client
+and resilience events recorded into the Pablo trace.  See
+``docs/TUTORIAL.md`` ("Injecting failures") for the walkthrough.
+"""
+
+from .inject import FaultInjector, FaultRecorder
+from .plan import DiskFailure, FaultKind, FaultPlan, NodeOutage, RequestDrops
+
+__all__ = [
+    "DiskFailure",
+    "FaultKind",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecorder",
+    "NodeOutage",
+    "RequestDrops",
+]

@@ -1,0 +1,312 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a plain, serializable description of *what goes
+wrong and when* during a simulated run: disks failing (outright or
+fail-slow), I/O nodes crashing and restarting, and windows of transient
+request drops.  Plans are data, not code — they round-trip through JSON
+(``repro faults show PLAN.json``, ``repro run --faults PLAN.json``,
+campaign grids), and the injector (:mod:`repro.faults.inject`) is the
+only thing that interprets them.
+
+Everything is deterministic: fault *times* are fixed in the plan, and
+the only stochastic element (per-request drops) draws from named
+:mod:`repro.sim.rng` streams, so one seed + one plan = one byte-exact
+trace.
+
+The empty plan is the documented fast path: ``FaultPlan().empty`` is
+True, the injector installs nothing, and the run is bit-identical to a
+build without this subsystem.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..pfs.retry import RetryPolicy
+from ..util.units import MB
+
+__all__ = [
+    "FaultKind",
+    "DiskFailure",
+    "NodeOutage",
+    "RequestDrops",
+    "FaultPlan",
+]
+
+
+class FaultKind(enum.IntEnum):
+    """Codes stored in the ``offset`` field of FAULT trace rows."""
+
+    DISK_FAIL = 1
+    DISK_FAILSLOW = 2
+    DISK_FAILSLOW_END = 3
+    NODE_CRASH = 4
+    NODE_RESTART = 5
+    REBUILD_START = 6
+    REBUILD_DONE = 7
+    DROP_START = 8
+    DROP_END = 9
+
+    @property
+    def label(self) -> str:
+        return _KIND_LABELS[self]
+
+
+_KIND_LABELS = {
+    FaultKind.DISK_FAIL: "disk-fail",
+    FaultKind.DISK_FAILSLOW: "disk-failslow",
+    FaultKind.DISK_FAILSLOW_END: "disk-failslow-end",
+    FaultKind.NODE_CRASH: "node-crash",
+    FaultKind.NODE_RESTART: "node-restart",
+    FaultKind.REBUILD_START: "rebuild-start",
+    FaultKind.REBUILD_DONE: "rebuild-done",
+    FaultKind.DROP_START: "drop-start",
+    FaultKind.DROP_END: "drop-end",
+}
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """One disk lost (or fail-slow) in one I/O node's RAID-3 array.
+
+    ``mode="fail"``: the array degrades at ``time_s`` (reconstruction
+    reads), a spare starts rebuilding after ``rebuild_delay_s``, and
+    service returns to normal once ``rebuild_bytes`` of reconstruction
+    traffic — issued through the node's own queue in
+    ``rebuild_chunk_bytes`` pieces, competing with foreground work —
+    has been read.
+
+    ``mode="fail_slow"``: the array serves at ``slow_factor`` times its
+    normal service time from ``time_s``; ``duration_s`` (required) ends
+    the episode.
+    """
+
+    ionode: int
+    time_s: float
+    mode: str = "fail"
+    duration_s: Optional[float] = None
+    slow_factor: float = 3.0
+    rebuild_delay_s: float = 0.5
+    rebuild_bytes: int = 32 * MB
+    rebuild_chunk_bytes: int = MB
+
+    def __post_init__(self) -> None:
+        if self.ionode < 0:
+            raise ValueError(f"ionode must be >= 0, got {self.ionode}")
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be >= 0, got {self.time_s}")
+        if self.mode not in ("fail", "fail_slow"):
+            raise ValueError(f"mode must be fail/fail_slow, got {self.mode!r}")
+        if self.mode == "fail_slow":
+            if self.duration_s is None or self.duration_s <= 0:
+                raise ValueError("fail_slow requires a positive duration_s")
+            if self.slow_factor < 1.0:
+                raise ValueError(f"slow_factor must be >= 1, got {self.slow_factor}")
+        if self.rebuild_delay_s < 0:
+            raise ValueError(f"rebuild_delay_s must be >= 0, got {self.rebuild_delay_s}")
+        if self.rebuild_bytes < 0:
+            raise ValueError(f"rebuild_bytes must be >= 0, got {self.rebuild_bytes}")
+        if self.rebuild_chunk_bytes < 1:
+            raise ValueError(
+                f"rebuild_chunk_bytes must be >= 1, got {self.rebuild_chunk_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One I/O node crashes at ``start_s`` and restarts ``duration_s``
+    later; its queue is lost and its server cache comes back cold."""
+
+    ionode: int
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.ionode < 0:
+            raise ValueError(f"ionode must be >= 0, got {self.ionode}")
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+
+
+@dataclass(frozen=True)
+class RequestDrops:
+    """A window during which data requests vanish in flight.
+
+    Each arriving request is dropped with ``probability`` (a named
+    deterministic stream per node supplies the draws) and surfaces
+    client-side as an :class:`~repro.pfs.errors.IOTimeout` after
+    ``detect_timeout_s``.  ``ionodes=None`` targets every node.
+    """
+
+    probability: float
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+    detect_timeout_s: float = 0.05
+    ionodes: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {self.probability}")
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.detect_timeout_s < 0:
+            raise ValueError(
+                f"detect_timeout_s must be >= 0, got {self.detect_timeout_s}"
+            )
+        if self.ionodes is not None:
+            object.__setattr__(self, "ionodes", tuple(self.ionodes))
+            if any(i < 0 for i in self.ionodes):
+                raise ValueError(f"ionodes must be >= 0, got {self.ionodes}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule for one run (all fields optional)."""
+
+    disk_failures: Sequence[DiskFailure] = ()
+    outages: Sequence[NodeOutage] = ()
+    drops: Sequence[RequestDrops] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "disk_failures", tuple(self.disk_failures))
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "drops", tuple(self.drops))
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (the zero-cost fast path)."""
+        return not (self.disk_failures or self.outages or self.drops)
+
+    def validate(self, n_ionodes: int) -> None:
+        """Check every targeted node exists on the machine."""
+        for df in self.disk_failures:
+            if df.ionode >= n_ionodes:
+                raise ValueError(
+                    f"disk failure targets ionode {df.ionode}, "
+                    f"machine has {n_ionodes}"
+                )
+        for o in self.outages:
+            if o.ionode >= n_ionodes:
+                raise ValueError(
+                    f"outage targets ionode {o.ionode}, machine has {n_ionodes}"
+                )
+        for d in self.drops:
+            if d.ionodes is not None:
+                for i in d.ionodes:
+                    if i >= n_ionodes:
+                        raise ValueError(
+                            f"drop window targets ionode {i}, "
+                            f"machine has {n_ionodes}"
+                        )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "disk_failures": [
+                {
+                    "ionode": df.ionode,
+                    "time_s": df.time_s,
+                    "mode": df.mode,
+                    "duration_s": df.duration_s,
+                    "slow_factor": df.slow_factor,
+                    "rebuild_delay_s": df.rebuild_delay_s,
+                    "rebuild_bytes": df.rebuild_bytes,
+                    "rebuild_chunk_bytes": df.rebuild_chunk_bytes,
+                }
+                for df in self.disk_failures
+            ],
+            "outages": [
+                {"ionode": o.ionode, "start_s": o.start_s, "duration_s": o.duration_s}
+                for o in self.outages
+            ],
+            "drops": [
+                {
+                    "probability": d.probability,
+                    "start_s": d.start_s,
+                    "duration_s": d.duration_s,
+                    "detect_timeout_s": d.detect_timeout_s,
+                    "ionodes": list(d.ionodes) if d.ionodes is not None else None,
+                }
+                for d in self.drops
+            ],
+            "retry": self.retry.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            disk_failures=tuple(
+                DiskFailure(**df) for df in data.get("disk_failures", ())
+            ),
+            outages=tuple(NodeOutage(**o) for o in data.get("outages", ())),
+            drops=tuple(RequestDrops(**d) for d in data.get("drops", ())),
+            retry=RetryPolicy.from_dict(data["retry"]) if "retry" in data
+            else RetryPolicy(),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def canonical_json(self) -> str:
+        """Key-sorted, whitespace-free JSON — the campaign hashing form."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def describe(self) -> str:
+        """One line per scheduled fault, in time order."""
+        if self.empty:
+            return "empty plan (no faults)"
+        lines: list[tuple[float, str]] = []
+        for df in self.disk_failures:
+            if df.mode == "fail_slow":
+                lines.append((
+                    df.time_s,
+                    f"t={df.time_s:g}s ionode {df.ionode}: disk fail-slow "
+                    f"x{df.slow_factor:g} for {df.duration_s:g}s",
+                ))
+            else:
+                lines.append((
+                    df.time_s,
+                    f"t={df.time_s:g}s ionode {df.ionode}: disk failure "
+                    f"(rebuild {df.rebuild_bytes} B after {df.rebuild_delay_s:g}s)",
+                ))
+        for o in self.outages:
+            lines.append((
+                o.start_s,
+                f"t={o.start_s:g}s ionode {o.ionode}: crash, "
+                f"restart after {o.duration_s:g}s",
+            ))
+        for d in self.drops:
+            where = (
+                "all ionodes" if d.ionodes is None
+                else f"ionodes {list(d.ionodes)}"
+            )
+            until = "end of run" if d.duration_s is None else f"+{d.duration_s:g}s"
+            lines.append((
+                d.start_s,
+                f"t={d.start_s:g}s {where}: drop p={d.probability:g} "
+                f"until {until} (detect {d.detect_timeout_s:g}s)",
+            ))
+        lines.sort(key=lambda item: item[0])
+        return "\n".join(text for _, text in lines)

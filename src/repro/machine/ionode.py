@@ -14,13 +14,26 @@ responsibility, and the ablation bench compares them:
 * ``sstf`` — shortest-seek-time-first: among pending requests, serve the
   one nearest the current head position (better throughput under
   interleaved streams, at some fairness cost).
+
+Fault model (driven by :mod:`repro.faults`): a node can *crash* —
+failing its in-service and queued requests with
+:class:`~repro.pfs.errors.IONodeUnavailable` and rejecting new ones until
+:meth:`restart` — can silently *drop* a fraction of incoming requests
+(detected client-side as :class:`~repro.pfs.errors.IOTimeout` after a
+deterministic detection delay), and *rejects* data requests with
+:class:`~repro.pfs.errors.DegradedService` during the array controller's
+post-disk-loss reconfiguration window.  All of it sits behind a single
+``_faulty`` flag so a fault-free run pays one attribute check per
+submission and nothing else.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
+from typing import Callable, Optional
 
+from ..pfs.errors import DegradedService, IONodeUnavailable, IOTimeout
 from ..sim.core import Environment, Event, Timeout
 from ..util.validation import check_nonneg
 from .raid import Raid3Array, Raid3Params
@@ -76,11 +89,28 @@ class IONode:
         self.busy_time = 0.0
         self.requests_served = 0
         self.bytes_served = 0
+        # -- fault state (repro.faults); _faulty gates it all ----------------
+        self._faulty = False
+        self._up = True
+        self._down_since = 0.0
+        self._reject_until = -1.0
+        self._drop: Optional[tuple[float, object, float]] = None
+        self._inflight: Optional[_Pending] = None
+        self._restart_event: Optional[Event] = None
+        self._restart_listeners: list[Callable[["IONode"], None]] = []
+        self.downtime = 0.0
+        self.dropped_requests = 0
+        self.failed_requests = 0
 
     @property
     def queue_length(self) -> int:
         """Requests waiting (not in service)."""
         return len(self._pending)
+
+    @property
+    def up(self) -> bool:
+        """False between :meth:`crash` and :meth:`restart`."""
+        return self._up
 
     # -- request entry points ------------------------------------------------
     def submit(self, offset: int, nbytes: int, is_write: bool, extra_s: float = 0.0) -> Event:
@@ -91,10 +121,23 @@ class IONode:
         system's per-chunk software charges).  This is the allocation-lean
         entry point the hot data path uses: callers chain on the event's
         callbacks instead of wrapping a generator in a Process.
+
+        Under injected faults the returned event may *fail* with a
+        :class:`~repro.pfs.errors.TransientIOError` subclass; callers on
+        the retry path check ``event.ok`` in their completion callbacks.
         """
-        return self._submit(
-            _Pending(offset, nbytes, is_write, extra_s, Event(self.env))
-        )
+        # Inlined _submit: this is the per-chunk hot path (millions of
+        # calls per paper-scale run), so it pays to skip one frame.
+        req = _Pending(offset, nbytes, is_write, extra_s, Event(self.env))
+        if self._faulty and self._intercept(req):
+            return req.done
+        req.order = self._order
+        self._order += 1
+        self._pending.append(req)
+        if not self._busy:
+            self._busy = True
+            self.env.defer(self._serve_next)
+        return req.done
 
     def serve(self, offset: int, nbytes: int, is_write: bool, extra_s: float = 0.0):
         """Process generator: queue a data request; returns its in-service
@@ -123,6 +166,8 @@ class IONode:
         yield self.submit_control(service_s)
 
     def _submit(self, req: _Pending) -> Event:
+        if self._faulty and self._intercept(req):
+            return req.done
         req.order = self._order
         self._order += 1
         self._pending.append(req)
@@ -134,6 +179,134 @@ class IONode:
             # busy-period loop itself runs on timeout callbacks.
             self.env.defer(self._serve_next)
         return req.done
+
+    # -- fault interception ----------------------------------------------------
+    def _intercept(self, req: _Pending) -> bool:
+        """Apply fault state to an arriving request.
+
+        Returns True when the request was consumed (its ``done`` event
+        has been failed, now or after a detection delay).  Only reached
+        while ``_faulty`` is set, so the fault-free path never pays for
+        any of these checks.
+        """
+        env = self.env
+        if not self._up:
+            self.failed_requests += 1
+            req.done.fail(
+                IONodeUnavailable(f"I/O node {self.index} is down")
+            )
+            return True
+        if req.control:
+            return False
+        if env.now < self._reject_until:
+            self.failed_requests += 1
+            req.done.fail(
+                DegradedService(
+                    f"I/O node {self.index}: array reconfiguring after disk loss"
+                )
+            )
+            return True
+        drop = self._drop
+        if drop is not None:
+            probability, rng, detect_s = drop
+            if float(rng.random()) < probability:
+                self.dropped_requests += 1
+                # The request vanishes in flight; the client notices via
+                # a detection timeout, modelled here so the failure fires
+                # deterministically detect_s after the drop.
+                Timeout(env, detect_s).callbacks.append(
+                    partial(self._drop_detected, req)
+                )
+                return True
+        return False
+
+    def _drop_detected(self, req: _Pending, _event: Event) -> None:
+        req.done.fail(
+            IOTimeout(
+                f"request to I/O node {self.index} dropped "
+                f"(offset={req.offset}, nbytes={req.nbytes})"
+            )
+        )
+
+    # -- fault state transitions (driven by repro.faults) -----------------------
+    def crash(self) -> None:
+        """Take the node down, failing the in-service and queued requests."""
+        if not self._up:
+            return
+        self._up = False
+        self._faulty = True
+        self._down_since = self.env.now
+        inflight, self._inflight = self._inflight, None
+        pending, self._pending = self._pending, []
+        self._busy = False
+        exc_text = f"I/O node {self.index} crashed"
+        if inflight is not None:
+            self.failed_requests += 1
+            inflight.done.fail(IONodeUnavailable(exc_text))
+        for req in pending:
+            self.failed_requests += 1
+            req.done.fail(IONodeUnavailable(exc_text))
+
+    def restart(self) -> None:
+        """Bring a crashed node back up (empty queue, caches cold)."""
+        if self._up:
+            return
+        self._up = True
+        self.downtime += self.env.now - self._down_since
+        self._refresh_faulty()
+        restart_event, self._restart_event = self._restart_event, None
+        for listener in list(self._restart_listeners):
+            listener(self)
+        if restart_event is not None:
+            restart_event.succeed(self)
+
+    def restart_wait(self) -> Event:
+        """Event firing at the node's next restart (immediately if up).
+
+        The retry layer's failover path waits on this instead of blind
+        backoff while the node is down.
+        """
+        if self._up:
+            return Event(self.env).succeed(self)
+        if self._restart_event is None:
+            self._restart_event = Event(self.env)
+        return self._restart_event
+
+    def on_restart(self, listener: Callable[["IONode"], None]) -> None:
+        """Register a persistent restart listener (e.g. PPFS server-cache
+        invalidation: a restarted node has lost its cache contents)."""
+        self._restart_listeners.append(listener)
+
+    def begin_reconfig(self, duration_s: float) -> None:
+        """Reject data requests for ``duration_s`` (post-disk-loss window)."""
+        self._reject_until = self.env.now + duration_s
+        self._faulty = True
+
+    def set_drop(self, probability: float, rng, detect_timeout_s: float) -> None:
+        """Start dropping each arriving data request with ``probability``.
+
+        Draws come from ``rng`` (a named deterministic stream) in arrival
+        order, so runs are bit-reproducible.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        check_nonneg(detect_timeout_s, "detect_timeout_s")
+        self._drop = (probability, rng, detect_timeout_s)
+        self._faulty = True
+
+    def clear_drop(self) -> None:
+        """Stop dropping requests."""
+        self._drop = None
+        self._refresh_faulty()
+
+    def _refresh_faulty(self) -> None:
+        # _faulty may stay conservatively True until the reject window
+        # has visibly expired; _intercept is then a cheap no-op.
+        self._faulty = (
+            not self._up
+            or self._drop is not None
+            or self.env.now < self._reject_until
+        )
 
     # -- scheduling --------------------------------------------------------------
     def _select(self) -> int:
@@ -179,8 +352,12 @@ class IONode:
             self.requests_served += 1
             self.bytes_served += req.nbytes
         self.busy_time += service
+        self._inflight = req
         Timeout(self.env, service).callbacks.append(partial(self._service_done, req, service))
 
     def _service_done(self, req: _Pending, service: float, _event: Event) -> None:
+        if req is not self._inflight:
+            return  # stale completion: the node crashed during this service
+        self._inflight = None
         req.done.succeed(service)
         self._serve_next()

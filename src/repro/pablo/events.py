@@ -30,6 +30,15 @@ class Op(enum.IntEnum):
     IOWAIT = 6  # wait for asynchronous completion
     LSIZE = 7
     FLUSH = 8
+    # Resilience records (repro.faults): not application calls, but
+    # first-class trace rows so saved traces remain self-describing.
+    # FAULT: node = I/O node, offset = FaultKind code, duration = 0.
+    # RETRY: node = client, offset/nbytes = re-issued chunk, duration =
+    #   time waited before the re-issue.
+    # DEGRADED: node = I/O node, duration = seconds in degraded service.
+    FAULT = 9
+    RETRY = 10
+    DEGRADED = 11
 
     @property
     def label(self) -> str:
@@ -47,6 +56,9 @@ _LABELS = {
     Op.IOWAIT: "I/O Wait",
     Op.LSIZE: "Lsize",
     Op.FLUSH: "Forflush",
+    Op.FAULT: "Fault",
+    Op.RETRY: "Retry",
+    Op.DEGRADED: "Degraded",
 }
 
 #: Ops that transfer data from file to application.

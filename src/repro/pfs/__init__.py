@@ -9,15 +9,23 @@ from .collective import STRATEGIES, CollectiveResult, collective_read
 from .costs import CostModel
 from .errors import (
     BadFileDescriptor,
+    DataLoss,
+    DegradedService,
+    FatalIOError,
     FileExists,
     FileNotFound,
+    IONodeUnavailable,
+    IOTimeout,
     ModeError,
     PFSError,
     RecordSizeError,
+    RetryBudgetExceeded,
+    TransientIOError,
 )
 from .file import PFSFile
 from .filesystem import SEEK_CUR, SEEK_END, SEEK_SET, AreadHandle, PFS
 from .modes import AccessMode, ModeSemantics, semantics
+from .retry import RetryPolicy, backoff_schedule, install_retry
 from .striping import Chunk, StripeLayout
 
 __all__ = [
@@ -26,11 +34,21 @@ __all__ = [
     "collective_read",
     "CostModel",
     "BadFileDescriptor",
+    "DataLoss",
+    "DegradedService",
+    "FatalIOError",
     "FileExists",
     "FileNotFound",
+    "IONodeUnavailable",
+    "IOTimeout",
     "ModeError",
     "PFSError",
     "RecordSizeError",
+    "RetryBudgetExceeded",
+    "TransientIOError",
+    "RetryPolicy",
+    "backoff_schedule",
+    "install_retry",
     "PFSFile",
     "SEEK_CUR",
     "SEEK_END",

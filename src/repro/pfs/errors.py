@@ -3,6 +3,17 @@
 These mirror the failure classes a real PFS client would see: bad
 descriptors, mode-semantics violations, and record-size violations in
 fixed-record modes.
+
+The fault-injection subsystem (:mod:`repro.faults`) adds a second axis —
+a transient/fatal split modelling I/O-path failures:
+
+* :class:`TransientIOError` and its subclasses are *retryable*: the
+  request may succeed if re-issued (the retry layer in
+  :mod:`repro.pfs.retry` does exactly that).
+* :class:`FatalIOError` and its subclasses are *terminal*: the data is
+  gone (:class:`DataLoss`) or the retry budget is spent
+  (:class:`RetryBudgetExceeded`), and the operation must surface the
+  failure to the application.
 """
 
 from __future__ import annotations
@@ -14,6 +25,13 @@ __all__ = [
     "RecordSizeError",
     "FileExists",
     "FileNotFound",
+    "TransientIOError",
+    "IOTimeout",
+    "IONodeUnavailable",
+    "DegradedService",
+    "FatalIOError",
+    "RetryBudgetExceeded",
+    "DataLoss",
 ]
 
 
@@ -39,3 +57,34 @@ class FileExists(PFSError):
 
 class FileNotFound(PFSError):
     """Open without create of a path that does not exist."""
+
+
+# -- transient (retryable) failures --------------------------------------------
+class TransientIOError(PFSError):
+    """A request failed in a way that a re-issue may cure."""
+
+
+class IOTimeout(TransientIOError):
+    """A request was dropped in flight and detected by timeout."""
+
+
+class IONodeUnavailable(TransientIOError):
+    """The serving I/O node is down (crashed, not yet restarted)."""
+
+
+class DegradedService(TransientIOError):
+    """Request rejected while the array controller reconfigures after a
+    disk loss (the brief post-failure window before degraded service)."""
+
+
+# -- fatal (terminal) failures -------------------------------------------------
+class FatalIOError(PFSError):
+    """A request failed irrecoverably; retrying cannot help."""
+
+
+class RetryBudgetExceeded(FatalIOError):
+    """A request kept failing transiently past the retry policy's budget."""
+
+
+class DataLoss(FatalIOError):
+    """Data is unrecoverable (e.g. a second disk lost in a RAID-3 array)."""

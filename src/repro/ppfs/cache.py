@@ -126,6 +126,15 @@ class BlockCache:
         if not blocks:
             del self._by_file[victim_file]
 
+    def clear(self) -> int:
+        """Drop every entry (I/O-node restart invalidation); returns the
+        drop count.  Statistics survive — the run's hit/miss history is
+        still real even though the contents are gone."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._by_file.clear()
+        return dropped
+
     def invalidate(self, file_id: int, block: int | None = None) -> int:
         """Drop one block, or every block of a file; returns drop count."""
         if block is None:

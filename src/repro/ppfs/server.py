@@ -72,6 +72,12 @@ class PPFS(PFS):
         if cache is None:
             cache = BlockCache(self.policies.server_cache_blocks, "lru")
             self._server_caches[ionode] = cache
+            # A restarted I/O node comes back with cold memory: drop the
+            # cache contents (stats survive) so post-restart reads go to
+            # disk, as they would on real hardware.
+            self.machine.ionodes[ionode].on_restart(
+                lambda _ion, cache=cache: cache.clear()
+            )
         return cache
 
     def server_cache_stats(self):
@@ -256,6 +262,8 @@ class PPFS(PFS):
             cache.insert(file_id, block, prefetched=True)
 
         def _fetched(_ev):
+            if not _ev._ok:
+                return  # prefetch lost to a fatal I/O error: just skip it
             Timeout(env, copy_s).callbacks.append(_landed)
 
         self._fanout(node, f, start, length, is_write=False).callbacks.append(_fetched)

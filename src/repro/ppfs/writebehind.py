@@ -27,8 +27,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..pfs.errors import IONodeUnavailable, RetryBudgetExceeded, TransientIOError
 from ..pfs.file import PFSFile
-from ..sim.core import Event
+from ..pfs.retry import backoff_delay
+from ..sim.core import Event, Timeout
 from .aggregation import ExtentSet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,6 +50,12 @@ class WriteBehindManager:
         self._timer_armed = False
         self._inflight: set[object] = set()
         self._idle_event: Event | None = None
+        # Fault support: install_retry sets retry_domain; flushed chunks
+        # then retry like foreground transfers, and a fatal flush failure
+        # is parked here and raised at the next drain (write-behind has no
+        # caller to fail synchronously).
+        self.retry_domain = None
+        self._fatal: BaseException | None = None
         # Statistics for the ablation bench.
         self.writes_submitted = 0
         self.bytes_submitted = 0
@@ -98,6 +106,9 @@ class WriteBehindManager:
         """
         if not runs:
             return
+        if self.retry_domain is not None:
+            self._start_runs_retrying(f, runs)
+            return
         fs = self.fs
         ionodes = fs.machine.ionodes
         decompose = f.layout.decompose
@@ -127,6 +138,94 @@ class WriteBehindManager:
 
         for ev in chunk_events:
             ev.callbacks.append(_chunk_done)
+
+    def _start_runs_retrying(self, f: PFSFile, runs: list[tuple[int, int]]) -> None:
+        """Fault-path variant of :meth:`_start_runs`.
+
+        Same submission shape (flush chunks bypass the mesh and go
+        straight to the I/O-node queues), but each chunk's completion is
+        inspected: transient failures re-issue after a jittered backoff —
+        racing the node's restart when it is down — and a spent budget or
+        fatal error parks the exception in ``_fatal`` while still
+        counting the chunk down, so :meth:`drain_all` never hangs and
+        surfaces the failure instead of losing data silently.
+        """
+        fs = self.fs
+        env = self.env
+        ionodes = fs.machine.ionodes
+        domain = self.retry_domain
+        policy = domain.policy
+        rng = domain.backoff_rng
+        recorder = domain.recorder
+        decompose = f.layout.decompose
+        file_id = f.file_id
+        specs: list[tuple[int, int, int, float]] = []
+        self.transfers_issued += len(runs)
+        for start, end in runs:
+            nbytes = end - start
+            self.bytes_flushed += nbytes
+            for chunk in decompose(start, nbytes):
+                specs.append((
+                    chunk.ionode, chunk.disk_offset, chunk.nbytes,
+                    fs._chunk_extra(chunk.nbytes, is_write=True),
+                ))
+        token = object()
+        self._inflight.add(token)
+        remaining = [len(specs)]
+
+        def _settle() -> None:
+            remaining[0] -= 1
+            if not remaining[0]:
+                self._inflight.discard(token)
+                if not self._inflight and self._idle_event is not None:
+                    self._idle_event.succeed()
+                    self._idle_event = None
+
+        def _launch(spec, attempt: int, prev_delay: float) -> None:
+            ion = ionodes[spec[0]]
+            ion.submit(spec[1], spec[2], True, spec[3]).callbacks.append(
+                lambda ev: _finish(ev, spec, ion, attempt, prev_delay)
+            )
+
+        def _finish(ev, spec, ion, attempt: int, prev_delay: float) -> None:
+            if ev._ok:
+                _settle()
+                return
+            exc = ev._value
+            if not isinstance(exc, TransientIOError):
+                if self._fatal is None:
+                    self._fatal = exc
+                _settle()
+                return
+            if attempt >= policy.max_attempts:
+                if self._fatal is None:
+                    self._fatal = RetryBudgetExceeded(
+                        f"flush chunk (ionode {spec[0]}, offset {spec[1]}, "
+                        f"{spec[2]} B) failed {attempt} attempts; last: {exc}"
+                    )
+                _settle()
+                return
+            delay = backoff_delay(policy, attempt, prev_delay, rng)
+            failed_at = env.now
+            fired = [False]
+
+            def _resubmit(_ev) -> None:
+                if fired[0]:
+                    return
+                fired[0] = True
+                if recorder is not None:
+                    recorder.retry(
+                        env.now, ion.index, file_id, spec[1], spec[2],
+                        env.now - failed_at,
+                    )
+                _launch(spec, attempt + 1, delay)
+
+            Timeout(env, delay).callbacks.append(_resubmit)
+            if isinstance(exc, IONodeUnavailable) and not ion.up:
+                ion.restart_wait().callbacks.append(_resubmit)
+
+        for spec in specs:
+            _launch(spec, 1, 0.0)
 
     def _interval_flush(self):
         """Periodic flush.
@@ -178,3 +277,6 @@ class WriteBehindManager:
             if self._idle_event is None:
                 self._idle_event = Event(self.env)
             yield self._idle_event
+        if self._fatal is not None:
+            exc, self._fatal = self._fatal, None
+            raise exc

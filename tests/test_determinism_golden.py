@@ -92,6 +92,47 @@ class TestPPFSGoldenHashes:
         assert _run_ppfs_hashes(app, preset) == _run_ppfs_hashes(app, preset)
 
 
+class TestEmptyFaultPlanIsZeroCost:
+    """Faults off must mean *byte-identical*, not just equivalent.
+
+    An Experiment built with an empty FaultPlan takes the documented
+    fast path — no retry fan-out installed, no injector processes — so
+    its traces must match the checked-in golden hashes exactly.
+    """
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_empty_plan_matches_golden(self, app):
+        from repro.core.registry import small_experiment
+        from repro.faults import FaultPlan
+
+        result = small_experiment(app, faults=FaultPlan()).run()
+        got = {
+            name: trace.content_hash()
+            for name, trace in sorted(result.traces.items())
+        }
+        assert got == GOLDEN[app], (
+            f"{app} with an empty fault plan drifted from the golden "
+            f"fixture — the faults-off fast path is no longer zero-cost"
+        )
+
+    def test_seeded_fault_plan_is_reproducible(self):
+        from repro.core.registry import small_experiment
+        from repro.faults import DiskFailure, FaultPlan, NodeOutage, RequestDrops
+
+        plan = FaultPlan(
+            disk_failures=(DiskFailure(ionode=1, time_s=2.5,
+                                       rebuild_bytes=4 * 1024 * 1024),),
+            outages=(NodeOutage(ionode=2, start_s=3.0, duration_s=0.8),),
+            drops=(RequestDrops(probability=0.05, start_s=1.0, duration_s=2.0),),
+        )
+
+        def run_hash():
+            result = small_experiment("escat", faults=plan).run()
+            return {n: t.content_hash() for n, t in sorted(result.traces.items())}
+
+        assert run_hash() == run_hash()
+
+
 class TestCampaignWorkerCountInvariance:
     """jobs=1 and jobs=2 must publish byte-identical traces to the cache."""
 

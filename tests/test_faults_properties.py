@@ -1,0 +1,85 @@
+"""Property tests for the fault subsystem's two quantitative promises.
+
+* The retry backoff schedule is a pure function of (policy, seed):
+  deterministic, monotone nondecreasing per chunk, and capped at
+  ``max_backoff_s * (1 + jitter_frac)`` — for *every* policy shape and
+  seed, not just the defaults.
+* A degraded RAID-3 array never serves a request faster than a healthy
+  one — for every (offset, nbytes, is_write), so no workload can dodge
+  the reconstruction tax.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.raid import Raid3Array
+from repro.pfs.retry import RetryPolicy, backoff_schedule
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=20),
+    base_backoff_s=st.floats(min_value=1e-4, max_value=0.1),
+    backoff_multiplier=st.floats(min_value=1.0, max_value=4.0),
+    # max_backoff_s must dominate base_backoff_s; keep it clear of the
+    # strategy's base ceiling.
+    max_backoff_s=st.floats(min_value=0.1, max_value=2.0),
+    jitter_frac=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestBackoffProperties:
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_deterministic_given_seed(self, policy, seed):
+        n = policy.max_attempts
+        first = backoff_schedule(policy, n, random.Random(seed))
+        second = backoff_schedule(policy, n, random.Random(seed))
+        assert first == second
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_monotone_nondecreasing(self, policy, seed):
+        delays = backoff_schedule(policy, policy.max_attempts, random.Random(seed))
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_capped(self, policy, seed):
+        delays = backoff_schedule(policy, policy.max_attempts, random.Random(seed))
+        ceiling = policy.max_backoff_s * (1.0 + policy.jitter_frac)
+        assert all(0.0 <= d <= ceiling for d in delays)
+
+
+class TestDegradedRaidProperties:
+    @given(
+        offset=st.integers(min_value=0, max_value=2**30),
+        nbytes=st.integers(min_value=0, max_value=2**24),
+        is_write=st.booleans(),
+    )
+    @settings(max_examples=200)
+    def test_degraded_never_faster_than_healthy(self, offset, nbytes, is_write):
+        # Fresh paired arrays per example: service_time moves the arm, so
+        # a shared pair would compare different head positions.
+        healthy, degraded = Raid3Array(), Raid3Array()
+        degraded.fail_disk()
+        t_healthy = healthy.service_time(offset, nbytes, is_write)
+        t_degraded = degraded.service_time(offset, nbytes, is_write)
+        assert t_degraded >= t_healthy
+
+    @given(
+        offset=st.integers(min_value=0, max_value=2**30),
+        nbytes=st.integers(min_value=0, max_value=2**24),
+        is_write=st.booleans(),
+        factor=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=100)
+    def test_fail_slow_never_faster_than_healthy(self, offset, nbytes, is_write, factor):
+        healthy, slow = Raid3Array(), Raid3Array()
+        slow.set_slow(factor)
+        assert slow.service_time(offset, nbytes, is_write) >= healthy.service_time(
+            offset, nbytes, is_write
+        )
