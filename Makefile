@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench perf examples campaign-smoke faults-smoke clean all
+.PHONY: install test bench perf examples campaign-smoke faults-smoke telemetry-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
 
@@ -17,6 +17,7 @@ perf:
 	PYTHONPATH=src:. python benchmarks/bench_kernel_micro.py --scale small
 	PYTHONPATH=src:. python benchmarks/bench_ppfs_micro.py --scale small
 	PYTHONPATH=src:. python benchmarks/bench_faults_overhead.py
+	PYTHONPATH=src:. python benchmarks/bench_telemetry_overhead.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
@@ -37,6 +38,22 @@ faults-smoke:
 	PYTHONPATH=src python -m repro campaign status --cache-dir $(CAMPAIGN_CACHE)
 	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
 	rm -f $(CAMPAIGN_CACHE).plan.json
+
+telemetry-smoke:
+	PYTHONPATH=src python -m repro run escat --telemetry 1.0 \
+		--save-dir $(CAMPAIGN_CACHE).telemetry
+	PYTHONPATH=src python -m repro telemetry report \
+		$(CAMPAIGN_CACHE).telemetry/escat.telemetry.jsonl
+	PYTHONPATH=src python -m repro telemetry show \
+		$(CAMPAIGN_CACHE).telemetry/escat.telemetry.jsonl --column mesh.bytes
+	PYTHONPATH=src python -m repro telemetry export \
+		$(CAMPAIGN_CACHE).telemetry/escat.telemetry.jsonl --format prom \
+		--out $(CAMPAIGN_CACHE).telemetry/escat.prom
+	PYTHONPATH=src python -m repro campaign run --name telemetry-smoke \
+		--apps escat --fs ppfs --telemetry none,1.0 \
+		--cache-dir $(CAMPAIGN_CACHE) --quiet
+	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
+	rm -rf $(CAMPAIGN_CACHE).telemetry
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

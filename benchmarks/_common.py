@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import json
 import os
 
-from repro.util import sanitize_filename
+from repro.util import atomic_write_json, atomic_write_text, sanitize_filename
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
@@ -15,13 +14,13 @@ def emit(name: str, text: str) -> str:
 
     ``name`` is sanitized into a filesystem-safe basename, so callers may
     pass free-form titles (slashes, spaces, colons) without escaping the
-    output directory or producing unopenable files.
+    output directory or producing unopenable files.  Writes are atomic
+    (same helper the telemetry exporters use), so concurrently-running
+    benches never interleave partial artifacts.
     """
     print(f"\n===== {name} =====\n{text}\n")
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
     path = os.path.join(OUTPUT_DIR, f"{sanitize_filename(name)}.txt")
-    with open(path, "w") as fh:
-        fh.write(text + "\n")
+    atomic_write_text(path, text + "\n")
     return path
 
 
@@ -31,11 +30,8 @@ def emit_json(name: str, payload: dict) -> str:
     Companion to :func:`emit` for benches whose results feed tooling (the
     CI perf-smoke step uploads these) rather than human-readable tables.
     """
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
     path = os.path.join(OUTPUT_DIR, f"{sanitize_filename(name)}.json")
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, payload)
     return path
 
 

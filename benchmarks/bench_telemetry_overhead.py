@@ -1,0 +1,174 @@
+"""Telemetry overhead benchmark: off must cost ~nothing, on must stay cheap.
+
+The telemetry subsystem's acceptance bars are:
+
+* **zero-cost when off** — with ``telemetry=None`` the only additions to
+  the hot paths are one attribute load + ``is not None`` test per
+  operation (mesh message, disk request, I/O-node serve, PFS call); the
+  off/baseline wall-time ratio should sit within run-to-run noise of 1.0
+  (the baseline here *is* the off path — there is no way to build
+  without the checks — so the off column doubles as the PR-4 regression
+  reference for bench_kernel/bench_ppfs comparisons);
+* **cheap when on** — sampling at the default cadence must keep
+  paper-scale ESCAT overhead at or below 5%.
+
+Measured quantities:
+
+* **wall time per app, off vs three cadences** — `Experiment.run()` for
+  each small-scale app with ``telemetry=None`` and cadences 0.1 / 1.0 /
+  5.0 simulated seconds (small runs span ~14 s, so 0.1 s is a
+  deliberately punishing ~140-sample case);
+* **paper-scale ESCAT, off vs default cadence** — the 5% acceptance
+  number;
+* **histogram microbench** — raw ``Histogram.observe`` throughput, the
+  per-request price of the request-size hook.
+
+Runs two ways:
+
+* under pytest-benchmark (``pytest benchmarks/bench_telemetry_overhead.py
+  --benchmark-only``);
+* as a script (``python benchmarks/bench_telemetry_overhead.py``)
+  emitting the machine-readable ``BENCH_telemetry.json`` artifact the CI
+  perf-smoke step uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.registry import paper_experiment, small_experiment
+from repro.telemetry import DEFAULT_CADENCE_S, Histogram
+
+from benchmarks._common import emit, emit_json
+
+APPS = ("escat", "render", "htf")
+
+#: Small-scale cadences (simulated seconds): default-ish, 1 Hz-ish, punishing.
+CADENCES = (5.0, 1.0, 0.1)
+
+
+def wall_time(app: str, telemetry, repeats: int = 3, scale: str = "small"):
+    """Best-of-N `Experiment.run()` wall seconds (+ sample count when on)."""
+    build = paper_experiment if scale == "paper" else small_experiment
+    best = float("inf")
+    samples = 0
+    for _ in range(repeats):
+        exp = build(app, telemetry=telemetry)
+        t0 = time.perf_counter()
+        result = exp.run()
+        best = min(best, time.perf_counter() - t0)
+        if result.telemetry is not None:
+            samples = result.telemetry.sampler.samples
+    return best, samples
+
+
+def paired_wall_time(app: str, telemetry, repeats: int = 3, scale: str = "paper"):
+    """Interleaved best-of-N off/on pair: (off_s, on_s, samples).
+
+    Off and on runs alternate within one loop — and swap order every
+    repeat — so slow process-wide drift (allocator growth, GC pressure,
+    frequency scaling) hits both sides equally instead of inflating
+    whichever config is consistently measured last.
+    """
+    build = paper_experiment if scale == "paper" else small_experiment
+    best_off = best_on = float("inf")
+    samples = 0
+    for rep in range(repeats):
+        for config in (None, telemetry) if rep % 2 == 0 else (telemetry, None):
+            t0 = time.perf_counter()
+            result = build(app, telemetry=config).run()
+            elapsed = time.perf_counter() - t0
+            if config is None:
+                best_off = min(best_off, elapsed)
+            else:
+                best_on = min(best_on, elapsed)
+                samples = result.telemetry.sampler.samples
+    return best_off, best_on, samples
+
+
+def observe_churn(observations: int = 100_000) -> int:
+    """Raw histogram-observe throughput: the request-size hook's price."""
+    hist = Histogram("bench.bytes")
+    observe = hist.observe
+    for i in range(observations):
+        observe((i * 613) % 262144)
+    return hist.count
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+def test_histogram_observe_throughput(benchmark):
+    count = benchmark(observe_churn, 20_000)
+    assert count == 20_000
+
+
+def test_telemetry_off_wall_time(benchmark):
+    best, _ = benchmark(lambda: wall_time("escat", None, repeats=1))
+    assert best > 0
+
+
+def test_telemetry_on_wall_time(benchmark):
+    best, _ = benchmark(lambda: wall_time("escat", 1.0, repeats=1))
+    assert best > 0
+
+
+# -- script entry (CI perf-smoke, `make perf`) ---------------------------------
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N per config (default 3)"
+    )
+    parser.add_argument(
+        "--skip-paper", action="store_true",
+        help="skip the paper-scale ESCAT acceptance measurement",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    observed = observe_churn()
+    observe_s = time.perf_counter() - t0
+
+    payload: dict = {
+        "observe_per_s": round(observed / observe_s),
+        "default_cadence_s": DEFAULT_CADENCE_S,
+        "wall_s": {},
+        "overhead_ratio": {},
+    }
+    lines = [f"histogram observe: {payload['observe_per_s']:,} values/s"]
+    for app in APPS:
+        off, _ = wall_time(app, None, args.repeats)
+        row_wall = {"off": round(off, 4)}
+        row_ratio = {}
+        line = f"{app:<8} off {off:>8.4f}s"
+        for cadence in CADENCES:
+            on, samples = wall_time(app, cadence, args.repeats)
+            ratio = on / off if off else float("nan")
+            row_wall[f"cadence_{cadence:g}"] = round(on, 4)
+            row_ratio[f"cadence_{cadence:g}"] = round(ratio, 4)
+            line += f"  @{cadence:g}s {on:>8.4f}s (x{ratio:.3f}, {samples} samples)"
+        payload["wall_s"][app] = row_wall
+        payload["overhead_ratio"][app] = row_ratio
+        lines.append(line)
+
+    if not args.skip_paper:
+        off, on, samples = paired_wall_time(
+            "escat", DEFAULT_CADENCE_S, args.repeats, scale="paper"
+        )
+        ratio = on / off if off else float("nan")
+        payload["paper_escat"] = {
+            "off_s": round(off, 4),
+            "on_s": round(on, 4),
+            "samples": samples,
+            "overhead_ratio": round(ratio, 4),
+        }
+        lines.append(
+            f"paper escat: off {off:.4f}s  @{DEFAULT_CADENCE_S:g}s {on:.4f}s "
+            f"(x{ratio:.3f}, {samples} samples; acceptance <= 1.05)"
+        )
+
+    emit("telemetry_overhead", "\n".join(lines))
+    return emit_json("BENCH_telemetry", payload)
+
+
+if __name__ == "__main__":
+    print(main())

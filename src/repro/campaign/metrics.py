@@ -9,17 +9,40 @@ rendered summary table.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..analysis.operations import OperationTable
 from ..pablo.events import Op
+from ..util.io import atomic_write_json
 from ..util.validation import sanitize_filename
 from .spec import RunSpec
 
-__all__ = ["run_metrics", "RunRecord", "CampaignManifest", "render_summary"]
+__all__ = [
+    "run_metrics",
+    "accumulate_metrics",
+    "RunRecord",
+    "CampaignManifest",
+    "render_summary",
+]
+
+
+def accumulate_metrics(total: dict[str, Any], rec: dict[str, Any]) -> None:
+    """Fold one per-trace record into the running totals, in place.
+
+    Only keys the totals already track are summed (per-trace extras like
+    ``duration_s`` are skipped); float totals re-round to 9 decimals
+    after every add so the result is independent of fold order noise.
+    """
+    for key, base in total.items():
+        value = rec.get(key)
+        if value is None:
+            continue
+        if isinstance(base, float):
+            total[key] = round(base + value, 9)
+        else:
+            total[key] += value
 
 
 def run_metrics(result: Any) -> dict[str, Any]:
@@ -66,24 +89,24 @@ def run_metrics(result: Any) -> dict[str, Any]:
             ),
         }
         per_trace[name] = rec
-        total["events"] += rec["events"]
-        total["io_node_time_s"] = round(total["io_node_time_s"] + rec["io_node_time_s"], 9)
-        total["read_bytes"] += rec["read_bytes"]
-        total["write_bytes"] += rec["write_bytes"]
-        total["reads"] += rec["reads"]
-        total["writes"] += rec["writes"]
-        total["seeks"] += rec["seeks"]
-        total["opens"] += rec["opens"]
-        total["faults"] += rec["faults"]
-        total["retries"] += rec["retries"]
-        total["degraded_s"] = round(total["degraded_s"] + rec["degraded_s"], 9)
+        accumulate_metrics(total, rec)
         makespan = max(makespan, trace.duration)
     sim_now = getattr(getattr(result.machine, "env", None), "now", None)
-    return {
+    out = {
         "makespan_s": round(float(sim_now) if sim_now is not None else makespan, 9),
         "traces": per_trace,
         **total,
     }
+    fs = getattr(result, "fs", None)
+    if hasattr(fs, "cache_stats"):
+        out["cache"] = {
+            "client": fs.cache_stats().as_dict(),
+            "server": fs.server_cache_stats().as_dict(),
+        }
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        out["telemetry"] = telemetry.summary()
+    return out
 
 
 @dataclass
@@ -140,15 +163,10 @@ class CampaignManifest:
 
     def write(self, directory: str) -> str:
         """Write ``<sanitized name>.manifest.json`` under ``directory``."""
-        os.makedirs(directory, exist_ok=True)
         path = os.path.join(
             directory, f"{sanitize_filename(self.name, 'campaign')}.manifest.json"
         )
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, path)
+        atomic_write_json(path, self.to_dict())
         return path
 
 

@@ -38,6 +38,9 @@ class Progress:
         self._t0 = clock()
         self.counts = {state: 0 for state in _STATES}
         self.counts["queued"] = total
+        #: Wall-clock durations of completed (simulated, not cached) runs;
+        #: feeds the throughput/ETA fields in :meth:`line`.
+        self.durations: list[float] = []
 
     def move(self, src: str, dst: str, label: str = "", note: str = "") -> None:
         """Record one run moving ``src`` -> ``dst`` and emit a line."""
@@ -51,11 +54,28 @@ class Progress:
             delta += f" ({note})"
         self.emit(delta)
 
+    def note_duration(self, seconds: float) -> None:
+        """Record one simulated run's wall-clock duration."""
+        self.durations.append(seconds)
+
+    def _throughput(self, elapsed: float) -> str:
+        """' N.NN runs/s eta Ms' once at least one run has finished."""
+        finished = len(self.durations)
+        if not finished or elapsed <= 0:
+            return ""
+        rate = finished / elapsed
+        remaining = self.counts["queued"] + self.counts["running"]
+        out = f" {rate:.2f} runs/s"
+        if remaining:
+            out += f" eta {remaining / rate:.0f}s"
+        return out
+
     def line(self, suffix: str = "") -> str:
         counts = " ".join(f"{self.counts[s]} {s}" for s in _STATES)
+        elapsed = self._clock() - self._t0
         return (
             f"[campaign {self.name}] {self.total} runs: {counts} "
-            f"[{self._clock() - self._t0:.1f}s]{suffix}"
+            f"[{elapsed:.1f}s{self._throughput(elapsed)}]{suffix}"
         )
 
     def emit(self, suffix: str = "") -> None:

@@ -179,6 +179,7 @@ class CampaignRunner:
     def _finish(self, rec: RunRecord, metrics: dict[str, Any], progress: Progress) -> None:
         rec.status = "done"
         rec.metrics = metrics
+        progress.note_duration(rec.elapsed_s)
         progress.move("running", "done", rec.spec.label(), f"{rec.elapsed_s:.1f}s")
 
     def _fail_attempt(

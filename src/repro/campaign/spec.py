@@ -80,6 +80,10 @@ class RunSpec:
         JSON text; stored as canonical JSON so the record stays a
         picklable primitive.  An empty plan normalizes to None (it
         produces the identical trace, so it must hash identically).
+    telemetry:
+        Optional sampling cadence in simulated seconds.  A falsy value
+        (None/0/False) normalizes to None — telemetry never perturbs the
+        trace, so a telemetry-free spec must keep its pre-telemetry hash.
     """
 
     app: str
@@ -89,6 +93,7 @@ class RunSpec:
     seed: Optional[int] = None
     overrides: tuple[tuple[str, Any], ...] = ()
     faults: Optional[Any] = None
+    telemetry: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPLICATIONS:
@@ -121,6 +126,17 @@ class RunSpec:
             object.__setattr__(
                 self, "faults", None if plan.empty else plan.canonical_json()
             )
+        if self.telemetry is not None:
+            if not isinstance(self.telemetry, (bool, int, float)):
+                raise ValueError(
+                    f"telemetry must be a cadence in seconds or None, "
+                    f"got {self.telemetry!r}"
+                )
+            cadence = float(self.telemetry)
+            if cadence < 0:
+                raise ValueError(f"telemetry cadence must be >= 0, got {cadence}")
+            # Falsy -> None: same hash-preserving trick as the faults axis.
+            object.__setattr__(self, "telemetry", cadence or None)
 
     # -- identity ----------------------------------------------------------
     def canonical(self) -> dict[str, Any]:
@@ -137,6 +153,9 @@ class RunSpec:
         # Only present when set: pre-faults cache entries keep their hashes.
         if self.faults is not None:
             record["faults"] = self.faults
+        # Likewise only when set (pre-telemetry entries keep their hashes).
+        if self.telemetry is not None:
+            record["telemetry"] = self.telemetry
         return record
 
     @property
@@ -154,6 +173,8 @@ class RunSpec:
             parts.append(f"seed{self.seed}")
         if self.faults is not None:
             parts.append(f"faults{hashlib.sha256(self.faults.encode()).hexdigest()[:6]}")
+        if self.telemetry is not None:
+            parts.append(f"telem{self.telemetry:g}")
         return "/".join(parts)
 
     # -- (de)serialization -------------------------------------------------
@@ -170,6 +191,7 @@ class RunSpec:
             seed=data.get("seed"),
             overrides=tuple(sorted((data.get("overrides") or {}).items())),
             faults=data.get("faults"),
+            telemetry=data.get("telemetry"),
         )
 
     # -- materialization ---------------------------------------------------
@@ -190,6 +212,8 @@ class RunSpec:
             )
         if self.faults is not None:
             kwargs["faults"] = FaultPlan.from_json(self.faults)
+        if self.telemetry is not None:
+            kwargs["telemetry"] = self.telemetry
         return build(self.app, **kwargs)
 
 
@@ -212,21 +236,24 @@ class CampaignSpec:
     #: Fault-plan axis: None (fault-free) and/or FaultPlan instances /
     #: JSON strings — a fault-free baseline plus each faulted twin.
     fault_plans: Sequence[Optional[Any]] = (None,)
+    #: Telemetry axis: None (off) and/or sampling cadences in simulated
+    #: seconds; enabled runs carry their metric summary in the manifest.
+    telemetry: Sequence[Optional[float]] = (None,)
     name: str = "campaign"
 
     def expand(self) -> list[RunSpec]:
         """The grid's concrete runs, in deterministic order, deduplicated."""
         frozen = _freeze_overrides(self.overrides)
         runs: dict[str, RunSpec] = {}
-        for app, scale, fs, policy, seed, faults in itertools.product(
+        for app, scale, fs, policy, seed, faults, telem in itertools.product(
             self.apps, self.scales, self.filesystems, self.policies, self.seeds,
-            self.fault_plans,
+            self.fault_plans, self.telemetry,
         ):
             if fs == "pfs" and policy is not None:
                 continue
             spec = RunSpec(
                 app=app, scale=scale, fs=fs, policy=policy, seed=seed,
-                overrides=frozen, faults=faults,
+                overrides=frozen, faults=faults, telemetry=telem,
             )
             runs.setdefault(spec.run_hash, spec)
         if not runs:

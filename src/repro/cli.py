@@ -15,6 +15,10 @@
     python -m repro faults example --out plan.json   # starter fault plan
     python -m repro faults show plan.json            # describe a plan
     python -m repro faults report trace.sddf         # resilience summary
+    python -m repro run escat --telemetry --save-dir out/   # sample live metrics
+    python -m repro telemetry report out/escat.telemetry.jsonl
+    python -m repro telemetry show out/escat.telemetry.jsonl --column mesh.bytes
+    python -m repro telemetry export out/escat.telemetry.jsonl --format csv
 """
 
 from __future__ import annotations
@@ -83,6 +87,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--faults", default=None, metavar="PLAN",
                      help="fault plan (JSON file path or inline JSON); "
                      "prints a resilience report after the run")
+    run.add_argument("--telemetry", nargs="?", const=True, default=None,
+                     metavar="CADENCE",
+                     help="sample live metrics (optional cadence in simulated "
+                     "seconds) and print a telemetry report; with --save-dir "
+                     "also writes <app>.telemetry.jsonl")
 
     char = sub.add_parser("characterize", help="report a saved SDDF trace")
     char.add_argument("trace", help="path to a .sddf trace file")
@@ -128,6 +137,10 @@ def _build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--faults", type=_csv, default=["none"], metavar="P,P",
                       help="fault-plan axis: comma-separated JSON file paths; "
                       "'none' = fault-free")
+    crun.add_argument("--telemetry", type=_csv, default=["none"],
+                      metavar="C,C",
+                      help="telemetry axis: comma-separated sampling cadences "
+                      "in simulated seconds; 'none' = off")
 
     cstat = csub.add_parser("status", help="summarize the result cache")
     cstat.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
@@ -149,6 +162,27 @@ def _build_parser() -> argparse.ArgumentParser:
     fex = fsub.add_parser("example", help="emit a starter fault plan")
     fex.add_argument("--out", default=None, metavar="PATH",
                      help="write the plan here instead of stdout")
+
+    telem = sub.add_parser("telemetry", help="inspect saved telemetry captures")
+    tsub = telem.add_subparsers(dest="telemetry_command", required=True)
+
+    trep = tsub.add_parser("report", help="metric/profile report of a capture")
+    trep.add_argument("file", help="path to a .telemetry.jsonl capture")
+
+    tshow = tsub.add_parser("show", help="chart a sampled time-series column")
+    tshow.add_argument("file", help="path to a .telemetry.jsonl capture")
+    tshow.add_argument("--column", action="append", default=[], metavar="COL",
+                       help="column(s) to chart; omit to list what's available")
+    tshow.add_argument("--width", type=int, default=72)
+    tshow.add_argument("--height", type=int, default=8)
+
+    texp = tsub.add_parser("export", help="convert a capture to CSV/Prometheus")
+    texp.add_argument("file", help="path to a .telemetry.jsonl capture")
+    texp.add_argument("--format", choices=["csv", "prom"], default="csv",
+                      help="csv = the sampled time series, prom = the "
+                      "metric registry in Prometheus text format")
+    texp.add_argument("--out", default=None, metavar="PATH",
+                      help="write here instead of stdout")
     return parser
 
 
@@ -178,6 +212,14 @@ def _cmd_run(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"bad fault plan: {exc}", file=sys.stderr)
             return 2
+    if args.telemetry is not None:
+        try:
+            kwargs["telemetry"] = (
+                True if args.telemetry is True else float(args.telemetry)
+            )
+        except ValueError:
+            print(f"bad telemetry cadence: {args.telemetry!r}", file=sys.stderr)
+            return 2
     result = build(args.app, **kwargs).run()
     for name, trace in result.traces.items():
         print(CharacterizationReport(trace).render())
@@ -190,6 +232,14 @@ def _cmd_run(args) -> int:
             path = os.path.join(args.save_dir, f"{name}.sddf")
             trace.save(path)
             print(f"trace saved: {path} ({len(trace)} events)")
+    if result.telemetry is not None:
+        from .telemetry import render_report, to_jsonl
+
+        print(render_report(result.telemetry.as_dict()))
+        if args.save_dir:
+            path = os.path.join(args.save_dir, f"{args.app}.telemetry.jsonl")
+            to_jsonl(result.telemetry.as_dict(), path)
+            print(f"telemetry saved: {path}")
     return 0
 
 
@@ -239,6 +289,9 @@ def _cmd_campaign_run(args) -> int:
             seeds=tuple(None if s == "default" else int(s) for s in args.seeds),
             overrides=dict(args.overrides),
             fault_plans=fault_plans,
+            telemetry=tuple(
+                None if c == "none" else float(c) for c in args.telemetry
+            ),
         )
         runs = spec.expand()
     except (OSError, ValueError) as exc:
@@ -318,6 +371,72 @@ def example_fault_plan() -> FaultPlan:
     )
 
 
+def _load_telemetry_capture(path: str):
+    from .telemetry import load_jsonl
+
+    try:
+        return load_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"bad telemetry capture: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_telemetry_report(args) -> int:
+    from .telemetry import render_report
+
+    data = _load_telemetry_capture(args.file)
+    if data is None:
+        return 2
+    print(render_report(data))
+    return 0
+
+
+def _cmd_telemetry_show(args) -> int:
+    from .telemetry import TimeSeries, chartable_columns, render_chart
+
+    data = _load_telemetry_capture(args.file)
+    if data is None:
+        return 2
+    if not data.get("series"):
+        print("capture has no sampled time series", file=sys.stderr)
+        return 2
+    series = TimeSeries.from_dict(data["series"])
+    available = chartable_columns(series.columns)
+    if not args.column:
+        print("columns (pick with --column):")
+        for col in available:
+            print(f"  {col}")
+        return 0
+    for col in args.column:
+        if col not in series.columns:
+            print(f"unknown column {col!r}; pick from: {', '.join(available)}",
+                  file=sys.stderr)
+            return 2
+        print(render_chart(series, col, width=args.width, height=args.height))
+        print()
+    return 0
+
+
+def _cmd_telemetry_export(args) -> int:
+    from .telemetry import MetricsRegistry, TimeSeries, series_to_csv, to_prometheus
+
+    data = _load_telemetry_capture(args.file)
+    if data is None:
+        return 2
+    if args.format == "csv":
+        if not data.get("series"):
+            print("capture has no sampled time series", file=sys.stderr)
+            return 2
+        text = series_to_csv(TimeSeries.from_dict(data["series"]), args.out)
+    else:
+        text = to_prometheus(MetricsRegistry.from_dict(data["registry"]), args.out)
+    if args.out:
+        print(f"written: {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_faults_example(args) -> int:
     plan = example_fault_plan()
     if args.out:
@@ -344,6 +463,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             "show": _cmd_faults_show,
             "example": _cmd_faults_example,
         }[args.faults_command]
+        return handler(args)
+    if args.command == "telemetry":
+        handler = {
+            "report": _cmd_telemetry_report,
+            "show": _cmd_telemetry_show,
+            "export": _cmd_telemetry_export,
+        }[args.telemetry_command]
         return handler(args)
     handler = {
         "run": _cmd_run,

@@ -43,6 +43,9 @@ class ExperimentResult:
     app: Any = None
     #: The FaultInjector when the run injected faults (None otherwise).
     injector: Any = None
+    #: The finalized Telemetry runtime when the run sampled metrics
+    #: (None otherwise).
+    telemetry: Any = None
 
     @property
     def trace(self) -> Trace:
@@ -74,6 +77,12 @@ class Experiment:
         Optional :class:`repro.faults.FaultPlan`; a None or empty plan
         injects nothing and leaves the run byte-identical to a fault-free
         build.
+    telemetry:
+        Optional live observability: ``True`` (default cadence), a
+        cadence in simulated seconds, or a prepared
+        :class:`repro.telemetry.Telemetry`.  ``None`` (the default)
+        installs nothing, and the hot paths pay one attribute check.
+        Sampling is read-only, so traces are byte-identical either way.
     """
 
     app: str
@@ -85,6 +94,7 @@ class Experiment:
     capture_overhead_s: float = 0.0
     observers: list = field(default_factory=list)
     faults: Any = None
+    telemetry: Any = None
 
     def __post_init__(self) -> None:
         if self.app not in _APP_DEFAULTS:
@@ -100,10 +110,34 @@ class Experiment:
             return PPFS(machine, policies=self.policies, costs=self.costs)
         return PFS(machine, costs=self.costs)
 
+    def _build_telemetry(self) -> Any:
+        """Normalize the ``telemetry`` field into a Telemetry or None."""
+        spec = self.telemetry
+        if spec is None or spec is False:
+            return None
+        # Imported here so telemetry-free builds never touch the subsystem.
+        from ..telemetry import Telemetry
+
+        if isinstance(spec, Telemetry):
+            return spec
+        if spec is True:
+            return Telemetry()
+        return Telemetry(cadence_s=float(spec))
+
     def run(self) -> ExperimentResult:
         """Execute the experiment; returns traces keyed by program name."""
+        telemetry = self._build_telemetry()
+        profiler = telemetry.profiler if telemetry is not None else None
+
+        if profiler is not None:
+            profiler.start("build.machine")
         machine = self.machine_factory()
+        if profiler is not None:
+            profiler.stop("build.machine")
+            profiler.start("build.fs")
         fs = self.build_fs(machine)
+        if profiler is not None:
+            profiler.stop("build.fs")
         config = self.config if self.config is not None else _APP_DEFAULTS[self.app]()
 
         injector = None
@@ -113,13 +147,23 @@ class Experiment:
 
             injector = FaultInjector(machine, self.faults, fs=fs).start()
 
+        if telemetry is not None:
+            telemetry.attach(machine, fs)
+            telemetry.start()
+            profiler.start("simulate")
+
         if self.app == "htf":
             if not isinstance(config, HTFConfig):
                 raise TypeError(f"htf needs HTFConfig, got {type(config).__name__}")
             result: HTFResult = HartreeFock(machine, fs, config).run()
             traces = result.programs()
             self._append_resilience(injector, traces)
-            return ExperimentResult(machine, fs, traces, injector=injector)
+            if telemetry is not None:
+                profiler.stop("simulate")
+                telemetry.finalize()
+            return ExperimentResult(
+                machine, fs, traces, injector=injector, telemetry=telemetry
+            )
 
         instrumented = InstrumentedPFS(fs, overhead_s=self.capture_overhead_s)
         for obs in self.observers:
@@ -135,7 +179,12 @@ class Experiment:
         trace = application.run()
         traces = {self.app: trace}
         self._append_resilience(injector, traces)
-        return ExperimentResult(machine, fs, traces, app=application, injector=injector)
+        if telemetry is not None:
+            profiler.stop("simulate")
+            telemetry.finalize()
+        return ExperimentResult(
+            machine, fs, traces, app=application, injector=injector, telemetry=telemetry
+        )
 
     @staticmethod
     def _append_resilience(injector, traces: dict[str, Trace]) -> None:

@@ -69,6 +69,9 @@ class Disk:
     def __init__(self, params: DiskParams | None = None):
         self.params = params or DiskParams()
         self.head_pos = 0  # byte address under the head
+        #: Cumulative head travel in bytes — a component statistic like
+        #: :attr:`IONode.busy_time`; telemetry samples it, nothing resets it.
+        self.seek_bytes = 0
 
     def seek_time(self, target: int) -> float:
         """Seek duration from the current head position to ``target``."""
@@ -91,6 +94,7 @@ class Disk:
             raise ValueError(f"offset must be >= 0, got {offset!r}")
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        self.seek_bytes += abs(offset - self.head_pos)
         p = self.params
         t = self.seek_time(offset) + p.overhead_s
         if nbytes > 0:

@@ -101,6 +101,8 @@ class IONode:
         self.downtime = 0.0
         self.dropped_requests = 0
         self.failed_requests = 0
+        # Telemetry request-size hook (a bound Histogram.observe); None = off.
+        self._telem = None
 
     @property
     def queue_length(self) -> int:
@@ -351,6 +353,9 @@ class IONode:
             )
             self.requests_served += 1
             self.bytes_served += req.nbytes
+            observe = self._telem
+            if observe is not None:
+                observe(req.nbytes)
         self.busy_time += service
         self._inflight = req
         Timeout(self.env, service).callbacks.append(partial(self._service_done, req, service))

@@ -39,7 +39,11 @@ from ..pfs.errors import DataLoss
 from ..util.validation import check_nonneg
 from .disk import Disk, DiskParams
 
-__all__ = ["Raid3Params", "Raid3Array"]
+__all__ = ["Raid3Params", "Raid3Array", "STATE_CODES"]
+
+#: Numeric codes for the array state machine, stable across releases so
+#: telemetry time series can store the state as a float64 column.
+STATE_CODES = {"healthy": 0, "degraded": 1, "rebuilding": 2, "failed": 3}
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,11 @@ class Raid3Array:
     @property
     def capacity_bytes(self) -> int:
         return self.params.capacity_bytes
+
+    @property
+    def state_code(self) -> int:
+        """The current state as its :data:`STATE_CODES` number."""
+        return STATE_CODES[self.state]
 
     # -- fault state transitions (driven by repro.faults) ----------------------
     def _refresh(self) -> None:

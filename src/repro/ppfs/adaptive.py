@@ -128,3 +128,11 @@ class MarkovPredictor:
         """Current classification of one stream."""
         m = self.streams.get(stream)
         return m.classify() if m else PatternKind.SINGLE
+
+    def classification_counts(self) -> dict[str, int]:
+        """Observed streams per pattern kind (telemetry finalize pull)."""
+        counts: dict[str, int] = {}
+        for m in self.streams.values():
+            kind = m.classify().name.lower()
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts

@@ -55,6 +55,25 @@ class CacheStats:
         self.prefetch_hits += other.prefetch_hits
         return self
 
+    def as_dict(self) -> dict:
+        """The counters as a plain dict — the one snapshot form shared by
+        telemetry exporters and the campaign metrics manifest."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "prefetch_hits": self.prefetch_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        stats = cls()
+        stats.hits = data.get("hits", 0)
+        stats.misses = data.get("misses", 0)
+        stats.evictions = data.get("evictions", 0)
+        stats.prefetch_hits = data.get("prefetch_hits", 0)
+        return stats
+
 
 class BlockCache:
     """Fixed-capacity cache of (file_id, block_index) keys.

@@ -257,11 +257,16 @@ class PPFS(PFS):
         env = self.env
         file_id = f.file_id
         copy_s = length * self.costs.client_byte_cost_s
+        telem = self.telemetry
+        if telem is not None:
+            telem.prefetch_inflight += 1
 
         def _landed(_ev):
             cache.insert(file_id, block, prefetched=True)
 
         def _fetched(_ev):
+            if telem is not None:
+                telem.prefetch_inflight -= 1
             if not _ev._ok:
                 return  # prefetch lost to a fatal I/O error: just skip it
             Timeout(env, copy_s).callbacks.append(_landed)

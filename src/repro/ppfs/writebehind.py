@@ -62,6 +62,16 @@ class WriteBehindManager:
         self.transfers_issued = 0
         self.bytes_flushed = 0
 
+    def backlog_bytes(self) -> int:
+        """Bytes buffered but not yet handed to the flusher (the quantity
+        the telemetry sampler tracks as ``writebehind.backlog_bytes``)."""
+        return sum(extents.total_bytes for extents in self.pending.values())
+
+    @property
+    def inflight_batches(self) -> int:
+        """Flush batches issued but not yet durable."""
+        return len(self._inflight)
+
     @property
     def aggregation_factor(self) -> float:
         """Application writes per physical transfer (>1 = aggregation won)."""
@@ -213,6 +223,9 @@ class WriteBehindManager:
                 if fired[0]:
                     return
                 fired[0] = True
+                telem = fs.telemetry
+                if telem is not None:
+                    telem.retries += 1
                 if recorder is not None:
                     recorder.retry(
                         env.now, ion.index, file_id, spec[1], spec[2],

@@ -1,0 +1,172 @@
+"""Telemetry exporters: JSONL, CSV, and Prometheus text exposition.
+
+JSONL is the canonical lossless form — one JSON object per line with a
+``kind`` tag (``meta``, ``metric``, ``profile``, ``sample``) so files
+stream and concatenate naturally.  CSV covers the time series alone for
+spreadsheet/pandas users.  The Prometheus text format covers the final
+registry for scrape-style ingestion.  Floats survive JSONL and CSV
+exactly: both encoders emit Python's shortest round-trip ``repr``, which
+reconstructs the identical IEEE-754 double (pinned by the round-trip
+tests in tests/test_telemetry.py).
+
+All file writes go through :func:`repro.util.atomic_write_text`, so
+parallel campaign workers can never interleave partial exports.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Mapping, Optional
+
+from ..util.io import atomic_write_text
+from .registry import Histogram, MetricsRegistry, NBUCKETS
+from .series import TimeSeries
+
+__all__ = [
+    "to_jsonl",
+    "from_jsonl",
+    "load_jsonl",
+    "series_to_csv",
+    "series_from_csv",
+    "to_prometheus",
+]
+
+
+# -- JSONL -----------------------------------------------------------------
+def to_jsonl(data: Mapping, path: Optional[str] = None) -> str:
+    """Serialize a telemetry export dict (``Telemetry.as_dict()``) to
+    JSONL text; write atomically when ``path`` is given."""
+    lines = [json.dumps({"kind": "meta", **data.get("meta", {})}, sort_keys=True)]
+    registry = data.get("registry") or {}
+    for group in ("counters", "gauges", "histograms"):
+        metric_type = group[:-1]
+        for rec in registry.get(group, ()):
+            lines.append(
+                json.dumps({"kind": "metric", "type": metric_type, **rec}, sort_keys=True)
+            )
+    profile = data.get("profile")
+    if profile:
+        lines.append(json.dumps({"kind": "profile", "sections": profile}, sort_keys=True))
+    series = data.get("series")
+    if series is not None:
+        lines.append(
+            json.dumps({"kind": "columns", "columns": series["columns"]}, sort_keys=True)
+        )
+        for row in series["rows"]:
+            lines.append(json.dumps({"kind": "sample", "row": row}))
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        atomic_write_text(path, text)
+    return text
+
+
+def from_jsonl(text: str) -> dict:
+    """Inverse of :func:`to_jsonl`: reconstruct the export dict."""
+    meta: dict = {}
+    registry: dict = {"counters": [], "gauges": [], "histograms": []}
+    profile: dict = {}
+    columns: list = []
+    rows: list = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.pop("kind")
+        if kind == "meta":
+            meta = rec
+        elif kind == "metric":
+            registry[rec.pop("type") + "s"].append(rec)
+        elif kind == "profile":
+            profile = rec["sections"]
+        elif kind == "columns":
+            columns = rec["columns"]
+        elif kind == "sample":
+            rows.append(rec["row"])
+        else:
+            raise ValueError(f"unknown telemetry record kind {kind!r}")
+    series = {"columns": columns, "rows": rows} if columns else None
+    return {"meta": meta, "registry": registry, "profile": profile, "series": series}
+
+
+def load_jsonl(path: str) -> dict:
+    with open(path) as fh:
+        return from_jsonl(fh.read())
+
+
+# -- CSV -------------------------------------------------------------------
+def series_to_csv(series: TimeSeries, path: Optional[str] = None) -> str:
+    """Render the time series as CSV with exact float reprs."""
+    out = io.StringIO()
+    out.write(",".join(series.columns) + "\n")
+    for row in series.rows:
+        out.write(",".join(repr(float(x)) for x in row) + "\n")
+    text = out.getvalue()
+    if path is not None:
+        atomic_write_text(path, text)
+    return text
+
+
+def series_from_csv(text: str) -> TimeSeries:
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty CSV: no header row")
+    series = TimeSeries(lines[0].split(","))
+    for line in lines[1:]:
+        series.append([float(x) for x in line.split(",")])
+    return series
+
+
+# -- Prometheus text exposition --------------------------------------------
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def _prom_labels(labels: Mapping[str, str], extra: Optional[tuple] = None) -> str:
+    items = list(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry, path: Optional[str] = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry:
+        name = _prom_name(metric.name)
+        if name not in typed:
+            lines.append(f"# TYPE {name} {metric.kind}")
+            typed.add(name)
+        labels = dict(metric.labels)
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for i in range(NBUCKETS):
+                count = metric.counts[i]
+                if not count:
+                    continue
+                cumulative += count
+                upper = Histogram.bucket_upper(i)
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, ('le', str(upper)))} {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, ('le', '+Inf'))} {metric.count}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {_format_value(metric.sum)}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {metric.count}")
+        else:
+            lines.append(f"{name}{_prom_labels(labels)} {_format_value(metric.value)}")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        atomic_write_text(path, text)
+    return text

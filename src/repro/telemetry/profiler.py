@@ -1,0 +1,91 @@
+"""Wall-clock self-profiler: where does a run's real time go?
+
+The simulator's own overhead is part of the observability story: a
+telemetry layer that cannot report its own cost invites silent perf
+regressions.  :class:`RunProfiler` attributes wall-clock seconds to
+named sections — the experiment harness opens per-phase sections
+(``build.machine``, ``build.fs``, ``simulate``) and the telemetry
+runtime adds per-subsystem ones (``telemetry.attach``,
+``telemetry.sample``, ``telemetry.finalize``) — cheap enough to leave on
+whenever telemetry is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Mapping
+
+__all__ = ["RunProfiler"]
+
+
+class RunProfiler:
+    """Named wall-clock sections with call counts."""
+
+    __slots__ = ("_clock", "_sections", "_open")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._sections: Dict[str, list] = {}  # name -> [seconds, count]
+        self._open: Dict[str, float] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a block: ``with profiler.section("simulate"): ...``"""
+        t0 = self._clock()
+        try:
+            yield self
+        finally:
+            self.add(name, self._clock() - t0)
+
+    def start(self, name: str) -> None:
+        self._open[name] = self._clock()
+
+    def stop(self, name: str) -> None:
+        t0 = self._open.pop(name, None)
+        if t0 is None:
+            raise ValueError(f"section {name!r} was never started")
+        self.add(name, self._clock() - t0)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Attribute ``seconds`` of wall time to ``name`` directly."""
+        entry = self._sections.get(name)
+        if entry is None:
+            self._sections[name] = [seconds, count]
+        else:
+            entry[0] += seconds
+            entry[1] += count
+
+    def seconds(self, name: str) -> float:
+        entry = self._sections.get(name)
+        return entry[0] if entry else 0.0
+
+    def total_seconds(self) -> float:
+        return sum(entry[0] for entry in self._sections.values())
+
+    def as_dict(self) -> dict:
+        return {
+            name: {"seconds": round(entry[0], 9), "count": entry[1]}
+            for name, entry in sorted(self._sections.items())
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunProfiler":
+        profiler = cls()
+        for name, rec in data.items():
+            profiler.add(name, rec["seconds"], rec.get("count", 1))
+        return profiler
+
+    def render(self) -> str:
+        """Human-readable table, longest section first."""
+        if not self._sections:
+            return "(no profile sections)"
+        total = self.total_seconds() or 1.0
+        lines = [f"{'section':<24} {'seconds':>10} {'calls':>8} {'share':>7}"]
+        for name, (seconds, count) in sorted(
+            self._sections.items(), key=lambda kv: -kv[1][0]
+        ):
+            lines.append(
+                f"{name:<24} {seconds:>10.6f} {count:>8d} {seconds / total:>6.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Terminal rendering of telemetry exports: summaries and ASCII charts.
+
+Operates on the plain export dict (``Telemetry.as_dict()`` or
+``export.load_jsonl``), so the same renderer serves the live
+``repro run --telemetry`` path and the offline
+``repro telemetry report|show`` commands.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .registry import Histogram, MetricsRegistry
+from .series import TimeSeries
+
+__all__ = ["render_report", "render_chart", "chartable_columns"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+def render_report(data: Mapping) -> str:
+    """Top-line metric summary: meta, counters, gauges, histograms, profile."""
+    lines: list[str] = []
+    meta = data.get("meta") or {}
+    head = ", ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    lines.append(f"telemetry: {head}" if head else "telemetry:")
+    series = data.get("series")
+    if series and series.get("rows"):
+        rows = series["rows"]
+        lines.append(
+            f"samples: {len(rows)} x {len(series['columns'])} columns, "
+            f"t = {_fmt(rows[0][0])} .. {_fmt(rows[-1][0])} s"
+        )
+    registry = MetricsRegistry.from_dict(data.get("registry") or {})
+    counters = [m for m in registry if m.kind == "counter" and m.value]
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<42} {'value':>16}")
+        for metric in counters:
+            label = metric.name + (
+                "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+                if metric.labels
+                else ""
+            )
+            lines.append(f"{label:<42} {_fmt(metric.value):>16}")
+    gauges = [m for m in registry if m.kind == "gauge" and m.value]
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<42} {'value':>16}")
+        for metric in gauges:
+            label = metric.name + (
+                "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+                if metric.labels
+                else ""
+            )
+            lines.append(f"{label:<42} {_fmt(metric.value):>16}")
+    for metric in registry:
+        if isinstance(metric, Histogram) and metric.count:
+            lines.append("")
+            lines.append(
+                f"histogram {metric.name}: n={metric.count:,} "
+                f"mean={metric.sum / metric.count:,.1f} "
+                f"p50<={_fmt(metric.quantile(0.5))} p95<={_fmt(metric.quantile(0.95))}"
+            )
+            for bucket, count in metric.nonzero_buckets().items():
+                upper = Histogram.bucket_upper(bucket)
+                bar = "#" * max(1, round(40 * count / metric.count))
+                lines.append(f"  < {upper:>12,}  {count:>8,}  {bar}")
+    profile = data.get("profile")
+    if profile:
+        lines.append("")
+        lines.append(f"{'profile section':<24} {'seconds':>10} {'calls':>8}")
+        for name in sorted(profile, key=lambda n: -profile[n]["seconds"]):
+            rec = profile[name]
+            lines.append(f"{name:<24} {rec['seconds']:>10.6f} {rec['count']:>8}")
+    return "\n".join(lines)
+
+
+def chartable_columns(columns: Sequence[str]) -> list[str]:
+    """Every column except the time axis."""
+    return [c for c in columns if c != "time_s"]
+
+
+def render_chart(
+    series: TimeSeries,
+    column: str,
+    width: int = 72,
+    height: int = 8,
+    label: Optional[str] = None,
+) -> str:
+    """ASCII time-series chart of one column (downsampled to ``width``)."""
+    values = series.column(column)
+    if len(values) == 0:
+        return f"{column}: (no samples)"
+    times = series.column("time_s") if "time_s" in series.columns else None
+    # Downsample by bucket-max so short spikes stay visible.
+    n = len(values)
+    width = min(width, n)
+    buckets = []
+    for i in range(width):
+        lo = i * n // width
+        hi = max(lo + 1, (i + 1) * n // width)
+        buckets.append(float(values[lo:hi].max()))
+    vmin = min(buckets)
+    vmax = max(buckets)
+    span = vmax - vmin
+    lines = [f"{label or column}  min={_fmt(vmin)} max={_fmt(vmax)}"]
+    if span == 0:
+        lines.append("(flat) " + "▁" * width)
+    else:
+        levels = height * (len(_BLOCKS) - 1)
+        scaled = [round((v - vmin) / span * levels) for v in buckets]
+        for row in range(height - 1, -1, -1):
+            base = row * (len(_BLOCKS) - 1)
+            cells = []
+            for s in scaled:
+                idx = min(max(s - base, 0), len(_BLOCKS) - 1)
+                cells.append(_BLOCKS[idx])
+            axis = f"{vmin + span * (row + 1) / height:>12.6g} |"
+            lines.append(axis + "".join(cells))
+    if times is not None and len(times):
+        pad = " " * 14
+        left = f"{float(times[0]):.6g}"
+        right = f"t = {float(times[-1]):.6g} s"
+        gap = max(1, width - len(left) - len(right))
+        lines.append(pad + left + " " * gap + right)
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Cadenced state sampler driven by the simulation clock.
+
+The sampler is a chain of :class:`~repro.sim.core.Timeout` callbacks:
+each firing snapshots component state (a *pull* — it reads counters and
+queue lengths, consumes no RNG draws, and schedules nothing the
+application can observe), then re-arms the next sample.  Every armed
+timeout is registered as a kernel *background* event
+(:attr:`Environment.background`), so ``Environment.run()`` still
+terminates the moment the application drains: the trailing sample
+timeout neither keeps the simulation alive nor advances the clock, and
+it stays queued across sequential ``run()`` calls — multi-program
+pipelines like HTF are sampled end to end by one sampler.
+
+Determinism: sampler timeouts interleave with application events in the
+kernel's total (time, seq) order, but since sampling is read-only the
+application's event *content* is unchanged — traces stay byte-identical
+with telemetry on or off (pinned by tests/test_telemetry.py).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..sim.core import Environment, Event, Timeout
+from ..util.validation import check_positive
+
+__all__ = ["Sampler"]
+
+
+class Sampler:
+    """Invoke ``sample_fn(now)`` every ``cadence_s`` simulated seconds."""
+
+    __slots__ = ("env", "cadence_s", "sample_fn", "samples", "overhead_s", "_clock", "_armed")
+
+    def __init__(
+        self,
+        env: Environment,
+        cadence_s: float,
+        sample_fn: Callable[[float], None],
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        check_positive(cadence_s, "cadence_s")
+        self.env = env
+        self.cadence_s = float(cadence_s)
+        self.sample_fn = sample_fn
+        #: Samples taken so far.
+        self.samples = 0
+        #: Wall-clock seconds spent inside ``sample_fn`` (self-profiling).
+        self.overhead_s = 0.0
+        self._clock = clock
+        self._armed = False
+
+    def start(self) -> None:
+        """Arm the first sample one cadence from now."""
+        if self._armed:
+            return
+        self._armed = True
+        self._arm()
+
+    def _arm(self) -> None:
+        env = self.env
+        Timeout(env, self.cadence_s).callbacks.append(self._fire)
+        env.background += 1
+
+    def _fire(self, _event: Event) -> None:
+        self.env.background -= 1
+        clock = self._clock
+        t0 = clock()
+        self.sample_fn(self.env.now)
+        self.samples += 1
+        self.overhead_s += clock() - t0
+        self._arm()

@@ -1,0 +1,97 @@
+"""Columnar time-series buffer for sampled telemetry.
+
+Same storage discipline as :class:`repro.pablo.trace.Trace`: one
+preallocated NumPy buffer grown by doubling, with a zero-copy view over
+the filled prefix.  Rows are float64 — every sampled quantity (queue
+depths, byte totals, utilization fractions, state codes) fits — and the
+column names are fixed at construction, so append stays a bounds check
+plus one slice assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+_INITIAL_CAPACITY = 256
+
+
+class TimeSeries:
+    """Append-only (n_samples, n_columns) float64 buffer with named columns."""
+
+    __slots__ = ("columns", "_index", "_buffer", "_count", "_frozen")
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("TimeSeries needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError("TimeSeries column names must be unique")
+        self.columns = tuple(columns)
+        self._index = {name: i for i, name in enumerate(self.columns)}
+        self._buffer = np.zeros((_INITIAL_CAPACITY, len(self.columns)), dtype=np.float64)
+        self._count = 0
+        self._frozen: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, row: Sequence[float]) -> None:
+        """Append one sample; ``row`` must match the column order."""
+        n = self._count
+        if n == self._buffer.shape[0]:
+            self._grow(n)
+        self._buffer[n] = row
+        self._count = n + 1
+        self._frozen = None
+
+    def _grow(self, need: int) -> None:
+        capacity = self._buffer.shape[0]
+        while capacity <= need:
+            capacity *= 2
+        grown = np.zeros((capacity, self._buffer.shape[1]), dtype=np.float64)
+        grown[: self._count] = self._buffer[: self._count]
+        self._buffer = grown
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Zero-copy view over the filled prefix."""
+        if self._frozen is None:
+            self._frozen = self._buffer[: self._count]
+        return self._frozen
+
+    def column(self, name: str) -> np.ndarray:
+        """Zero-copy view of one column's samples."""
+        return self.rows[:, self._index[name]]
+
+    def content_hash(self) -> str:
+        """SHA-256 over columns + row bytes: equal iff samples identical."""
+        digest = hashlib.sha256()
+        digest.update("\x1f".join(self.columns).encode())
+        digest.update(np.ascontiguousarray(self.rows).tobytes())
+        return digest.hexdigest()
+
+    def as_dict(self) -> dict:
+        """JSON-ready form; float64 -> Python float is exact, and
+        ``json``'s shortest-repr float encoding round-trips exactly."""
+        return {
+            "columns": list(self.columns),
+            "rows": [[float(x) for x in row] for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TimeSeries":
+        series = cls(data["columns"])
+        for row in data["rows"]:
+            series.append(row)
+        return series
+
+    @classmethod
+    def from_rows(cls, columns: Sequence[str], rows: Iterable[Sequence[float]]) -> "TimeSeries":
+        series = cls(columns)
+        for row in rows:
+            series.append(row)
+        return series

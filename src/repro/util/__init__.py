@@ -1,5 +1,6 @@
-"""Shared helpers: byte units, formatting, validation, descriptive stats."""
+"""Shared helpers: byte units, formatting, validation, atomic file writes."""
 
+from .io import atomic_write_json, atomic_write_text
 from .units import GB, KB, MB, STRIPE_UNIT, fmt_bytes, fmt_seconds
 from .validation import check_nonneg, check_positive, check_range, sanitize_filename
 
@@ -14,4 +15,6 @@ __all__ = [
     "check_positive",
     "check_range",
     "sanitize_filename",
+    "atomic_write_text",
+    "atomic_write_json",
 ]

@@ -1,0 +1,53 @@
+"""Atomic artifact writing shared by benchmarks, telemetry, and campaigns.
+
+Several producers write artifacts into shared directories — benchmark
+JSON under ``benchmarks/output/``, telemetry exports next to traces,
+campaign manifests inside the result cache — and campaign workers run
+many processes in parallel.  A plain ``open(path, "w")`` interleaved
+across processes can leave a torn file for any concurrent reader.  The
+helpers here write to a per-process temporary sibling and ``os.replace``
+it into place, so a reader only ever observes a complete old file or a
+complete new file, never a partial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Write ``text`` to ``path`` atomically; returns ``path``.
+
+    The parent directory is created when missing.  The temporary name
+    embeds the PID, so concurrent writers from different processes never
+    collide on the staging file either.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # a failed write leaves no droppings
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+    return path
+
+
+def atomic_write_json(path: str, payload: Any, indent: int | None = 2) -> str:
+    """Serialize ``payload`` as JSON and write it atomically; returns ``path``.
+
+    Keys are sorted so repeated writes of equal payloads are
+    byte-identical (diff-friendly artifacts).
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    return atomic_write_text(path, text + "\n")
