@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench perf examples campaign-smoke faults-smoke telemetry-smoke clean all
+.PHONY: install test bench perf examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
 
@@ -18,6 +18,7 @@ perf:
 	PYTHONPATH=src:. python benchmarks/bench_ppfs_micro.py --scale small
 	PYTHONPATH=src:. python benchmarks/bench_faults_overhead.py
 	PYTHONPATH=src:. python benchmarks/bench_telemetry_overhead.py
+	PYTHONPATH=src:. python benchmarks/bench_ckpt_burst.py --scale small
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
@@ -54,6 +55,14 @@ telemetry-smoke:
 		--cache-dir $(CAMPAIGN_CACHE) --quiet
 	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
 	rm -rf $(CAMPAIGN_CACHE).telemetry
+
+ckpt-smoke:
+	PYTHONPATH=src python -m repro run checkpoint --burst-buffer 16MB --mtbf 100
+	PYTHONPATH=src python -m repro campaign run --name ckpt-smoke \
+		--apps checkpoint --burst-buffers none,4MB --jobs 2 \
+		--cache-dir $(CAMPAIGN_CACHE) --quiet
+	PYTHONPATH=src python -m repro campaign status --cache-dir $(CAMPAIGN_CACHE)
+	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -1,0 +1,144 @@
+"""Checkpoint destage benchmark: burst buffer vs direct-to-RAID dumps.
+
+The burst-buffer tier's acceptance bar is a *measurably lower
+application-visible checkpoint stall* than direct RAID writes at paper
+scale — the log absorbs each synchronized dump at memory-class bandwidth
+and destages in the background.  This bench quantifies the tradeoff on
+the checkpoint workload family (:mod:`repro.apps.checkpoint`):
+
+* **app-visible checkpoint cost** — mean and total barrier-to-barrier
+  dump seconds per configuration (the number the application feels);
+* **makespans** — the application's op makespan vs the simulation end
+  (which includes the drain tail: buffered runs finish computing sooner
+  but keep the disks busy afterwards — an honest tradeoff, not a win);
+* **drain overlap fraction** — how much destage work hid behind
+  computation (1.0 = fully hidden, 0.0 = all paid after the app ended);
+* **a bounded log** — capacity half of one synchronized dump, showing
+  backpressure stalls eating part of the benefit.
+
+Runs two ways:
+
+* under pytest-benchmark (``pytest benchmarks/bench_ckpt_burst.py
+  --benchmark-only``);
+* as a script (``python benchmarks/bench_ckpt_burst.py``) emitting the
+  machine-readable ``BENCH_ckpt.json`` artifact the CI perf-smoke step
+  uploads (``--scale small`` for a quick local pass).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.registry import paper_experiment, small_experiment
+from repro.machine.burstbuffer import BurstBufferParams
+
+from benchmarks._common import emit, emit_json
+
+
+def _dump_bytes(cfg) -> int:
+    """Wire volume of one synchronized (epoch-0) checkpoint."""
+    return sum(cfg.wire_bytes(0, n) for n in range(cfg.nodes))
+
+
+def run_config(scale: str, burst_buffer) -> dict:
+    """One checkpoint run; returns the JSON-safe measurement record."""
+    build = paper_experiment if scale == "paper" else small_experiment
+    t0 = time.perf_counter()
+    result = build("checkpoint", burst_buffer=burst_buffer).run()
+    wall_s = time.perf_counter() - t0
+    stats = result.app.stats
+    out = {
+        "wall_s": round(wall_s, 4),
+        "checkpoints": stats.checkpoints_taken,
+        "mean_cost_s": round(stats.mean_cost_s, 6),
+        "total_cost_s": round(stats.checkpoint_cost_s, 6),
+        "bytes_written": stats.bytes_written,
+        "app_makespan_s": round(result.trace.duration, 6),
+        "sim_end_s": round(result.machine.env.now, 6),
+    }
+    bb = result.machine.burstbuffer
+    if bb is not None:
+        out["burst_buffer"] = bb.stats_dict()
+    return out
+
+
+def measure(scale: str) -> dict:
+    """All configurations: direct, generous log, bounded log."""
+    build = paper_experiment if scale == "paper" else small_experiment
+    cfg = build("checkpoint").config
+    dump = _dump_bytes(cfg)
+    configs = {
+        "direct": None,
+        # Two dumps of headroom: appends never stall, destage fully async.
+        "buffered": BurstBufferParams(capacity_bytes=2 * dump),
+        # Half a dump: backpressure stalls claw back part of the benefit.
+        "buffered_bounded": BurstBufferParams(capacity_bytes=max(1, dump // 2)),
+    }
+    payload = {
+        "scale": scale,
+        "nodes": cfg.nodes,
+        "dump_bytes": dump,
+        "configs": {name: run_config(scale, bb) for name, bb in configs.items()},
+    }
+    direct = payload["configs"]["direct"]
+    buffered = payload["configs"]["buffered"]
+    payload["stall_reduction"] = round(
+        direct["mean_cost_s"] / buffered["mean_cost_s"], 3
+    ) if buffered["mean_cost_s"] else float("inf")
+    return payload
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"checkpoint destage, scale={payload['scale']} "
+        f"({payload['nodes']} nodes, {payload['dump_bytes']:,} B/dump)",
+        f"{'config':<18} {'mean cost(s)':>12} {'total(s)':>10} "
+        f"{'app end(s)':>10} {'sim end(s)':>10} {'stalls':>7} {'overlap':>8}",
+        "-" * 80,
+    ]
+    for name, rec in payload["configs"].items():
+        bb = rec.get("burst_buffer") or {}
+        lines.append(
+            f"{name:<18} {rec['mean_cost_s']:>12.4f} {rec['total_cost_s']:>10.3f} "
+            f"{rec['app_makespan_s']:>10.2f} {rec['sim_end_s']:>10.2f} "
+            f"{bb.get('stalls', 0):>7} "
+            f"{bb.get('drain_overlap', 0.0):>8.3f}"
+        )
+    lines.append("-" * 80)
+    lines.append(
+        f"app-visible checkpoint stall: buffered is "
+        f"x{payload['stall_reduction']} cheaper than direct"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+def test_direct_checkpoint_run(benchmark):
+    rec = benchmark(run_config, "small", None)
+    assert rec["checkpoints"] > 0
+
+
+def test_buffered_checkpoint_run(benchmark):
+    rec = benchmark(run_config, "small", True)
+    assert rec["burst_buffer"]["bytes_absorbed"] == rec["bytes_written"]
+
+
+def test_buffered_beats_direct_stall():
+    direct = run_config("small", None)
+    buffered = run_config("small", True)
+    assert buffered["mean_cost_s"] < direct["mean_cost_s"]
+
+
+# -- script entry (CI perf-smoke, `make perf`) ---------------------------------
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["paper", "small"], default="paper")
+    args = parser.parse_args(argv)
+    payload = measure(args.scale)
+    emit("ckpt_burst", render(payload))
+    return emit_json("BENCH_ckpt", payload)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,5 +1,6 @@
 """Offline trace analysis: the paper's tables, figures and observations."""
 
+from .checkpoint import CheckpointReport
 from .classes import FileClassification, IOClass, classify_files
 from .diff import OpDelta, TraceDiff
 from .cyclic import FileCycles, ReuseStats, detect_cycles, reuse_intervals
@@ -21,6 +22,7 @@ from .stats import (
 from .timeline import BurstAnalysis, Timeline, ascii_scatter
 
 __all__ = [
+    "CheckpointReport",
     "FileClassification",
     "IOClass",
     "classify_files",

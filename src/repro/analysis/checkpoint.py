@@ -1,0 +1,158 @@
+"""Checkpoint analysis: cost per checkpoint, optimal interval, lost work.
+
+Turns :class:`repro.apps.checkpoint.CheckpointStats` (live object or the
+``as_dict`` form campaign metrics persist) into the checkpointing
+literature's standard quantities:
+
+* **checkpoint cost** δ — the application-visible seconds per completed
+  dump (compress + seek + write + any burst-buffer stall);
+* **Young's interval** τ* = sqrt(2 δ M) for a mean time between failures
+  M — the first-order optimum balancing dump overhead against expected
+  recomputation;
+* an **overhead sweep** over candidate intervals using the first-order
+  model overhead(τ) = δ/τ + τ/(2 M), the curve
+  ``examples/checkpoint_sweep.py`` reproduces by simulation;
+* **lost work**: restarts observed and the recomputed seconds they cost.
+
+The report is pure arithmetic over recorded statistics — no simulation
+state — so it works identically on a live run and on a campaign cache
+entry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["CheckpointReport"]
+
+
+class CheckpointReport:
+    """Summary of one checkpointing run (see module docstring).
+
+    Parameters
+    ----------
+    stats:
+        A :class:`CheckpointStats` or its ``as_dict`` form.
+    interval_s:
+        The configured compute interval between checkpoints.
+    burst_buffer:
+        Optional ``BurstBuffer.stats_dict()`` to fold log behaviour
+        (stall seconds, drain lag) into the report.
+    """
+
+    def __init__(
+        self,
+        stats,
+        interval_s: float,
+        burst_buffer: Optional[dict] = None,
+    ):
+        if isinstance(stats, dict):
+            # Deferred: keeps the analysis package importable without
+            # pulling the simulation stack (apps -> machine -> pfs).
+            from ..apps.checkpoint import CheckpointStats
+
+            stats = CheckpointStats.from_dict(stats)
+        self.stats = stats
+        self.interval_s = float(interval_s)
+        self.burst_buffer = dict(burst_buffer) if burst_buffer else None
+
+    # -- headline quantities ---------------------------------------------------
+    @property
+    def checkpoint_cost_s(self) -> float:
+        """δ: mean application-visible seconds per completed checkpoint."""
+        return self.stats.mean_cost_s
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of the run spent checkpointing instead of computing."""
+        denom = self.interval_s + self.checkpoint_cost_s
+        return self.checkpoint_cost_s / denom if denom else 0.0
+
+    @property
+    def lost_work_s(self) -> float:
+        return self.stats.lost_work_s
+
+    # -- interval models -------------------------------------------------------
+    def young_interval(self, mtbf_s: float) -> float:
+        """Young's first-order optimal interval: sqrt(2 δ MTBF)."""
+        if mtbf_s <= 0:
+            raise ValueError(f"mtbf_s must be > 0, got {mtbf_s}")
+        return math.sqrt(2.0 * self.checkpoint_cost_s * mtbf_s)
+
+    def model_overhead(self, interval_s: float, mtbf_s: float) -> float:
+        """First-order overhead fraction: δ/τ + τ/(2 MTBF)."""
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if mtbf_s <= 0:
+            raise ValueError(f"mtbf_s must be > 0, got {mtbf_s}")
+        return self.checkpoint_cost_s / interval_s + interval_s / (2.0 * mtbf_s)
+
+    def optimal_interval_sweep(
+        self, mtbf_s: float, intervals: Sequence[float]
+    ) -> list[tuple[float, float]]:
+        """(interval, modelled overhead fraction) rows, lowest overhead
+        marking the model's cost-optimal interval among the candidates."""
+        return [(float(t), self.model_overhead(t, mtbf_s)) for t in intervals]
+
+    # -- presentation ----------------------------------------------------------
+    def summary(self) -> dict:
+        """Plain-dict form (JSON-friendly, deterministic key order)."""
+        s = self.stats
+        out = {
+            "interval_s": self.interval_s,
+            "checkpoints_taken": s.checkpoints_taken,
+            "mean_cost_s": round(self.checkpoint_cost_s, 9),
+            "total_cost_s": round(s.checkpoint_cost_s, 9),
+            "overhead_fraction": round(self.overhead_fraction, 9),
+            "bytes_written": s.bytes_written,
+            "raw_bytes": s.raw_bytes,
+            "restarts": s.restarts,
+            "lost_work_s": round(s.lost_work_s, 9),
+            "restore_bytes": s.restore_bytes,
+        }
+        if self.burst_buffer is not None:
+            out["burst_buffer"] = dict(self.burst_buffer)
+        return out
+
+    def render(self, mtbf_s: Optional[float] = None) -> str:
+        """Deterministic text report; ``mtbf_s`` adds the interval model."""
+        s = self.stats
+        lines = ["Checkpoint report", "================="]
+        lines.append(
+            f"Checkpoints: {s.checkpoints_taken} completed at "
+            f"interval {self.interval_s:g}s"
+        )
+        lines.append(
+            f"Cost: {self.checkpoint_cost_s:.4f}s mean per checkpoint "
+            f"({s.checkpoint_cost_s:.4f}s total, "
+            f"{100 * self.overhead_fraction:.2f}% overhead)"
+        )
+        ratio = s.bytes_written / s.raw_bytes if s.raw_bytes else 1.0
+        lines.append(
+            f"Volume: {s.bytes_written} B written"
+            + (f" ({ratio:.3f} of raw after compression)" if ratio < 1.0 else "")
+        )
+        if s.restarts:
+            lines.append(
+                f"Restarts: {s.restarts}, {s.lost_work_s:.4f}s work lost, "
+                f"{s.restore_bytes} B re-read"
+            )
+        else:
+            lines.append("Restarts: none")
+        bb = self.burst_buffer
+        if bb is not None:
+            lines.append(
+                "Burst buffer: "
+                f"{bb.get('bytes_absorbed', 0)} B absorbed, "
+                f"{bb.get('stalls', 0)} stalls ({bb.get('stall_s', 0.0):.4f}s), "
+                f"drain lag {bb.get('drain_lag_s', 0.0):.4f}s, "
+                f"{bb.get('fallback_writes', 0)} fallback writes"
+            )
+        if mtbf_s is not None:
+            tau = self.young_interval(mtbf_s)
+            lines.append(
+                f"Young's optimal interval at MTBF {mtbf_s:g}s: {tau:.2f}s "
+                f"(modelled overhead {100 * self.model_overhead(tau, mtbf_s):.2f}%)"
+            )
+        return "\n".join(lines)

@@ -37,6 +37,8 @@ _KIND_LABELS = {
     7: "rebuild-done",
     8: "drop-start",
     9: "drop-end",
+    10: "bb-drain-fail",
+    11: "bb-drain-resume",
 }
 
 

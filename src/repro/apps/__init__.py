@@ -1,6 +1,8 @@
-"""Application skeletons: ESCAT, RENDER, and the HTF pipeline."""
+"""Application skeletons: ESCAT, RENDER, the HTF pipeline, and the
+checkpoint/restart family."""
 
 from .base import Application, Collective, PhaseMark
+from .checkpoint import Checkpoint, CheckpointConfig, CheckpointStats
 from .escat import Escat, EscatConfig
 from .escat_science import ScienceEscat, ScienceEscatConfig
 from .htf import HartreeFock, HTFConfig, HTFResult, Pargos, Pscf, Psetup
@@ -9,10 +11,12 @@ from .render_science import ScienceRender, ScienceRenderConfig
 from .render import Render, RenderConfig
 from .synthetic import SyntheticConfig, SyntheticKernel
 from .workloads import (
+    paper_checkpoint,
     paper_escat,
     paper_htf,
     paper_machine,
     paper_render,
+    small_checkpoint,
     small_escat,
     small_htf,
     small_machine,
@@ -23,6 +27,9 @@ __all__ = [
     "Application",
     "Collective",
     "PhaseMark",
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointStats",
     "Escat",
     "EscatConfig",
     "ScienceEscat",
@@ -41,10 +48,12 @@ __all__ = [
     "RenderConfig",
     "SyntheticConfig",
     "SyntheticKernel",
+    "paper_checkpoint",
     "paper_escat",
     "paper_htf",
     "paper_machine",
     "paper_render",
+    "small_checkpoint",
     "small_escat",
     "small_htf",
     "small_machine",

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from ..machine.mesh import MeshParams
 from ..machine.paragon import Paragon, ParagonConfig
+from ..util.units import KB
+from .checkpoint import CheckpointConfig
 from .escat import EscatConfig
 from .htf import HTFConfig
 from .render import RenderConfig
@@ -23,6 +25,8 @@ __all__ = [
     "small_render",
     "paper_htf",
     "small_htf",
+    "paper_checkpoint",
+    "small_checkpoint",
 ]
 
 
@@ -88,6 +92,22 @@ def small_render(renderers: int = 7, frames: int = 5) -> RenderConfig:
         control_seeks=2,
         render_compute_s=0.3,
         setup_compute_s=0.5,
+    )
+
+
+def paper_checkpoint() -> CheckpointConfig:
+    """Paper-scale checkpointing: 128 nodes dump 512 MB every 5 minutes."""
+    return CheckpointConfig()
+
+
+def small_checkpoint(nodes: int = 8) -> CheckpointConfig:
+    """Structure-preserving miniature: 4 epochs of 256 KB/node dumps."""
+    return CheckpointConfig(
+        nodes=nodes,
+        checkpoints=4,
+        interval_s=2.0,
+        state_bytes=256 * KB,
+        chunk_bytes=64 * KB,
     )
 
 

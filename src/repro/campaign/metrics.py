@@ -106,6 +106,15 @@ def run_metrics(result: Any) -> dict[str, Any]:
     telemetry = getattr(result, "telemetry", None)
     if telemetry is not None:
         out["telemetry"] = telemetry.summary()
+    # Checkpoint runs carry their per-epoch cost record; burst-buffered
+    # runs the log's occupancy/stall/drain counters.  Both keys appear
+    # only when the feature ran, so pre-existing records are unchanged.
+    app_stats = getattr(getattr(result, "app", None), "stats", None)
+    if hasattr(app_stats, "as_dict") and hasattr(app_stats, "checkpoints_taken"):
+        out["checkpoint"] = app_stats.as_dict()
+    bb = getattr(result.machine, "burstbuffer", None)
+    if bb is not None:
+        out["burst_buffer"] = bb.stats_dict()
     return out
 
 

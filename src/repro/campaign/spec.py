@@ -84,6 +84,10 @@ class RunSpec:
         Optional sampling cadence in simulated seconds.  A falsy value
         (None/0/False) normalizes to None — telemetry never perturbs the
         trace, so a telemetry-free spec must keep its pre-telemetry hash.
+    burst_buffer:
+        Optional burst-buffer log capacity in bytes (``True`` selects the
+        default capacity).  A falsy value normalizes to None — no tier
+        attached, so a buffer-free spec must keep its pre-buffer hash.
     """
 
     app: str
@@ -94,6 +98,7 @@ class RunSpec:
     overrides: tuple[tuple[str, Any], ...] = ()
     faults: Optional[Any] = None
     telemetry: Optional[float] = None
+    burst_buffer: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPLICATIONS:
@@ -137,6 +142,19 @@ class RunSpec:
                 raise ValueError(f"telemetry cadence must be >= 0, got {cadence}")
             # Falsy -> None: same hash-preserving trick as the faults axis.
             object.__setattr__(self, "telemetry", cadence or None)
+        if self.burst_buffer is not None:
+            spec = self.burst_buffer
+            if spec is True:
+                from ..machine.burstbuffer import BurstBufferParams
+
+                spec = BurstBufferParams().capacity_bytes
+            if not isinstance(spec, int) or isinstance(spec, bool) or spec < 0:
+                raise ValueError(
+                    f"burst_buffer must be a capacity in bytes or None, "
+                    f"got {self.burst_buffer!r}"
+                )
+            # Falsy -> None: zero capacity means no tier at all.
+            object.__setattr__(self, "burst_buffer", spec or None)
 
     # -- identity ----------------------------------------------------------
     def canonical(self) -> dict[str, Any]:
@@ -156,6 +174,9 @@ class RunSpec:
         # Likewise only when set (pre-telemetry entries keep their hashes).
         if self.telemetry is not None:
             record["telemetry"] = self.telemetry
+        # Likewise (pre-burst-buffer entries keep their hashes).
+        if self.burst_buffer is not None:
+            record["burst_buffer"] = self.burst_buffer
         return record
 
     @property
@@ -175,6 +196,8 @@ class RunSpec:
             parts.append(f"faults{hashlib.sha256(self.faults.encode()).hexdigest()[:6]}")
         if self.telemetry is not None:
             parts.append(f"telem{self.telemetry:g}")
+        if self.burst_buffer is not None:
+            parts.append(f"bb{self.burst_buffer // (1024 * 1024)}M")
         return "/".join(parts)
 
     # -- (de)serialization -------------------------------------------------
@@ -192,6 +215,7 @@ class RunSpec:
             overrides=tuple(sorted((data.get("overrides") or {}).items())),
             faults=data.get("faults"),
             telemetry=data.get("telemetry"),
+            burst_buffer=data.get("burst_buffer"),
         )
 
     # -- materialization ---------------------------------------------------
@@ -214,6 +238,8 @@ class RunSpec:
             kwargs["faults"] = FaultPlan.from_json(self.faults)
         if self.telemetry is not None:
             kwargs["telemetry"] = self.telemetry
+        if self.burst_buffer is not None:
+            kwargs["burst_buffer"] = self.burst_buffer
         return build(self.app, **kwargs)
 
 
@@ -239,21 +265,26 @@ class CampaignSpec:
     #: Telemetry axis: None (off) and/or sampling cadences in simulated
     #: seconds; enabled runs carry their metric summary in the manifest.
     telemetry: Sequence[Optional[float]] = (None,)
+    #: Burst-buffer axis: None (no tier) and/or log capacities in bytes —
+    #: combined with interval/size overrides this sweeps the checkpoint
+    #: interval x state size x buffer capacity grid.
+    burst_buffers: Sequence[Optional[int]] = (None,)
     name: str = "campaign"
 
     def expand(self) -> list[RunSpec]:
         """The grid's concrete runs, in deterministic order, deduplicated."""
         frozen = _freeze_overrides(self.overrides)
         runs: dict[str, RunSpec] = {}
-        for app, scale, fs, policy, seed, faults, telem in itertools.product(
+        for app, scale, fs, policy, seed, faults, telem, bb in itertools.product(
             self.apps, self.scales, self.filesystems, self.policies, self.seeds,
-            self.fault_plans, self.telemetry,
+            self.fault_plans, self.telemetry, self.burst_buffers,
         ):
             if fs == "pfs" and policy is not None:
                 continue
             spec = RunSpec(
                 app=app, scale=scale, fs=fs, policy=policy, seed=seed,
                 overrides=frozen, faults=faults, telemetry=telem,
+                burst_buffer=bb,
             )
             runs.setdefault(spec.run_hash, spec)
         if not runs:

@@ -19,6 +19,8 @@
     python -m repro telemetry report out/escat.telemetry.jsonl
     python -m repro telemetry show out/escat.telemetry.jsonl --column mesh.bytes
     python -m repro telemetry export out/escat.telemetry.jsonl --format csv
+    python -m repro run checkpoint --burst-buffer 64MB   # buffered checkpoints
+    python -m repro campaign run --apps checkpoint --burst-buffers none,16MB
 """
 
 from __future__ import annotations
@@ -48,6 +50,29 @@ _DEFAULT_CACHE_DIR = ".campaign-cache"
 
 def _csv(text: str) -> list[str]:
     return [item for item in (part.strip() for part in text.split(",")) if item]
+
+
+_SIZE_SUFFIXES = {"KB": 1024, "MB": 1024**2, "GB": 1024**3, "B": 1}
+
+
+def _parse_size(text: str) -> int:
+    """A byte count like ``64MB``, ``1GB`` or a plain integer."""
+    raw = text.strip().upper()
+    for suffix, mult in _SIZE_SUFFIXES.items():
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            break
+    else:
+        mult = 1
+    try:
+        value = int(float(raw) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r} (expected e.g. 64MB, 1GB or a byte count)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
+    return value
 
 
 def _parse_override(pair: str) -> tuple[str, object]:
@@ -92,6 +117,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="sample live metrics (optional cadence in simulated "
                      "seconds) and print a telemetry report; with --save-dir "
                      "also writes <app>.telemetry.jsonl")
+    run.add_argument("--burst-buffer", nargs="?", const=True, default=None,
+                     metavar="SIZE",
+                     help="attach a host-side burst-buffer tier (optional log "
+                     "capacity like 64MB; default capacity without a value); "
+                     "checkpoint files destage through it asynchronously")
+    run.add_argument("--mtbf", type=float, default=None, metavar="SEC",
+                     help="mean time between failures for the checkpoint "
+                     "report's optimal-interval model (checkpoint app only)")
 
     char = sub.add_parser("characterize", help="report a saved SDDF trace")
     char.add_argument("trace", help="path to a .sddf trace file")
@@ -141,6 +174,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="C,C",
                       help="telemetry axis: comma-separated sampling cadences "
                       "in simulated seconds; 'none' = off")
+    crun.add_argument("--burst-buffers", type=_csv, default=["none"],
+                      metavar="S,S",
+                      help="burst-buffer axis: comma-separated log capacities "
+                      "(e.g. none,16MB,64MB); 'none' = no tier")
 
     cstat = csub.add_parser("status", help="summarize the result cache")
     cstat.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
@@ -220,6 +257,14 @@ def _cmd_run(args) -> int:
         except ValueError:
             print(f"bad telemetry cadence: {args.telemetry!r}", file=sys.stderr)
             return 2
+    if args.burst_buffer is not None:
+        try:
+            kwargs["burst_buffer"] = (
+                True if args.burst_buffer is True else _parse_size(args.burst_buffer)
+            )
+        except argparse.ArgumentTypeError as exc:
+            print(f"bad burst-buffer capacity: {exc}", file=sys.stderr)
+            return 2
     result = build(args.app, **kwargs).run()
     for name, trace in result.traces.items():
         print(CharacterizationReport(trace).render())
@@ -232,6 +277,18 @@ def _cmd_run(args) -> int:
             path = os.path.join(args.save_dir, f"{name}.sddf")
             trace.save(path)
             print(f"trace saved: {path} ({len(trace)} events)")
+    app_stats = getattr(result.app, "stats", None)
+    if hasattr(app_stats, "checkpoints_taken"):
+        from .analysis.checkpoint import CheckpointReport
+
+        bb = getattr(result.machine, "burstbuffer", None)
+        report = CheckpointReport(
+            app_stats,
+            interval_s=result.app.config.interval_s,
+            burst_buffer=bb.stats_dict() if bb is not None else None,
+        )
+        print(report.render(mtbf_s=args.mtbf))
+        print()
     if result.telemetry is not None:
         from .telemetry import render_report, to_jsonl
 
@@ -292,9 +349,13 @@ def _cmd_campaign_run(args) -> int:
             telemetry=tuple(
                 None if c == "none" else float(c) for c in args.telemetry
             ),
+            burst_buffers=tuple(
+                None if s == "none" else _parse_size(s)
+                for s in args.burst_buffers
+            ),
         )
         runs = spec.expand()
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, argparse.ArgumentTypeError) as exc:
         print(f"bad campaign grid: {exc}", file=sys.stderr)
         return 2
     try:
@@ -326,8 +387,17 @@ def _cmd_campaign_status(args) -> int:
         spec = cache.load_spec(run_hash)
         metrics = cache.load_metrics(run_hash)
         label = spec.label() if spec else "?"
-        print(f"  {run_hash}  {label:<30} makespan {metrics['makespan_s']:>10.2f}s  "
-              f"io {metrics['io_node_time_s']:>10.2f}s  {metrics['events']:>7,} events")
+        line = (f"  {run_hash}  {label:<30} makespan {metrics['makespan_s']:>10.2f}s  "
+                f"io {metrics['io_node_time_s']:>10.2f}s  {metrics['events']:>7,} events")
+        ckpt = metrics.get("checkpoint")
+        if ckpt:
+            line += (f"  ckpt {ckpt.get('checkpoints_taken', 0):>3}"
+                     f" ({ckpt.get('checkpoint_cost_s', 0.0):.2f}s)")
+        bb = metrics.get("burst_buffer")
+        if bb:
+            line += (f"  stall {bb.get('stall_s', 0.0):.2f}s"
+                     f"  lag {bb.get('drain_lag_s', 0.0):.2f}s")
+        print(line)
     return 0
 
 

@@ -12,10 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..apps.checkpoint import Checkpoint, CheckpointConfig
 from ..apps.escat import Escat, EscatConfig
 from ..apps.htf import HartreeFock, HTFConfig, HTFResult
 from ..apps.render import Render, RenderConfig
-from ..apps.workloads import paper_escat, paper_htf, paper_machine, paper_render
+from ..apps.workloads import (
+    paper_checkpoint,
+    paper_escat,
+    paper_htf,
+    paper_machine,
+    paper_render,
+)
 from ..machine.paragon import Paragon
 from ..pablo.capture import InstrumentedPFS
 from ..pablo.trace import Trace
@@ -30,6 +37,7 @@ _APP_DEFAULTS: dict[str, Callable[[], Any]] = {
     "escat": paper_escat,
     "render": paper_render,
     "htf": paper_htf,
+    "checkpoint": paper_checkpoint,
 }
 
 
@@ -62,7 +70,7 @@ class Experiment:
     Parameters
     ----------
     app:
-        'escat', 'render' or 'htf'.
+        'escat', 'render', 'htf' or 'checkpoint'.
     config:
         Application workload config; None = the paper's run.
     machine_factory:
@@ -83,6 +91,12 @@ class Experiment:
         :class:`repro.telemetry.Telemetry`.  ``None`` (the default)
         installs nothing, and the hot paths pay one attribute check.
         Sampling is read-only, so traces are byte-identical either way.
+    burst_buffer:
+        Optional host-side burst-buffer tier: ``True`` (default
+        parameters), a capacity in bytes, a
+        :class:`repro.machine.BurstBufferParams`, or a dict of its
+        fields.  ``None`` (the default) attaches nothing — the data path
+        then pays one attribute check, and traces stay golden.
     """
 
     app: str
@@ -95,6 +109,7 @@ class Experiment:
     observers: list = field(default_factory=list)
     faults: Any = None
     telemetry: Any = None
+    burst_buffer: Any = None
 
     def __post_init__(self) -> None:
         if self.app not in _APP_DEFAULTS:
@@ -124,6 +139,21 @@ class Experiment:
             return Telemetry()
         return Telemetry(cadence_s=float(spec))
 
+    def _build_burst_buffer(self) -> Any:
+        """Normalize the ``burst_buffer`` field into params or None."""
+        spec = self.burst_buffer
+        if spec is None or spec is False:
+            return None
+        from ..machine.burstbuffer import BurstBufferParams
+
+        if isinstance(spec, BurstBufferParams):
+            return spec
+        if spec is True:
+            return BurstBufferParams()
+        if isinstance(spec, dict):
+            return BurstBufferParams(**spec)
+        return BurstBufferParams(capacity_bytes=int(spec))
+
     def run(self) -> ExperimentResult:
         """Execute the experiment; returns traces keyed by program name."""
         telemetry = self._build_telemetry()
@@ -132,6 +162,13 @@ class Experiment:
         if profiler is not None:
             profiler.start("build.machine")
         machine = self.machine_factory()
+        bb_params = self._build_burst_buffer()
+        if bb_params is not None and machine.burstbuffer is None:
+            # Attach the tier before the file system is built (the fs
+            # picks up machine.burstbuffer in its constructor).
+            from ..machine.burstbuffer import BurstBuffer
+
+            machine.burstbuffer = BurstBuffer(machine.env, bb_params)
         if profiler is not None:
             profiler.stop("build.machine")
             profiler.start("build.fs")
@@ -172,6 +209,12 @@ class Experiment:
             if not isinstance(config, EscatConfig):
                 raise TypeError(f"escat needs EscatConfig, got {type(config).__name__}")
             application = Escat(machine=machine, fs=instrumented, config=config)
+        elif self.app == "checkpoint":
+            if not isinstance(config, CheckpointConfig):
+                raise TypeError(
+                    f"checkpoint needs CheckpointConfig, got {type(config).__name__}"
+                )
+            application = Checkpoint(machine=machine, fs=instrumented, config=config)
         else:
             if not isinstance(config, RenderConfig):
                 raise TypeError(f"render needs RenderConfig, got {type(config).__name__}")

@@ -9,9 +9,11 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..apps.workloads import (
+    paper_checkpoint,
     paper_escat,
     paper_htf,
     paper_render,
+    small_checkpoint,
     small_escat,
     small_htf,
     small_machine,
@@ -26,6 +28,7 @@ APPLICATIONS: dict[str, tuple[Callable[[], Any], Callable[[], Any]]] = {
     "escat": (paper_escat, small_escat),
     "render": (paper_render, small_render),
     "htf": (paper_htf, small_htf),
+    "checkpoint": (paper_checkpoint, small_checkpoint),
 }
 
 

@@ -1,16 +1,25 @@
 """repro.faults — deterministic fault injection for the I/O stack.
 
 Declarative :class:`FaultPlan` (disk failures, I/O-node outages,
-transient request drops) + :class:`FaultInjector` driving it against a
-live machine, with retry/failover installed into the file-system client
-and resilience events recorded into the Pablo trace.  See
-``docs/TUTORIAL.md`` ("Injecting failures") for the walkthrough.
+transient request drops, burst-buffer drain failures) +
+:class:`FaultInjector` driving it against a live machine, with
+retry/failover installed into the file-system client and resilience
+events recorded into the Pablo trace.  See ``docs/TUTORIAL.md``
+("Injecting failures") for the walkthrough.
 """
 
 from .inject import FaultInjector, FaultRecorder
-from .plan import DiskFailure, FaultKind, FaultPlan, NodeOutage, RequestDrops
+from .plan import (
+    BufferFault,
+    DiskFailure,
+    FaultKind,
+    FaultPlan,
+    NodeOutage,
+    RequestDrops,
+)
 
 __all__ = [
+    "BufferFault",
     "DiskFailure",
     "FaultKind",
     "FaultInjector",

@@ -29,7 +29,14 @@ from ..pablo.events import Op
 from ..pfs.errors import TransientIOError
 from ..pfs.retry import install_retry
 from ..sim.core import Interrupt, Timeout
-from .plan import DiskFailure, FaultKind, FaultPlan, NodeOutage, RequestDrops
+from .plan import (
+    BufferFault,
+    DiskFailure,
+    FaultKind,
+    FaultPlan,
+    NodeOutage,
+    RequestDrops,
+)
 
 __all__ = ["FaultRecorder", "FaultInjector"]
 
@@ -110,6 +117,12 @@ class FaultInjector:
         plan.validate(len(self.machine.ionodes))
         if plan.empty:
             return self
+        if plan.buffer_faults and getattr(self.machine, "burstbuffer", None) is None:
+            raise ValueError(
+                "plan schedules burst-buffer faults but the machine has no "
+                "burst buffer (enable one via ParagonConfig.burst_buffer or "
+                "Experiment.burst_buffer)"
+            )
         if self.fs is not None:
             install_retry(self.fs, self)
         env = self.env
@@ -124,6 +137,10 @@ class FaultInjector:
         for i, drops in enumerate(plan.drops):
             self._procs.append(
                 env.process(self._drop_window(drops), name=f"fault.drops.{i}")
+            )
+        for i, bf in enumerate(plan.buffer_faults):
+            self._procs.append(
+                env.process(self._buffer_fault(bf), name=f"fault.bb.{i}")
             )
         return self
 
@@ -225,6 +242,27 @@ class FaultInjector:
         for i in targets:
             self.machine.ionodes[i].clear_drop()
             rec.fault(env.now, i, FaultKind.DROP_END)
+
+    def _buffer_fault(self, bf: BufferFault):
+        env = self.env
+        bb = self.machine.burstbuffer
+        rec = self.recorder
+        try:
+            yield Timeout(env, bf.time_s)
+        except Interrupt:
+            return
+        bb.drain_fail()
+        # Buffer faults are machine-wide; the drain node stands in for the
+        # node slot (the trace dtype has no signed sentinel).
+        rec.fault(env.now, bb.params.drain_node, FaultKind.BB_DRAIN_FAIL)
+        if bf.duration_s is None:
+            return
+        try:
+            yield Timeout(env, bf.duration_s)
+        except Interrupt:
+            return
+        bb.drain_resume()
+        rec.fault(env.now, bb.params.drain_node, FaultKind.BB_DRAIN_RESUME)
 
     # -- lifecycle -----------------------------------------------------------
     def _close_degraded(self, ionode: int) -> None:

@@ -33,6 +33,7 @@ __all__ = [
     "DiskFailure",
     "NodeOutage",
     "RequestDrops",
+    "BufferFault",
     "FaultPlan",
 ]
 
@@ -49,6 +50,8 @@ class FaultKind(enum.IntEnum):
     REBUILD_DONE = 7
     DROP_START = 8
     DROP_END = 9
+    BB_DRAIN_FAIL = 10
+    BB_DRAIN_RESUME = 11
 
     @property
     def label(self) -> str:
@@ -65,6 +68,8 @@ _KIND_LABELS = {
     FaultKind.REBUILD_DONE: "rebuild-done",
     FaultKind.DROP_START: "drop-start",
     FaultKind.DROP_END: "drop-end",
+    FaultKind.BB_DRAIN_FAIL: "bb-drain-fail",
+    FaultKind.BB_DRAIN_RESUME: "bb-drain-resume",
 }
 
 
@@ -167,23 +172,48 @@ class RequestDrops:
 
 
 @dataclass(frozen=True)
+class BufferFault:
+    """The burst-buffer drainer halts at ``time_s``.
+
+    While halted the log stops emptying: appends that fit still absorb,
+    anything else falls back to direct RAID writes.  A ``duration_s``
+    schedules the drainer's recovery; None means it stays down for the
+    rest of the run.  Plans with buffer faults require a machine that
+    actually has a burst buffer (the injector checks at start).
+    """
+
+    time_s: float
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be >= 0, got {self.time_s}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full fault schedule for one run (all fields optional)."""
 
     disk_failures: Sequence[DiskFailure] = ()
     outages: Sequence[NodeOutage] = ()
     drops: Sequence[RequestDrops] = ()
+    buffer_faults: Sequence[BufferFault] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "disk_failures", tuple(self.disk_failures))
         object.__setattr__(self, "outages", tuple(self.outages))
         object.__setattr__(self, "drops", tuple(self.drops))
+        object.__setattr__(self, "buffer_faults", tuple(self.buffer_faults))
 
     @property
     def empty(self) -> bool:
         """True when the plan injects nothing (the zero-cost fast path)."""
-        return not (self.disk_failures or self.outages or self.drops)
+        return not (
+            self.disk_failures or self.outages or self.drops or self.buffer_faults
+        )
 
     def validate(self, n_ionodes: int) -> None:
         """Check every targeted node exists on the machine."""
@@ -238,6 +268,19 @@ class FaultPlan:
                 for d in self.drops
             ],
             "retry": self.retry.to_dict(),
+            # Emitted only when present so the canonical JSON — and hence
+            # every pre-existing campaign run hash — of buffer-free plans
+            # is unchanged.
+            **(
+                {
+                    "buffer_faults": [
+                        {"time_s": bf.time_s, "duration_s": bf.duration_s}
+                        for bf in self.buffer_faults
+                    ]
+                }
+                if self.buffer_faults
+                else {}
+            ),
         }
 
     @classmethod
@@ -248,6 +291,9 @@ class FaultPlan:
             ),
             outages=tuple(NodeOutage(**o) for o in data.get("outages", ())),
             drops=tuple(RequestDrops(**d) for d in data.get("drops", ())),
+            buffer_faults=tuple(
+                BufferFault(**bf) for bf in data.get("buffer_faults", ())
+            ),
             retry=RetryPolicy.from_dict(data["retry"]) if "retry" in data
             else RetryPolicy(),
         )
@@ -307,6 +353,15 @@ class FaultPlan:
                 d.start_s,
                 f"t={d.start_s:g}s {where}: drop p={d.probability:g} "
                 f"until {until} (detect {d.detect_timeout_s:g}s)",
+            ))
+        for bf in self.buffer_faults:
+            back = (
+                "for the rest of the run" if bf.duration_s is None
+                else f"for {bf.duration_s:g}s"
+            )
+            lines.append((
+                bf.time_s,
+                f"t={bf.time_s:g}s burst buffer: drain halts {back}",
             ))
         lines.sort(key=lambda item: item[0])
         return "\n".join(text for _, text in lines)

@@ -1,9 +1,11 @@
 """Intel Paragon XP/S machine model.
 
 Disk/RAID-3 storage, I/O nodes, 2-D mesh interconnect, compute nodes,
-HiPPi frame buffer, and the assembled :class:`Paragon` machine.
+HiPPi frame buffer, the optional host-side burst-buffer log, and the
+assembled :class:`Paragon` machine.
 """
 
+from .burstbuffer import BurstBuffer, BurstBufferParams
 from .disk import Disk, DiskParams
 from .framebuffer import FrameBuffer, FrameBufferParams
 from .ionode import IONode, IONodeParams
@@ -13,6 +15,8 @@ from .paragon import CALTECH_CCSF, Paragon, ParagonConfig
 from .raid import Raid3Array, Raid3Params
 
 __all__ = [
+    "BurstBuffer",
+    "BurstBufferParams",
     "Disk",
     "DiskParams",
     "FrameBuffer",

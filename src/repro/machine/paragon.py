@@ -12,9 +12,11 @@ the partition size so small test machines are cheap to build.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..sim.core import Environment
 from ..sim.rng import RngRegistry
+from .burstbuffer import BurstBuffer, BurstBufferParams
 from .framebuffer import FrameBuffer, FrameBufferParams
 from .ionode import IONode, IONodeParams
 from .mesh import Mesh, MeshParams
@@ -37,6 +39,9 @@ class ParagonConfig:
     node: NodeParams = field(default_factory=NodeParams)
     ionode: IONodeParams = field(default_factory=IONodeParams)
     framebuffer: FrameBufferParams = field(default_factory=FrameBufferParams)
+    #: Optional host-side burst-buffer tier (None = tier absent; the
+    #: data path then costs one attribute check, keeping traces golden).
+    burst_buffer: Optional[BurstBufferParams] = None
     seed: int = 1995
 
     def __post_init__(self) -> None:
@@ -73,6 +78,11 @@ class Paragon:
             for i in range(self.config.io_nodes)
         ]
         self.framebuffer = FrameBuffer(self.env, self.config.framebuffer)
+        self.burstbuffer = (
+            BurstBuffer(self.env, self.config.burst_buffer)
+            if self.config.burst_buffer is not None
+            else None
+        )
 
     @property
     def now(self) -> float:

@@ -90,6 +90,10 @@ class InstrumentedPFS:
         """Administrative pre-creation (no event; see :meth:`PFS.ensure`)."""
         return self.fs.ensure(path, file_id=file_id, size=size)
 
+    def mark_burst_tier(self, path: str, enabled: bool = True):
+        """Tier hint passthrough (no event; see :meth:`PFS.mark_burst_tier`)."""
+        return self.fs.mark_burst_tier(path, enabled)
+
     def setiomode(self, node: int, fd: int, mode: AccessMode, **kwargs):
         """Mode change (Intel setiomode issues no I/O event in the traces)."""
         yield from self.fs.setiomode(node, fd, mode, **kwargs)

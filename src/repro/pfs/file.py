@@ -63,6 +63,10 @@ class PFSFile:
         self._global_arrived = 0
         self._global_event: Optional[Event] = None
         self._global_done: Optional[Event] = None
+        # Burst-tier routing: writes to marked files absorb into the
+        # machine's burst-buffer log when one is present (checkpoint
+        # traffic); plain files never consult the buffer.
+        self.burst_tier = False
         # Optional content (bytearray grown on write).
         self.track_content = track_content
         self._content = bytearray() if track_content else None

@@ -122,6 +122,11 @@ class PFS:
         #: Telemetry live counters (repro.telemetry); None = disabled, and
         #: every hook below then costs one attribute check per operation.
         self.telemetry = None
+        #: Burst-buffer tier, when the machine has one; None = absent, and
+        #: the data path then costs one attribute check per transfer.
+        self._bb = getattr(machine, "burstbuffer", None)
+        if self._bb is not None:
+            self._bb.bind(self)
         self._meta_server = Resource(self.env, capacity=1)
         self._copy_engine: dict[int, Resource] = {}
         self._files: dict[str, PFSFile] = {}
@@ -192,6 +197,20 @@ class PFS:
         )
         f.size = size
         self._files[path] = f
+        return f
+
+    def mark_burst_tier(self, path: str, enabled: bool = True) -> PFSFile:
+        """Route ``path``'s writes through the burst-buffer log.
+
+        A client-side placement hint (no simulated cost), analogous to
+        staging a file on the fast tier.  Harmless when the machine has
+        no burst buffer — the data path checks the tier flag only when a
+        buffer exists.
+        """
+        f = self._files.get(path)
+        if f is None:
+            raise FileNotFound(path)
+        f.burst_tier = enabled
         return f
 
     def setiomode(
@@ -431,10 +450,25 @@ class PFS:
         return done
 
     def _transfer(self, node: int, f: PFSFile, offset: int, nbytes: int, is_write: bool):
-        """Move ``nbytes`` between the client and the striped I/O nodes."""
+        """Move ``nbytes`` between the client and the striped I/O nodes.
+
+        Burst-tier files on a machine with a burst buffer divert: writes
+        absorb into the host-side log (the drainer destages them later),
+        reads first wait for the file's logged bytes to become durable.
+        """
         if nbytes <= 0:
             return 0
-        yield self._fanout(node, f, offset, nbytes, is_write)
+        bb = self._bb
+        if bb is not None and f.burst_tier:
+            if is_write:
+                yield from bb.absorb(node, f, offset, nbytes)
+            else:
+                barrier = bb.read_barrier(f.file_id)
+                if barrier is not None:
+                    yield barrier
+                yield self._fanout(node, f, offset, nbytes, False)
+        else:
+            yield self._fanout(node, f, offset, nbytes, is_write)
         # Client copy/packetization cost (the single-client throughput bound).
         yield self.env.timeout(nbytes * self.costs.client_byte_cost_s)
         return nbytes

@@ -167,7 +167,14 @@ class PPFS(PFS):
         return total
 
     def _plain(self, f) -> bool:
-        """True for modes the policy layer handles."""
+        """True for modes the policy layer handles.
+
+        Burst-tier files on a buffered machine also fall through to the
+        base paths: caching/write-behind in front of the burst-buffer log
+        would double-buffer checkpoint data the log already absorbs.
+        """
+        if f.burst_tier and self._bb is not None:
+            return False
         return not (f.sem.shared_pointer or f.sem.fixed_records or f.sem.collective)
 
     # -- read path ---------------------------------------------------------------

@@ -83,6 +83,7 @@ class Telemetry:
         self._machine = None
         self._fs = None
         self._ppfs = None
+        self._bb = None
         self._finalized = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -104,6 +105,8 @@ class Telemetry:
             self._fs = inner
             # Policy-layer sections only exist on PPFS.
             self._ppfs = inner if hasattr(inner, "_server_caches") else None
+            # Burst-buffer columns only exist on machines with the tier.
+            self._bb = getattr(machine, "burstbuffer", None)
             self.series = TimeSeries(self._columns())
             self.sampler = Sampler(machine.env, self.cadence_s, self._sample)
             self.meta.setdefault("cadence_s", self.cadence_s)
@@ -151,6 +154,15 @@ class Telemetry:
                 "writebehind.backlog_bytes",
                 "writebehind.inflight",
                 "prefetch.inflight",
+            ]
+        if self._bb is not None:
+            cols += [
+                "bb.occupancy_bytes",
+                "bb.absorbed_bytes",
+                "bb.drained_bytes",
+                "bb.stalls",
+                "bb.stall_s",
+                "bb.drain_lag_s",
             ]
         return cols
 
@@ -208,6 +220,16 @@ class Telemetry:
             else:
                 row += [0, 0]
             push(live.prefetch_inflight)
+        bb = self._bb
+        if bb is not None:
+            row += [
+                bb.occupancy_bytes,
+                bb.bytes_absorbed,
+                bb.bytes_drained,
+                bb.stalls,
+                bb.stall_s,
+                bb.oldest_age_s(),
+            ]
         self.series.append(row)
 
     # -- finalization ----------------------------------------------------------
@@ -279,6 +301,17 @@ class Telemetry:
                 if counts_fn is not None:
                     for kind, n in sorted(counts_fn().items()):
                         reg.counter("prefetch.streams", pattern=kind).value = n
+            bb = self._bb
+            if bb is not None:
+                reg.counter("bb.appends").value = bb.appends
+                reg.counter("bb.bytes_absorbed").value = bb.bytes_absorbed
+                reg.counter("bb.bytes_drained").value = bb.bytes_drained
+                reg.counter("bb.stalls").value = bb.stalls
+                reg.counter("bb.fallback_writes").value = bb.fallback_writes
+                reg.counter("bb.drain_failures").value = bb.drain_failures
+                reg.gauge("bb.stall_s").set(bb.stall_s)
+                reg.gauge("bb.max_occupancy_bytes").set(bb.max_occupancy_bytes)
+                reg.gauge("bb.drain_lag_s").set(bb.max_drain_lag_s)
             sampler = self.sampler
             if sampler is not None:
                 self.profiler.add(

@@ -1,0 +1,617 @@
+"""Checkpoint/restart workload family and the burst-buffer tier.
+
+Covers the two subsystems and their composition:
+
+* :class:`repro.machine.burstbuffer.BurstBuffer` unit behaviour —
+  bounded capacity with backpressure, async destage, write-through
+  bypass, read barriers, drain-failure degradation;
+* the :class:`repro.apps.checkpoint.Checkpoint` skeleton's op counts,
+  volumes and bit-reproducibility, buffered and direct;
+* the headline claim: a burst buffer makes the *application-visible*
+  checkpoint cost much cheaper than direct-to-RAID dumps;
+* restart-after-fault: a :class:`NodeOutage` surfacing into a dump
+  rolls every node back to the last complete checkpoint,
+  deterministically;
+* hash guards: buffer-off / checkpoint-off paths keep every golden
+  trace hash and every pre-existing ``RunSpec`` / ``FaultPlan``
+  canonical form byte-identical;
+* campaign metrics, analysis report and CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import CheckpointReport, ResilienceReport
+from repro.apps import Checkpoint, CheckpointConfig, CheckpointStats
+from repro.apps.workloads import small_checkpoint, small_machine
+from repro.campaign.metrics import run_metrics
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.core.registry import small_experiment
+from repro.faults import BufferFault, FaultPlan, NodeOutage
+from repro.machine import BurstBuffer, BurstBufferParams
+from repro.pfs.retry import RetryPolicy
+from repro.sim.core import Environment
+from repro.util.units import KB, MB
+
+_FIXTURE = os.path.join(os.path.dirname(__file__), "data", "golden_trace_hashes.json")
+
+with open(_FIXTURE) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+def _hashes(result) -> dict[str, str]:
+    return {n: t.content_hash() for n, t in sorted(result.traces.items())}
+
+
+# ---------------------------------------------------------------------------
+# Burst-buffer unit behaviour (no application, synthetic fan-out)
+# ---------------------------------------------------------------------------
+
+
+class _FakeFile:
+    def __init__(self, file_id=7):
+        self.file_id = file_id
+
+
+class _FakeFS:
+    """Stands in for PFS: every fan-out is a fixed-latency event."""
+
+    def __init__(self, env, latency_s=0.01):
+        self.env = env
+        self.latency_s = latency_s
+        self.calls: list[tuple[int, int, int]] = []
+
+    def _fanout(self, node, f, offset, nbytes, is_write):
+        self.calls.append((node, offset, nbytes))
+        return self.env.timeout(self.latency_s)
+
+
+def _drive(env, gen):
+    """Run one absorb() generator to completion inside a process."""
+
+    def proc():
+        yield from gen
+
+    return env.process(proc())
+
+
+class TestBurstBufferParams:
+    def test_defaults_valid(self):
+        p = BurstBufferParams()
+        assert p.capacity_bytes == 256 * MB
+        assert p.mode == "buffered"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_bytes": 0},
+            {"append_bandwidth_bps": 0},
+            {"append_latency_s": -1},
+            {"drain_chunk_bytes": 0},
+            {"drain_node": -1},
+            {"mode": "cached"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BurstBufferParams(**kwargs)
+
+
+class TestBurstBufferUnit:
+    def _make(self, env, **kwargs):
+        bb = BurstBuffer(env, BurstBufferParams(**kwargs))
+        fs = _FakeFS(env)
+        bb.bind(fs)
+        return bb, fs
+
+    def test_append_absorbs_and_drains(self):
+        env = Environment()
+        bb, fs = self._make(env, capacity_bytes=4 * MB, drain_chunk_bytes=MB)
+        _drive(env, bb.absorb(3, _FakeFile(), 0, 2 * MB))
+        env.run()
+        assert bb.appends == 1
+        assert bb.bytes_absorbed == 2 * MB
+        assert bb.bytes_drained == 2 * MB
+        assert bb.occupancy_bytes == 0
+        # Drainer issued 2 chunks from the configured drain node.
+        assert [c[0] for c in fs.calls] == [0, 0]
+        assert [c[2] for c in fs.calls] == [MB, MB]
+
+    def test_writethrough_bypasses_log(self):
+        env = Environment()
+        bb, fs = self._make(env, mode="writethrough")
+        _drive(env, bb.absorb(5, _FakeFile(), 0, MB))
+        env.run()
+        assert bb.appends == 0
+        assert bb.fallback_writes == 1
+        assert bb.fallback_bytes == MB
+        # The foreground node issued the write itself, no drainer.
+        assert fs.calls == [(5, 0, MB)]
+
+    def test_oversized_append_falls_back(self):
+        env = Environment()
+        bb, fs = self._make(env, capacity_bytes=MB)
+        _drive(env, bb.absorb(1, _FakeFile(), 0, 2 * MB))
+        env.run()
+        assert bb.appends == 0
+        assert bb.fallback_writes == 1
+
+    def test_backpressure_stalls_until_drained(self):
+        env = Environment()
+        bb, _ = self._make(env, capacity_bytes=MB, drain_chunk_bytes=MB)
+        f = _FakeFile()
+        _drive(env, bb.absorb(0, f, 0, MB))
+        _drive(env, bb.absorb(1, f, MB, MB))  # full: must wait for the drainer
+        env.run()
+        assert bb.appends == 2
+        assert bb.stalls == 1
+        assert bb.stall_s > 0
+        assert bb.bytes_drained == 2 * MB
+
+    def test_read_barrier_waits_for_durability(self):
+        env = Environment()
+        bb, _ = self._make(env, capacity_bytes=4 * MB)
+        f = _FakeFile(file_id=42)
+        _drive(env, bb.absorb(0, f, 0, MB))
+        seen = {}
+
+        def reader():
+            # After the append lands (~0.0027s) but before the 0.01s
+            # destage fan-out completes, the file has undrained bytes.
+            yield env.timeout(0.005)
+            barrier = bb.read_barrier(42)
+            assert barrier is not None
+            yield barrier
+            seen["at"] = env.now
+            assert bb.read_barrier(42) is None  # durable now
+
+        env.process(reader())
+        env.run()
+        assert seen["at"] == pytest.approx(bb.last_drain_s)
+
+    def test_drain_fail_halts_then_resume_drains(self):
+        env = Environment()
+        bb, _ = self._make(env, capacity_bytes=4 * MB)
+        f = _FakeFile()
+
+        def script():
+            bb.drain_fail()
+            yield from bb.absorb(0, f, 0, MB)  # fits: absorbs while halted
+            yield env.timeout(1.0)
+            assert bb.occupancy_bytes == MB  # nothing drained
+            bb.drain_resume()
+
+        env.process(script())
+        env.run()
+        assert bb.drain_failures == 1
+        assert bb.bytes_drained == MB
+        assert bb.occupancy_bytes == 0
+
+    def test_halted_full_log_falls_back_to_direct(self):
+        env = Environment()
+        bb, fs = self._make(env, capacity_bytes=MB)
+        f = _FakeFile()
+
+        def script():
+            bb.drain_fail()
+            yield from bb.absorb(0, f, 0, MB)  # fills the halted log
+            yield from bb.absorb(1, f, MB, MB)  # cannot fit: direct write
+            assert bb.fallback_writes == 1
+
+        env.process(script())
+        env.run()
+        assert (1, MB, MB) in fs.calls
+
+    def test_stats_dict_is_json_safe(self):
+        env = Environment()
+        bb, _ = self._make(env)
+        stats = bb.stats_dict()
+        json.dumps(stats)
+        assert stats["appends"] == 0
+        assert stats["drain_tail_s"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint workload
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointConfig:
+    def test_defaults_paper_scale(self):
+        cfg = CheckpointConfig()
+        assert cfg.nodes == 128
+        assert cfg.state_bytes == 4 * MB
+        assert cfg.expected_opens == 256
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"checkpoints": 0},
+            {"interval_s": 0},
+            {"state_bytes": 0},
+            {"state_growth": -0.1},
+            {"state_spread": 1.0},
+            {"chunk_bytes": 0},
+            {"compression_ratio": 0.0},
+            {"compression_ratio": 1.5},
+            {"compress_cost_s_per_mb": -1},
+            {"checkpoint_files": 0},
+            {"max_restarts": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            CheckpointConfig(**kwargs)
+
+    def test_growth_and_spread_sizing(self):
+        cfg = CheckpointConfig(
+            nodes=4, state_bytes=1000, state_growth=0.5, state_spread=0.25
+        )
+        assert cfg.raw_bytes(0, 0) == 750  # 1000 * (1 - 0.25)
+        assert cfg.raw_bytes(0, 3) == 1250  # 1000 * (1 + 0.25)
+        assert cfg.raw_bytes(2, 0) == 1500  # 1000 * 2 * 0.75
+        # Region covers the largest epoch-(n-1) node, chunk-rounded.
+        assert cfg.region_bytes % cfg.chunk_bytes == 0
+        assert cfg.region_bytes >= cfg.raw_bytes(cfg.checkpoints - 1, 3)
+
+    def test_compression_shrinks_wire_bytes(self):
+        cfg = CheckpointConfig(state_bytes=MB, compression_ratio=0.5)
+        assert cfg.wire_bytes(0, 0) == MB // 2
+
+
+class TestCheckpointRun:
+    def test_op_counts_and_volumes(self):
+        result = small_experiment("checkpoint").run()
+        cfg = result.app.config
+        trace = result.trace
+        ev = trace.events
+        from repro.pablo.events import Op
+
+        writes = ev[ev["op"] == int(Op.WRITE)]
+        opens = ev[ev["op"] == int(Op.OPEN)]
+        assert len(writes) == cfg.expected_writes
+        assert int(writes["nbytes"].sum()) == cfg.expected_checkpoint_bytes
+        assert len(opens) == cfg.expected_opens
+        stats = result.app.stats
+        assert stats.checkpoints_taken == cfg.checkpoints
+        assert stats.bytes_written == cfg.expected_checkpoint_bytes
+        assert stats.restarts == 0
+        assert len(stats.checkpoint_costs) == cfg.checkpoints
+
+    def test_run_twice_bit_identical(self):
+        a = small_experiment("checkpoint").run()
+        b = small_experiment("checkpoint").run()
+        assert _hashes(a) == _hashes(b)
+        assert a.app.stats.as_dict() == b.app.stats.as_dict()
+
+    def test_buffered_run_twice_bit_identical(self):
+        a = small_experiment("checkpoint", burst_buffer=True).run()
+        b = small_experiment("checkpoint", burst_buffer=True).run()
+        assert _hashes(a) == _hashes(b)
+        assert a.machine.burstbuffer.stats_dict() == b.machine.burstbuffer.stats_dict()
+
+    def test_buffered_checkpoints_cost_less_than_direct(self):
+        """The tentpole claim: the log hides destage from the application."""
+        direct = small_experiment("checkpoint").run()
+        buffered = small_experiment("checkpoint", burst_buffer=True).run()
+        d, b = direct.app.stats, buffered.app.stats
+        assert d.checkpoints_taken == b.checkpoints_taken
+        assert b.mean_cost_s < d.mean_cost_s / 2
+        bb = buffered.machine.burstbuffer
+        assert bb.bytes_absorbed == b.bytes_written
+        assert bb.bytes_drained == bb.bytes_absorbed  # env.run drains the tail
+        assert bb.fallback_writes == 0
+
+    def test_bounded_buffer_backpressures(self):
+        """A log smaller than one synchronized dump must stall writers."""
+        cfg = small_checkpoint()
+        total = sum(cfg.wire_bytes(0, n) for n in range(cfg.nodes))
+        result = small_experiment(
+            "checkpoint", burst_buffer=total // 4
+        ).run()
+        bb = result.machine.burstbuffer
+        assert bb.stalls > 0
+        assert bb.stall_s > 0
+        assert bb.max_occupancy_bytes <= total // 4
+
+    def test_compression_reduces_wire_volume(self):
+        base = small_checkpoint()
+        import dataclasses
+
+        cfg = dataclasses.replace(
+            base, compression_ratio=0.5, compress_cost_s_per_mb=0.01
+        )
+        result = small_experiment("checkpoint", config=cfg).run()
+        stats = result.app.stats
+        assert stats.bytes_written < stats.raw_bytes
+        assert stats.bytes_written == cfg.expected_checkpoint_bytes
+
+    def test_restart_mode_restores_before_computing(self):
+        """restart=True re-reads epoch-0 state from checkpoint file 0."""
+        import dataclasses
+
+        cfg = dataclasses.replace(small_checkpoint(), restart=True)
+        result = small_experiment("checkpoint", config=cfg).run()
+        stats = result.app.stats
+        expected = sum(cfg.wire_bytes(0, n) for n in range(cfg.nodes))
+        assert stats.restore_bytes == expected
+
+    def test_ppfs_routes_burst_tier_files(self):
+        result = small_experiment(
+            "checkpoint", filesystem="ppfs", burst_buffer=True
+        ).run()
+        bb = result.machine.burstbuffer
+        assert bb.bytes_absorbed == result.app.stats.bytes_written
+        assert result.app.stats.checkpoints_taken == result.app.config.checkpoints
+
+
+class TestRestartAfterFault:
+    """A NodeOutage surfacing into a dump rolls the partition back."""
+
+    # The small checkpoint's first dump runs ~2.8-4.9s; per-node regions
+    # are 4-stripe aligned so ionode 1 only sees chunks from ~3.0s on.
+    # A 2.9-3.9s outage therefore fails mid-dump writes, and the 2-attempt
+    # budget surfaces RetryBudgetExceeded into the application.
+    PLAN = FaultPlan(
+        outages=(NodeOutage(ionode=1, start_s=2.9, duration_s=1.0),),
+        retry=RetryPolicy(
+            max_attempts=2, base_backoff_s=0.001, max_backoff_s=0.002,
+            jitter_frac=0.0,
+        ),
+    )
+
+    def _run(self):
+        # Direct writes (no burst buffer): the outage must surface into
+        # the application's own write path for the rollback to trigger.
+        return small_experiment("checkpoint", faults=self.PLAN).run()
+
+    def test_rolls_back_to_last_complete_checkpoint(self):
+        result = self._run()
+        stats = result.app.stats
+        assert stats.restarts >= 1
+        assert stats.lost_work_s > 0
+        # Every configured checkpoint still completes after the retries.
+        assert stats.checkpoints_taken == result.app.config.checkpoints
+        report = ResilienceReport(result.trace)
+        assert report.fault_counts.get("node-crash") == 1
+        assert report.retry_count > 0
+
+    def test_deterministic_under_faults(self):
+        assert _hashes(self._run()) == _hashes(self._run())
+
+    def test_failure_before_first_checkpoint_restores_nothing(self):
+        result = self._run()
+        stats = result.app.stats
+        # The outage hits epoch 0: rollback is to initial conditions.
+        if stats.restarts and stats.checkpoints_taken == 0:
+            assert stats.restore_bytes == 0
+
+
+class TestBufferFaultInjection:
+    def test_drain_failure_degrades_to_direct_writes(self):
+        # 1 MB log vs 2 MB per synchronized dump: once the drainer halts
+        # the log fills and stays full, so later writes must fall back.
+        plan = FaultPlan(buffer_faults=(BufferFault(time_s=1.0),))
+        result = small_experiment(
+            "checkpoint", burst_buffer=MB, faults=plan
+        ).run()
+        bb = result.machine.burstbuffer
+        assert bb.drain_failures == 1
+        assert bb.halted
+        # The run still completes every checkpoint via fallback writes.
+        assert result.app.stats.checkpoints_taken == result.app.config.checkpoints
+        assert bb.fallback_writes > 0
+        report = ResilienceReport(result.trace)
+        assert report.fault_counts.get("bb-drain-fail") == 1
+
+    def test_drain_failure_with_recovery(self):
+        plan = FaultPlan(buffer_faults=(BufferFault(time_s=1.0, duration_s=2.0),))
+        result = small_experiment(
+            "checkpoint", burst_buffer=True, faults=plan
+        ).run()
+        bb = result.machine.burstbuffer
+        assert not bb.halted
+        assert bb.bytes_drained == bb.bytes_absorbed
+        report = ResilienceReport(result.trace)
+        assert report.fault_counts.get("bb-drain-resume") == 1
+
+    def test_buffer_fault_requires_a_buffer(self):
+        plan = FaultPlan(buffer_faults=(BufferFault(time_s=1.0),))
+        with pytest.raises(ValueError):
+            small_experiment("checkpoint", faults=plan).run()
+
+    def test_plan_round_trips_buffer_faults(self):
+        plan = FaultPlan(buffer_faults=(BufferFault(time_s=1.5, duration_s=0.5),))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.buffer_faults == plan.buffer_faults
+        assert "burst buffer" in plan.describe()
+
+
+# ---------------------------------------------------------------------------
+# Hash guards: everything off stays byte-identical
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenGuards:
+    @pytest.mark.parametrize("app", ("escat", "render", "htf"))
+    def test_burst_buffer_attached_but_unused_keeps_golden(self, app):
+        """No app file is burst-tier, so the tier must be invisible."""
+        result = small_experiment(app, burst_buffer=True).run()
+        assert _hashes(result) == GOLDEN[app]
+        assert result.machine.burstbuffer.appends == 0
+
+    def test_runspec_canonical_has_no_new_keys_when_off(self):
+        spec = RunSpec("escat")
+        assert "burst_buffer" not in spec.canonical()
+        on = RunSpec("escat", burst_buffer=MB)
+        assert on.canonical()["burst_buffer"] == MB
+        assert on.run_hash != spec.run_hash
+
+    def test_fault_plan_dict_has_no_buffer_key_when_empty(self):
+        assert "buffer_faults" not in FaultPlan().to_dict()
+        plan = FaultPlan(buffer_faults=(BufferFault(time_s=1.0),))
+        assert "buffer_faults" in plan.to_dict()
+
+    def test_runspec_burst_buffer_round_trip(self):
+        spec = RunSpec("checkpoint", burst_buffer=16 * MB)
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert "bb16M" in spec.label()
+
+    def test_runspec_rejects_bad_burst_buffer(self):
+        with pytest.raises(ValueError):
+            RunSpec("checkpoint", burst_buffer=-1)
+        with pytest.raises(ValueError):
+            RunSpec("checkpoint", burst_buffer=1.5)
+
+    def test_campaign_axis_expands(self):
+        spec = CampaignSpec(
+            apps=("checkpoint",), burst_buffers=(None, 16 * MB)
+        )
+        runs = spec.expand()
+        assert len(runs) == 2
+        assert sorted((r.burst_buffer for r in runs), key=str) == [16 * MB, None]
+
+
+# ---------------------------------------------------------------------------
+# Analysis + campaign metrics
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointReport:
+    def _stats(self):
+        return CheckpointStats(
+            checkpoints_taken=4,
+            bytes_written=4 * MB,
+            raw_bytes=8 * MB,
+            checkpoint_costs=[2.0, 2.0, 2.0, 2.0],
+        )
+
+    def test_headline_quantities(self):
+        report = CheckpointReport(self._stats(), interval_s=100.0)
+        assert report.checkpoint_cost_s == 2.0
+        assert report.overhead_fraction == pytest.approx(2.0 / 102.0)
+
+    def test_young_interval_and_sweep(self):
+        report = CheckpointReport(self._stats(), interval_s=100.0)
+        tau = report.young_interval(mtbf_s=10_000.0)
+        assert tau == pytest.approx((2 * 2.0 * 10_000.0) ** 0.5)
+        rows = report.optimal_interval_sweep(10_000.0, [tau / 2, tau, tau * 2])
+        overheads = [o for _, o in rows]
+        # The model's curve is minimized at Young's interval.
+        assert overheads[1] == min(overheads)
+
+    def test_accepts_dict_and_renders(self):
+        report = CheckpointReport(
+            self._stats().as_dict(),
+            interval_s=100.0,
+            burst_buffer={"bytes_absorbed": 123, "stall_s": 0.5},
+        )
+        text = report.render(mtbf_s=1000.0)
+        assert "Checkpoint report" in text
+        assert "Burst buffer" in text
+        assert "Young's optimal interval" in text
+        json.dumps(report.summary())
+
+    def test_rejects_bad_model_inputs(self):
+        report = CheckpointReport(self._stats(), interval_s=100.0)
+        with pytest.raises(ValueError):
+            report.young_interval(0)
+        with pytest.raises(ValueError):
+            report.model_overhead(0, 100.0)
+
+
+class TestCampaignMetrics:
+    def test_checkpoint_and_buffer_metrics_recorded(self):
+        result = small_experiment("checkpoint", burst_buffer=True).run()
+        metrics = run_metrics(result)
+        assert metrics["checkpoint"]["checkpoints_taken"] == 4
+        assert metrics["burst_buffer"]["bytes_absorbed"] > 0
+        json.dumps(metrics)
+        # Round trip: the persisted dict rebuilds the analysis report.
+        report = CheckpointReport(
+            metrics["checkpoint"],
+            interval_s=result.app.config.interval_s,
+            burst_buffer=metrics["burst_buffer"],
+        )
+        assert report.stats.checkpoints_taken == 4
+
+    def test_non_checkpoint_runs_carry_no_new_keys(self):
+        metrics = run_metrics(small_experiment("escat").run())
+        assert "checkpoint" not in metrics
+        assert "burst_buffer" not in metrics
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointCLI:
+    def test_run_with_burst_buffer_and_mtbf(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(
+            ["run", "checkpoint", "--burst-buffer", "16MB", "--mtbf", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Checkpoint report" in out
+        assert "Burst buffer" in out
+        assert "Young's optimal interval" in out
+
+    def test_run_rejects_bad_capacity(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["run", "checkpoint", "--burst-buffer", "lots"]) == 2
+
+    def test_campaign_sweep_and_status(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(
+            ["campaign", "run", "--apps", "checkpoint",
+             "--burst-buffers", "none,4MB", "--cache-dir", cache_dir,
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["campaign", "status", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "ckpt" in out  # checkpoint columns present
+        assert "stall" in out  # burst-buffer columns present
+
+    def test_size_parser(self):
+        from repro.cli import _parse_size
+
+        assert _parse_size("64MB") == 64 * MB
+        assert _parse_size("1GB") == 1024 * MB
+        assert _parse_size("512kb") == 512 * KB
+        assert _parse_size("4096") == 4096
+
+
+# ---------------------------------------------------------------------------
+# Telemetry integration
+# ---------------------------------------------------------------------------
+
+
+class TestBufferTelemetry:
+    def test_buffer_columns_and_counters(self):
+        result = small_experiment(
+            "checkpoint", burst_buffer=True, telemetry=0.5
+        ).run()
+        data = result.telemetry.as_dict()
+        series_cols = data["series"]["columns"]
+        assert "bb.occupancy_bytes" in series_cols
+        assert "bb.drain_lag_s" in series_cols
+        counters = {c["name"]: c["value"] for c in data["registry"]["counters"]}
+        assert counters["bb.bytes_absorbed"] > 0
+
+    def test_no_buffer_no_columns(self):
+        result = small_experiment("checkpoint", telemetry=0.5).run()
+        cols = result.telemetry.as_dict()["series"]["columns"]
+        assert not any(c.startswith("bb.") for c in cols)

@@ -57,8 +57,8 @@ class TestExperiment:
         assert result.fs.writeback is not None
         assert result.fs.writeback.writes_submitted > 0
 
-    def test_registry_lists_all_three(self):
-        assert set(APPLICATIONS) == {"escat", "render", "htf"}
+    def test_registry_lists_all_apps(self):
+        assert set(APPLICATIONS) == {"escat", "render", "htf", "checkpoint"}
 
     def test_registry_unknown_app(self):
         with pytest.raises(KeyError):
