@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench perf examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke clean all
+.PHONY: install test bench perf perf-diff scale-smoke examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
 
@@ -19,6 +19,25 @@ perf:
 	PYTHONPATH=src:. python benchmarks/bench_faults_overhead.py
 	PYTHONPATH=src:. python benchmarks/bench_telemetry_overhead.py
 	PYTHONPATH=src:. python benchmarks/bench_ckpt_burst.py --scale small
+
+# Production-preset (2048-node) smoke: full machine, trimmed ESCAT workload.
+scale-smoke:
+	PYTHONPATH=src:. python benchmarks/bench_production_scale.py --smoke
+
+# Batched-vs-scalar speedup annotation: rerun the kernel bench with
+# REPRO_NO_BATCH=1 as the baseline, diff against the batched artifacts.
+perf-diff:
+	rm -rf benchmarks/output/baseline-no-batch
+	mkdir -p benchmarks/output/baseline-no-batch
+	REPRO_NO_BATCH=1 PYTHONPATH=src:. python benchmarks/bench_kernel_micro.py --scale small
+	mv benchmarks/output/BENCH_kernel.json benchmarks/output/baseline-no-batch/
+	REPRO_NO_BATCH=1 PYTHONPATH=src:. python benchmarks/bench_ppfs_micro.py --scale small
+	mv benchmarks/output/BENCH_ppfs.json benchmarks/output/baseline-no-batch/
+	PYTHONPATH=src:. python benchmarks/bench_kernel_micro.py --scale small
+	PYTHONPATH=src:. python benchmarks/bench_ppfs_micro.py --scale small
+	PYTHONPATH=src:. python benchmarks/compare.py \
+		benchmarks/output/baseline-no-batch benchmarks/output \
+		--json benchmarks/output/BENCH_diff.json
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done

@@ -1,12 +1,41 @@
-"""Helpers shared by the benchmark files (printing + artifacts)."""
+"""Helpers shared by the benchmark files (timing, printing, artifacts)."""
 
 from __future__ import annotations
 
 import os
+import time
+from typing import Any, Callable, Optional
 
 from repro.util import atomic_write_json, atomic_write_text, sanitize_filename
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def best_of(
+    fn: Callable[..., Any],
+    repeats: int = 3,
+    setup: Optional[Callable[[], Any]] = None,
+) -> tuple[float, Any]:
+    """Best-of-N wall-clock timing: ``(best_seconds, last_result)``.
+
+    Calls ``fn`` ``repeats`` times, timing each call and keeping the
+    minimum (the standard noise-rejecting estimator for deterministic
+    workloads).  When ``setup`` is given it runs *untimed* before each
+    repeat and its return value is passed to ``fn`` — the usual shape for
+    timing ``Experiment.run()`` without charging construction.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        args = () if setup is None else (setup(),)
+        t0 = time.perf_counter()
+        result = fn(*args)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, result
 
 
 def emit(name: str, text: str) -> str:

@@ -21,12 +21,11 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
-import time
 
 from repro.core import paper_experiment, small_experiment
 from repro.sim.core import Environment
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import best_of, emit, emit_json
 
 APPS = ("escat", "render", "htf")
 
@@ -62,12 +61,8 @@ def immediate_churn(n_procs: int = 64, n_steps: int = 400) -> int:
 
 
 def _ops_per_second(fn) -> float:
-    ops = fn()  # warm-up
-    best = float("inf")
-    for _ in range(3):
-        t0 = time.perf_counter()
-        ops = fn()
-        best = min(best, time.perf_counter() - t0)
+    fn()  # warm-up
+    best, ops = best_of(fn, repeats=3)
     return ops / best
 
 
@@ -75,12 +70,7 @@ def _ops_per_second(fn) -> float:
 def app_wall_time(app: str, scale: str = "paper", repeats: int = 1) -> float:
     """Best-of-N `Experiment.run()` wall seconds."""
     build = paper_experiment if scale == "paper" else small_experiment
-    best = float("inf")
-    for _ in range(repeats):
-        exp = build(app)
-        t0 = time.perf_counter()
-        exp.run()
-        best = min(best, time.perf_counter() - t0)
+    best, _ = best_of(lambda exp: exp.run(), repeats, setup=lambda: build(app))
     return best
 
 

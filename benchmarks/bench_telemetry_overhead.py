@@ -40,7 +40,7 @@ import time
 from repro.core.registry import paper_experiment, small_experiment
 from repro.telemetry import DEFAULT_CADENCE_S, Histogram
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import best_of, emit, emit_json
 
 APPS = ("escat", "render", "htf")
 
@@ -51,15 +51,12 @@ CADENCES = (5.0, 1.0, 0.1)
 def wall_time(app: str, telemetry, repeats: int = 3, scale: str = "small"):
     """Best-of-N `Experiment.run()` wall seconds (+ sample count when on)."""
     build = paper_experiment if scale == "paper" else small_experiment
-    best = float("inf")
-    samples = 0
-    for _ in range(repeats):
-        exp = build(app, telemetry=telemetry)
-        t0 = time.perf_counter()
-        result = exp.run()
-        best = min(best, time.perf_counter() - t0)
-        if result.telemetry is not None:
-            samples = result.telemetry.sampler.samples
+    best, result = best_of(
+        lambda exp: exp.run(), repeats, setup=lambda: build(app, telemetry=telemetry)
+    )
+    samples = (
+        result.telemetry.sampler.samples if result.telemetry is not None else 0
+    )
     return best, samples
 
 

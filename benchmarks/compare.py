@@ -1,0 +1,144 @@
+"""Diff two ``BENCH_*.json`` artifact sets: per-metric speedup/regression.
+
+::
+
+    python benchmarks/compare.py OLD_DIR NEW_DIR [--json OUT.json]
+
+Loads every ``BENCH_*.json`` present in *both* directories, flattens the
+payloads to dotted numeric leaves, and prints one table per benchmark
+with the old value, new value, and speedup.  Direction is inferred from
+the metric name: seconds-like metrics (``*_s``, ``*wall*``, ``*cost*``)
+improve when they shrink (speedup = old/new); rate-like metrics
+(``*per_s*``) improve when they grow (speedup = new/old); anything else
+is reported as a ratio without judgement.
+
+The CI perf-smoke job uses this via ``make perf-diff`` to annotate its
+artifacts (e.g. batched vs ``REPRO_NO_BATCH=1`` kernel numbers); it is
+an annotation tool, so it always exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from typing import Any
+
+from repro.util import atomic_write_json
+
+#: Speedups outside [1/NOTEWORTHY, NOTEWORTHY] get a marker in the table.
+NOTEWORTHY = 1.10
+
+
+def load_set(directory: str) -> dict[str, dict]:
+    """``BENCH_*.json`` basename -> parsed payload."""
+    out: dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path) as fh:
+            out[os.path.basename(path)] = json.load(fh)
+    return out
+
+
+def flatten(payload: Any, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> numeric leaf (bools excluded; strings ignored)."""
+    flat: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            flat.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        flat[prefix[:-1]] = float(payload)
+    return flat
+
+
+def metric_kind(name: str) -> str:
+    """'time' (lower is better), 'rate' (higher is better), or 'plain'."""
+    leaf = name.lower()
+    if "per_s" in leaf or "ops_per" in leaf:
+        return "rate"
+    if leaf.endswith("_s") or "wall" in leaf or "cost" in leaf or "_s." in leaf:
+        return "time"
+    return "plain"
+
+
+def speedup(name: str, old: float, new: float) -> float | None:
+    """>1 = improvement for time/rate metrics; plain ratio otherwise."""
+    kind = metric_kind(name)
+    if kind == "time":
+        return old / new if new else None
+    if kind == "rate":
+        return new / old if old else None
+    return new / old if old else None
+
+
+def diff_sets(
+    old: dict[str, dict], new: dict[str, dict]
+) -> dict[str, list[dict]]:
+    """Per-benchmark list of metric rows, shared keys only."""
+    report: dict[str, list[dict]] = {}
+    for bench in sorted(set(old) & set(new)):
+        rows = []
+        flat_old, flat_new = flatten(old[bench]), flatten(new[bench])
+        for metric in sorted(set(flat_old) & set(flat_new)):
+            ratio = speedup(metric, flat_old[metric], flat_new[metric])
+            rows.append(
+                {
+                    "metric": metric,
+                    "old": flat_old[metric],
+                    "new": flat_new[metric],
+                    "kind": metric_kind(metric),
+                    "speedup": None if ratio is None else round(ratio, 4),
+                }
+            )
+        report[bench] = rows
+    return report
+
+
+def render(report: dict[str, list[dict]]) -> str:
+    if not report:
+        return "no BENCH_*.json files common to both sets"
+    lines: list[str] = []
+    for bench, rows in report.items():
+        lines.append(bench)
+        lines.append(f"  {'metric':<52} {'old':>12} {'new':>12} {'speedup':>9}")
+        lines.append("  " + "-" * 88)
+        for row in rows:
+            ratio = row["speedup"]
+            if ratio is None:
+                shown, mark = "n/a", ""
+            else:
+                shown = f"x{ratio:.3f}"
+                if row["kind"] == "plain":
+                    mark = ""
+                elif ratio >= NOTEWORTHY:
+                    mark = " +"
+                elif ratio <= 1 / NOTEWORTHY:
+                    mark = " REGRESSION"
+                else:
+                    mark = ""
+            lines.append(
+                f"  {row['metric']:<52} {row['old']:>12g} {row['new']:>12g} "
+                f"{shown:>9}{mark}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="directory holding the baseline BENCH_*.json set")
+    parser.add_argument("new", help="directory holding the candidate BENCH_*.json set")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable diff to PATH",
+    )
+    args = parser.parse_args(argv)
+    report = diff_sets(load_set(args.old), load_set(args.new))
+    print(render(report))
+    if args.json:
+        atomic_write_json(args.json, report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

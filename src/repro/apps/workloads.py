@@ -19,14 +19,19 @@ from .render import RenderConfig
 __all__ = [
     "paper_machine",
     "small_machine",
+    "production_machine",
     "paper_escat",
     "small_escat",
+    "production_escat",
     "paper_render",
     "small_render",
+    "production_render",
     "paper_htf",
     "small_htf",
+    "production_htf",
     "paper_checkpoint",
     "small_checkpoint",
+    "production_checkpoint",
 ]
 
 
@@ -56,6 +61,24 @@ def small_machine(nodes: int = 8, io_nodes: int = 4, seed: int = 7) -> Paragon:
     )
 
 
+def production_machine(seed: int = 1995) -> Paragon:
+    """The ROADMAP north-star scale: 2048 compute nodes + 64 I/O nodes.
+
+    One order of magnitude past the paper's partition — the size the
+    batched execution layer exists for.  The mesh is the machine-family
+    64x32 grid; the I/O-node count keeps the paper's 32:1
+    compute-to-I/O-node ratio.
+    """
+    return Paragon(
+        ParagonConfig(
+            compute_nodes=2048,
+            io_nodes=64,
+            mesh=MeshParams(width=64, height=32),
+            seed=seed,
+        )
+    )
+
+
 def paper_escat() -> EscatConfig:
     """The Table 1-2 run: 128 nodes, 52 cycles, 2 KB quadrature records."""
     return EscatConfig()
@@ -77,6 +100,15 @@ def small_escat(nodes: int = 8) -> EscatConfig:
     )
 
 
+def production_escat(nodes: int = 2048) -> EscatConfig:
+    """ESCAT scaled to the production partition.
+
+    Per-node structure (52 cycles, 2 KB quadrature records) is the
+    paper's; only the partition grows.
+    """
+    return EscatConfig(nodes=nodes)
+
+
 def paper_render() -> RenderConfig:
     """The Table 3-4 run: 100 frames of the Mars flyby dataset."""
     return RenderConfig()
@@ -95,6 +127,11 @@ def small_render(renderers: int = 7, frames: int = 5) -> RenderConfig:
     )
 
 
+def production_render(renderers: int = 2047, frames: int = 100) -> RenderConfig:
+    """RENDER scaled to the production partition (one control node)."""
+    return RenderConfig(renderers=renderers, frames=frames)
+
+
 def paper_checkpoint() -> CheckpointConfig:
     """Paper-scale checkpointing: 128 nodes dump 512 MB every 5 minutes."""
     return CheckpointConfig()
@@ -111,9 +148,32 @@ def small_checkpoint(nodes: int = 8) -> CheckpointConfig:
     )
 
 
+def production_checkpoint(nodes: int = 2048) -> CheckpointConfig:
+    """Checkpoint/restart at production scale.
+
+    16 MB of state per node in 1 MB chunks: 32 GB per epoch across the
+    partition, the regime where the burst-buffer/write-behind tiers and
+    the batched flush path carry the load.
+    """
+    return CheckpointConfig(
+        nodes=nodes,
+        state_bytes=16 * 1024 * KB,
+        chunk_bytes=1024 * KB,
+    )
+
+
 def paper_htf() -> HTFConfig:
     """The Table 5-6 run: 16 atoms, 128 nodes, 6 SCF passes."""
     return HTFConfig()
+
+
+def production_htf(nodes: int = 2048) -> HTFConfig:
+    """HTF scaled to the production partition.
+
+    The record-holder split keeps the paper's proportions (roughly two
+    thirds of the partition holds an extra integral record).
+    """
+    return HTFConfig(nodes=nodes, extra_record_nodes=(nodes * 84) // 128)
 
 
 def small_htf(nodes: int = 8) -> HTFConfig:

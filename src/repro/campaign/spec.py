@@ -19,9 +19,14 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Iterable, Optional, Sequence
 
-from ..apps.workloads import paper_machine, small_machine
+from ..apps.workloads import paper_machine, production_machine, small_machine
 from ..core.experiment import Experiment
-from ..core.registry import APPLICATIONS, paper_experiment, small_experiment
+from ..core.registry import (
+    APPLICATIONS,
+    paper_experiment,
+    production_experiment,
+    small_experiment,
+)
 from ..faults.plan import FaultPlan
 from ..ppfs.policies import PPFSPolicies
 
@@ -31,7 +36,7 @@ __all__ = ["RunSpec", "CampaignSpec", "SPEC_VERSION"]
 #: so stale cache entries from an older scheme are never reused.
 SPEC_VERSION = 1
 
-_SCALES = ("paper", "small")
+_SCALES = ("paper", "small", "production")
 _FILESYSTEMS = ("pfs", "ppfs")
 #: Override values must survive a JSON round trip unchanged.
 _OVERRIDE_TYPES = (bool, int, float, str)
@@ -63,8 +68,8 @@ class RunSpec:
     app:
         'escat', 'render' or 'htf'.
     scale:
-        'paper' (the Tables 1-6 runs) or 'small' (structure-preserving
-        miniatures).
+        'paper' (the Tables 1-6 runs), 'small' (structure-preserving
+        miniatures) or 'production' (the 2048-node partition).
     fs:
         'pfs' or 'ppfs'.
     policy:
@@ -221,14 +226,18 @@ class RunSpec:
     # -- materialization ---------------------------------------------------
     def build_experiment(self) -> Experiment:
         """Assemble the :class:`Experiment` this spec describes."""
-        build = paper_experiment if self.scale == "paper" else small_experiment
+        builders = {
+            "paper": (paper_experiment, 0, paper_machine),
+            "small": (small_experiment, 1, small_machine),
+            "production": (production_experiment, 2, production_machine),
+        }
+        build, config_index, machine = builders[self.scale]
         kwargs: dict[str, Any] = {}
         if self.overrides:
-            base = APPLICATIONS[self.app][0 if self.scale == "paper" else 1]()
+            base = APPLICATIONS[self.app][config_index]()
             kwargs["config"] = dataclasses.replace(base, **dict(self.overrides))
         if self.seed is not None:
-            factory = paper_machine if self.scale == "paper" else small_machine
-            kwargs["machine_factory"] = partial(factory, seed=self.seed)
+            kwargs["machine_factory"] = partial(machine, seed=self.seed)
         if self.fs == "ppfs":
             kwargs["filesystem"] = "ppfs"
             kwargs["policies"] = (

@@ -36,7 +36,12 @@ from .campaign.cache import ResultCache
 from .campaign.runner import CampaignRunner, code_version
 from .campaign.spec import CampaignSpec
 from .core.compare import CrossAppComparison
-from .core.registry import APPLICATIONS, paper_experiment, small_experiment
+from .core.registry import (
+    APPLICATIONS,
+    paper_experiment,
+    production_experiment,
+    small_experiment,
+)
 from .core.replay import replay_trace
 from .faults.plan import DiskFailure, FaultPlan, NodeOutage, RequestDrops
 from .pablo.trace import Trace
@@ -104,7 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run an application and characterize it")
     run.add_argument("app", choices=sorted(APPLICATIONS))
-    run.add_argument("--scale", choices=["paper", "small"], default="small")
+    run.add_argument(
+        "--scale", choices=["paper", "small", "production"], default="small"
+    )
     run.add_argument("--fs", choices=["pfs", "ppfs"], default="pfs")
     run.add_argument("--policies", choices=PPFSPolicies.presets(), default=None)
     run.add_argument("--save-dir", default=None, metavar="DIR",
@@ -235,7 +242,11 @@ def _load_fault_plan(text: str) -> FaultPlan:
 
 
 def _cmd_run(args) -> int:
-    build = paper_experiment if args.scale == "paper" else small_experiment
+    build = {
+        "paper": paper_experiment,
+        "small": small_experiment,
+        "production": production_experiment,
+    }[args.scale]
     kwargs = {}
     if args.fs == "ppfs":
         kwargs["filesystem"] = "ppfs"

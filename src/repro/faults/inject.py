@@ -123,6 +123,11 @@ class FaultInjector:
                 "burst buffer (enable one via ParagonConfig.burst_buffer or "
                 "Experiment.burst_buffer)"
             )
+        # Faulted runs use the scalar queue throughout: eager service
+        # precomputation cannot see rate changes (degraded arrays, slow
+        # disks) that land between a request's arrival and its service.
+        for ion in self.machine.ionodes:
+            ion._disable_eager()
         if self.fs is not None:
             install_retry(self.fs, self)
         env = self.env

@@ -29,11 +29,16 @@ submission and nothing else.
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Optional
 
+import numpy as np
+
 from ..pfs.errors import DegradedService, IONodeUnavailable, IOTimeout
+from ..pfs.fanout import countdown
 from ..sim.core import Environment, Event, Timeout
 from ..util.validation import check_nonneg
 from .raid import Raid3Array, Raid3Params
@@ -86,6 +91,21 @@ class IONode:
         self._pending: list[_Pending] = []
         self._busy = False
         self._order = 0
+        # -- eager (batched) FIFO service -----------------------------------
+        # Under FIFO the service order equals the arrival order, so the
+        # whole busy-period chain is determined at submission: service
+        # times can be computed immediately (the head-position recurrence
+        # only depends on prior arrivals) and each completion armed at its
+        # absolute end time.  That collapses the scalar path's three
+        # kernel events per request (dispatch deferral, service timeout,
+        # completion trigger) to two and skips the queue bookkeeping.
+        # Checked per-construction so tests can flip the env var and
+        # rebuild; any fault transition permanently falls back to the
+        # scalar queue (fault plans change service rates between arrival
+        # and service, which eager precomputation cannot see).
+        self._eager = self._fifo and not os.environ.get("REPRO_NO_BATCH")
+        self._free_at = 0.0  # absolute end time of the last armed service
+        self._eager_open: deque[Event] = deque()  # done events, FIFO order
         self.busy_time = 0.0
         self.requests_served = 0
         self.bytes_served = 0
@@ -107,7 +127,15 @@ class IONode:
     @property
     def queue_length(self) -> int:
         """Requests waiting (not in service)."""
+        n_open = len(self._eager_open)
+        if n_open:
+            return n_open - 1 + len(self._pending)
         return len(self._pending)
+
+    @property
+    def busy(self) -> bool:
+        """A request is in service (scalar dispatcher or eager chain)."""
+        return self._busy or bool(self._eager_open)
 
     @property
     def up(self) -> bool:
@@ -128,6 +156,8 @@ class IONode:
         :class:`~repro.pfs.errors.TransientIOError` subclass; callers on
         the retry path check ``event.ok`` in their completion callbacks.
         """
+        if self._eager:
+            return self._eager_submit(offset, nbytes, is_write, extra_s, False)
         # Inlined _submit: this is the per-chunk hot path (millions of
         # calls per paper-scale run), so it pays to skip one frame.
         req = _Pending(offset, nbytes, is_write, extra_s, Event(self.env))
@@ -158,6 +188,8 @@ class IONode:
         callbacks instead of wrapping a generator in a Process — the PPFS
         server-cache hit path issues through here.
         """
+        if self._eager:
+            return self._eager_submit(0, 0, False, service_s, True)
         return self._submit(
             _Pending(0, 0, False, service_s, Event(self.env), control=True)
         )
@@ -181,6 +213,130 @@ class IONode:
             # busy-period loop itself runs on timeout callbacks.
             self.env.defer(self._serve_next)
         return req.done
+
+    # -- eager (batched) FIFO service --------------------------------------------
+    def _eager_submit(
+        self, offset: int, nbytes: int, is_write: bool, extra_s: float, control: bool
+    ) -> Event:
+        """Fast-path submit: compute the service now, arm the completion
+        at its absolute end time.
+
+        Bit-exactness with the scalar dispatcher hinges on two details:
+        the service expression keeps the scalar grouping, and the
+        completion is scheduled via :meth:`Environment.schedule_at` at the
+        *stored* end time rather than a relative timeout (``now + (end -
+        now)`` need not round back to ``end``).
+        """
+        env = self.env
+        if control:
+            service = extra_s
+        else:
+            service = (
+                self.params.request_overhead_s
+                + extra_s
+                + self.array.service_time(offset, nbytes, is_write)
+            )
+            self.requests_served += 1
+            self.bytes_served += nbytes
+            observe = self._telem
+            if observe is not None:
+                observe(nbytes)
+        self.busy_time += service
+        open_ = self._eager_open
+        end = (self._free_at if open_ else env.now) + service
+        self._free_at = end
+        done = Event(env)
+        open_.append(done)
+        env.schedule_at(end).callbacks.append(partial(self._eager_done, done, service))
+        return done
+
+    def submit_batch(
+        self, offsets, sizes, is_write: bool, extra_s: float = 0.0
+    ) -> Event:
+        """Queue a same-instant FIFO cohort of data requests in one pass;
+        the returned event fires when the *last* of them completes, with
+        the cohort's total in-service time as value.
+
+        The vectorized array model prices the whole cohort in one NumPy
+        sweep (element-for-element bit-identical to the scalar chain), a
+        single left-fold recovers the scalar end-time floats, and one
+        kernel event replaces the cohort's ~3n.  Callers must only use
+        this where per-chunk completion *times* are not observed
+        individually — the write-behind flusher's burst is the canonical
+        site.  ``extra_s`` is a scalar or a per-request sequence.  Falls
+        back to per-request submits folded through
+        :func:`~repro.pfs.fanout.countdown` whenever the eager path is
+        off (SSTF, faults, ``REPRO_NO_BATCH``).
+        """
+        n = len(offsets)
+        env = self.env
+        if n == 0:
+            ev = Event(env)
+            ev.succeed(0.0)
+            return ev
+        if not self._eager:
+            done, chunk_done = countdown(env, n)
+            extras = (
+                [extra_s] * n
+                if isinstance(extra_s, (int, float))
+                else [float(x) for x in extra_s]
+            )
+            for off, nb, ex in zip(offsets, sizes, extras):
+                self.submit(int(off), int(nb), is_write, ex).callbacks.append(
+                    chunk_done
+                )
+            return done
+        offsets = np.asarray(offsets, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        services = (
+            self.params.request_overhead_s + np.asarray(extra_s, dtype=np.float64)
+        ) + self.array.service_batch(offsets, sizes, is_write)
+        self.requests_served += n
+        self.bytes_served += int(sizes.sum())
+        observe = self._telem
+        if observe is not None:
+            for nb in sizes.tolist():
+                observe(nb)
+        open_ = self._eager_open
+        # Sequential fold, not cumsum: float addition grouping must match
+        # the scalar one-at-a-time chain exactly.
+        end = self._free_at if open_ else env.now
+        busy = self.busy_time
+        for s in services.tolist():
+            busy += s
+            end += s
+        self.busy_time = busy
+        self._free_at = end
+        done = Event(env)
+        open_.append(done)
+        env.schedule_at(end).callbacks.append(
+            partial(self._eager_done, done, float(services.sum()))
+        )
+        return done
+
+    def _eager_done(self, done: Event, service: float, _event: Event) -> None:
+        open_ = self._eager_open
+        if not open_ or open_[0] is not done:
+            return  # stale: the node crashed and this request already failed
+        open_.popleft()
+        done.succeed(service)
+        if not open_ and not self._eager and self._busy:
+            # Eager was disabled mid-flight; the scalar dispatcher takes
+            # over now that the armed chain has drained.
+            self._serve_next()
+
+    def _disable_eager(self) -> None:
+        """Permanently fall back to the scalar queue (fault transitions).
+
+        Armed completions stay armed — their times are already exact —
+        and requests arriving meanwhile queue behind them exactly as they
+        would behind a scalar busy period.
+        """
+        if not self._eager:
+            return
+        self._eager = False
+        if self._eager_open:
+            self._busy = True
 
     # -- fault interception ----------------------------------------------------
     def _intercept(self, req: _Pending) -> bool:
@@ -236,10 +392,12 @@ class IONode:
         if not self._up:
             return
         self._up = False
+        self._eager = False
         self._faulty = True
         self._down_since = self.env.now
         inflight, self._inflight = self._inflight, None
         pending, self._pending = self._pending, []
+        open_, self._eager_open = self._eager_open, deque()
         self._busy = False
         exc_text = f"I/O node {self.index} crashed"
         if inflight is not None:
@@ -248,6 +406,9 @@ class IONode:
         for req in pending:
             self.failed_requests += 1
             req.done.fail(IONodeUnavailable(exc_text))
+        for done in open_:
+            self.failed_requests += 1
+            done.fail(IONodeUnavailable(exc_text))
 
     def restart(self) -> None:
         """Bring a crashed node back up (empty queue, caches cold)."""
@@ -281,6 +442,7 @@ class IONode:
 
     def begin_reconfig(self, duration_s: float) -> None:
         """Reject data requests for ``duration_s`` (post-disk-loss window)."""
+        self._disable_eager()
         self._reject_until = self.env.now + duration_s
         self._faulty = True
 
@@ -293,6 +455,7 @@ class IONode:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         check_nonneg(detect_timeout_s, "detect_timeout_s")
+        self._disable_eager()
         self._drop = (probability, rng, detect_timeout_s)
         self._faulty = True
 

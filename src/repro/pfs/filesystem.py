@@ -39,6 +39,7 @@ from .errors import (
     ModeError,
     PFSError,
 )
+from .fanout import countdown
 from .file import PFSFile
 from .modes import AccessMode
 from .striping import StripeLayout
@@ -396,55 +397,31 @@ class PFS:
         """Start the striped per-I/O-node chunk transfers of one request;
         the returned event fires when the last chunk completes.
 
-        A shared completion counter replaces the old per-chunk
-        closure-generator + Process + AllOf fan-out (which cost two events
-        and a process per 64 KB chunk): each chunk is a mesh-delay
-        :class:`Timeout` whose callback submits the chunk to its I/O node
-        and chains the shared countdown onto the service-done event.  All
-        hops in both formulations are zero-delay, so completion times are
-        unchanged.
+        A shared :func:`~repro.pfs.fanout.countdown` replaces the old
+        per-chunk closure-generator + Process + AllOf fan-out (which cost
+        two events and a process per 64 KB chunk): each chunk is a
+        mesh-delay :class:`Timeout` whose callback submits the chunk to
+        its I/O node and chains the countdown onto the service-done
+        event.  All hops in both formulations are zero-delay, so
+        completion times are unchanged.
         """
         env = self.env
         mesh = self.machine.mesh
         ionodes = self.machine.ionodes
+        io_pos = self._io_mesh_pos
         chunks = f.layout.decompose(offset, nbytes)
-        done = Event(env)
-        if len(chunks) == 1:
-            # Single-chunk requests dominate block-sized reads; skip the
-            # countdown machinery (same scheduled events, fewer closures).
-            chunk = chunks[0]
-            ion = ionodes[chunk.ionode]
-            extra = self._chunk_extra(chunk.nbytes, is_write)
-
-            def _arrived_one(_ev):
-                ion.submit(
-                    chunk.disk_offset, chunk.nbytes, is_write, extra
-                ).callbacks.append(lambda _e: done.succeed())
-
-            Timeout(
-                env,
-                mesh.message_time(
-                    node, self._io_mesh_pos[chunk.ionode], chunk.nbytes
-                ),
-            ).callbacks.append(_arrived_one)
-            return done
-        remaining = [len(chunks)]
-
-        def _chunk_done(_ev):
-            remaining[0] -= 1
-            if not remaining[0]:
-                done.succeed()
-
+        done, chunk_done = countdown(env, len(chunks))
         for chunk in chunks:
             ion = ionodes[chunk.ionode]
-            io_pos = self._io_mesh_node(chunk.ionode)
             extra = self._chunk_extra(chunk.nbytes, is_write)
-            msg = Timeout(env, mesh.message_time(node, io_pos, chunk.nbytes))
+            msg = Timeout(
+                env, mesh.message_time(node, io_pos[chunk.ionode], chunk.nbytes)
+            )
 
             def _arrived(_ev, ion=ion, chunk=chunk, extra=extra):
                 ion.submit(
                     chunk.disk_offset, chunk.nbytes, is_write, extra
-                ).callbacks.append(_chunk_done)
+                ).callbacks.append(chunk_done)
 
             msg.callbacks.append(_arrived)
         return done

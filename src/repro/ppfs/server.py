@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..machine.paragon import Paragon
 from ..pfs.costs import CostModel
+from ..pfs.fanout import countdown
 from ..pfs.filesystem import PFS, SEEK_CUR, SEEK_END, SEEK_SET
 from ..pfs.errors import PFSError
 from ..sim.core import Event, Timeout
@@ -110,14 +111,7 @@ class PPFS(PFS):
         hit_s = self.policies.server_cache_hit_s
         file_id = f.file_id
         chunks = f.layout.decompose(offset, nbytes)
-        done = Event(env)
-        remaining = [len(chunks)]
-
-        def _chunk_done(_ev):
-            remaining[0] -= 1
-            if not remaining[0]:
-                done.succeed()
-
+        done, _chunk_done = countdown(env, len(chunks))
         for chunk in chunks:
             ion = self.machine.ionodes[chunk.ionode]
             io_pos = self._io_mesh_node(chunk.ionode)

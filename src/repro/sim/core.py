@@ -419,6 +419,29 @@ class Environment:
         self._seq += 1
         return ev
 
+    def schedule_at(self, when: float, value: Any = None) -> Event:
+        """A triggered event firing at *absolute* simulated time ``when``.
+
+        The batched service path arms completions at precomputed absolute
+        times; scheduling the stored float directly (instead of a
+        ``Timeout`` of ``when - now``) keeps completion timestamps
+        bit-identical to the chained scalar path, where ``a + (b - a)``
+        need not round back to ``b``.  ``when`` at or before the current
+        time lands on the immediate deque (fires after already-queued
+        same-time work, like any fresh trigger).
+        """
+        if when < self.now:
+            raise SimulationError(f"schedule_at({when}) is in the past (now={self.now})")
+        ev = Event(self)
+        ev._value = value
+        ev._state = _TRIGGERED
+        if when > self.now:
+            heapq.heappush(self._queue, (when, self._seq, ev))
+        else:
+            self._immediate.append((self._seq, self.now, ev))
+        self._seq += 1
+        return ev
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """An event firing when any of ``events`` has fired."""
         return AnyOf(self, events)
@@ -500,13 +523,13 @@ class Environment:
         imm = self._immediate
         queue = self._queue
         unhandled = self._unhandled
-        step = self.step
         if self.background:
             # The *net* number of armed background events must stay
             # constant while run() drains (a background callback may
             # re-arm itself; it must not arm extras or stop re-arming
             # mid-run), so the count can be read once outside the loop.
             background = self.background
+            step = self.step
             while imm or len(queue) > background:
                 # Immediate entries fire at <= now <= until, so the stop
                 # check only matters when the heap is next.
@@ -519,17 +542,75 @@ class Environment:
                     unhandled.clear()
                     raise exc
         else:
-            # No background events: the per-iteration len()/attribute
-            # compare above costs ~2% of paper-scale wall time, so the
-            # overwhelmingly common case keeps the plain truthiness loop.
+            # No background events: the dominant case runs a fully
+            # inlined dispatch loop — step()'s body, minus the call, plus
+            # a same-time cohort drain on the heap branch.  Once a heap
+            # event at time T fires, every further heap entry at exactly
+            # T necessarily predates (has a smaller seq than) anything
+            # the cohort's callbacks put on the immediate deque, so the
+            # whole cohort can be popped in one run without re-comparing
+            # against the deque head between events.  Firing order is
+            # still exactly the global (time, seq) order.
+            pop = heapq.heappop
+            popleft = imm.popleft
             while imm or queue:
-                if not imm and until is not None and queue[0][0] > until:
+                if imm:
+                    head = imm[0]
+                    if queue:
+                        top = queue[0]
+                        # Pop the heap only when it is strictly earlier
+                        # in the total (time, seq) order than the head.
+                        if top[0] < head[1] or (
+                            top[0] == head[1] and top[1] < head[0]
+                        ):
+                            when, _, event = pop(queue)
+                            self.now = when
+                            event._state = _PROCESSED
+                            callbacks, event.callbacks = event.callbacks, []
+                            for cb in callbacks:
+                                cb(event)
+                            if unhandled:
+                                exc = unhandled[0]
+                                unhandled.clear()
+                                raise exc
+                            continue
+                    popleft()
+                    self.now = head[1]
+                    if len(head) == 3:
+                        event = head[2]
+                        event._state = _PROCESSED
+                        callbacks, event.callbacks = event.callbacks, []
+                        for cb in callbacks:
+                            cb(event)
+                    else:
+                        # Direct process resume: no Event was allocated.
+                        head[3]._step(head[4], head[5])
+                    if unhandled:
+                        exc = unhandled[0]
+                        unhandled.clear()
+                        raise exc
+                    continue
+                when = queue[0][0]
+                if until is not None and when > until:
                     self.now = until
                     return
-                step()
-                if unhandled:
-                    exc = unhandled[0]
-                    unhandled.clear()
-                    raise exc
+                self.now = when
+                # Same-time cohort: drain every heap event at exactly
+                # `when`.  New immediate entries and new heap pushes from
+                # the callbacks always sort after the remaining cohort
+                # members (larger seq / strictly later time), so no
+                # per-event deque comparison is needed.
+                while True:
+                    event = pop(queue)[2]
+                    event._state = _PROCESSED
+                    callbacks, event.callbacks = event.callbacks, []
+                    for cb in callbacks:
+                        cb(event)
+                    if unhandled:
+                        exc = unhandled[0]
+                        unhandled.clear()
+                        raise exc
+                    if imm or not queue or queue[0][0] != when:
+                        break
         if until is not None and until > self.now:
             self.now = until

@@ -177,8 +177,8 @@ class Telemetry:
             array = ionode.array
             disk_requests += ionode.requests_served
             disk_seek_bytes += array._arm.seek_bytes
-            push(len(ionode._pending))
-            push(1.0 if ionode._busy else 0.0)
+            push(ionode.queue_length)
+            push(1.0 if ionode.busy else 0.0)
             push(ionode.busy_time)
             push(ionode.bytes_served)
             push(state_codes[array.state])
