@@ -1,8 +1,11 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench perf perf-diff scale-smoke examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke clean all
+.PHONY: install test bench perf perf-diff scale-smoke examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke fluid-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
+# perf-diff gate: fail when a metric is more than this factor slower than
+# the baseline (1.50 tolerates shared-runner noise; tighten locally).
+PERF_DIFF_THRESHOLD ?= 1.50
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +22,7 @@ perf:
 	PYTHONPATH=src:. python benchmarks/bench_faults_overhead.py
 	PYTHONPATH=src:. python benchmarks/bench_telemetry_overhead.py
 	PYTHONPATH=src:. python benchmarks/bench_ckpt_burst.py --scale small
+	PYTHONPATH=src:. python benchmarks/bench_fluid.py --scale small
 
 # Production-preset (2048-node) smoke: full machine, trimmed ESCAT workload.
 scale-smoke:
@@ -37,7 +41,8 @@ perf-diff:
 	PYTHONPATH=src:. python benchmarks/bench_ppfs_micro.py --scale small
 	PYTHONPATH=src:. python benchmarks/compare.py \
 		benchmarks/output/baseline-no-batch benchmarks/output \
-		--json benchmarks/output/BENCH_diff.json
+		--json benchmarks/output/BENCH_diff.json \
+		--fail-threshold $(PERF_DIFF_THRESHOLD)
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
@@ -82,6 +87,13 @@ ckpt-smoke:
 		--cache-dir $(CAMPAIGN_CACHE) --quiet
 	PYTHONPATH=src python -m repro campaign status --cache-dir $(CAMPAIGN_CACHE)
 	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
+
+# Fluid-fidelity smoke: one CLI run under --fidelity fluid, then the
+# fluid bench (small scale), which checks the makespan error bound and
+# emits BENCH_fluid.json.
+fluid-smoke:
+	PYTHONPATH=src python -m repro run htf --fidelity fluid
+	PYTHONPATH=src:. python benchmarks/bench_fluid.py --scale small
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -26,14 +26,13 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
-import time
 
 from repro.core.registry import small_experiment
 from repro.faults import DiskFailure, FaultPlan, NodeOutage, RequestDrops
 from repro.machine.ionode import IONode
 from repro.sim.core import Environment
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import best_of, emit, emit_json
 
 APPS = ("escat", "render", "htf")
 
@@ -48,12 +47,11 @@ FAULT_PLAN = FaultPlan(
 
 def wall_time(app: str, faults, repeats: int = 3) -> float:
     """Best-of-N `Experiment.run()` wall seconds."""
-    best = float("inf")
-    for _ in range(repeats):
-        exp = small_experiment(app, faults=faults)
-        t0 = time.perf_counter()
-        exp.run()
-        best = min(best, time.perf_counter() - t0)
+    best, _ = best_of(
+        lambda exp: exp.run(),
+        repeats=repeats,
+        setup=lambda: small_experiment(app, faults=faults),
+    )
     return best
 
 
@@ -91,9 +89,7 @@ def main(argv=None) -> str:
     )
     args = parser.parse_args(argv)
 
-    t0 = time.perf_counter()
-    served = submit_churn()
-    submit_s = time.perf_counter() - t0
+    submit_s, served = best_of(submit_churn, repeats=3)
 
     payload: dict = {
         "submit_requests_per_s": round(served / submit_s),

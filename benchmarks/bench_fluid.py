@@ -1,0 +1,143 @@
+"""Fluid-fidelity benchmark: closed-form phase service vs discrete events.
+
+For each paper application this runs the same experiment twice — once at
+the default event fidelity and once under ``--fidelity fluid`` — and
+reports:
+
+* **wall time + speedup** — best-of-N `Experiment.run()` seconds per
+  mode; the headline number the fluid mode exists for;
+* **makespan error** — |fluid - event| / event over the latest trace
+  timestamp+duration; fluid is approximate *by contract* and must stay
+  within ``--error-bound`` (default 2%), so the bench exits nonzero on a
+  violation instead of silently recording it;
+* **phase counters** — how many cohorts the servicer actually solved vs
+  declined (render has no fluid hints, so its row shows 0 solved and a
+  ~1.0 speedup: the honest baseline).
+
+Runs two ways:
+
+* under pytest-benchmark (``pytest benchmarks/bench_fluid.py
+  --benchmark-only``);
+* as a script (``python benchmarks/bench_fluid.py [--scale
+  small|paper]``) emitting the machine-readable ``BENCH_fluid.json``
+  artifact the CI perf-smoke step uploads.  ``make fluid-smoke`` runs
+  the small scale as a gate in the tests job.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.campaign.spec import RunSpec
+
+from benchmarks._common import best_of, emit, emit_json
+
+APPS = ("escat", "render", "htf", "checkpoint")
+
+#: Declared fluid-vs-event makespan bound (the contract in
+#: docs/PERFORMANCE.md); the script exits nonzero when any app breaks it.
+ERROR_BOUND = 0.02
+
+
+def makespan(traces) -> float:
+    """Latest completion instant across a run's traces, seconds."""
+    span = 0.0
+    for trace in traces.values():
+        events = trace.events
+        if callable(events):
+            events = events()
+        if len(events):
+            span = max(span, float((events["timestamp"] + events["duration"]).max()))
+    return span
+
+
+def run_mode(app: str, scale: str, fidelity: str, repeats: int):
+    """(best wall seconds, last ExperimentResult) for one app x fidelity."""
+    spec = RunSpec(app, scale=scale, fidelity=None if fidelity == "event" else fidelity)
+    return best_of(
+        lambda exp: exp.run(),
+        repeats=repeats,
+        setup=spec.build_experiment,
+    )
+
+
+def compare_app(app: str, scale: str, repeats: int) -> dict:
+    event_s, event_res = run_mode(app, scale, "event", repeats)
+    fluid_s, fluid_res = run_mode(app, scale, "fluid", repeats)
+    event_make = makespan(event_res.traces)
+    fluid_make = makespan(fluid_res.traces)
+    servicer = getattr(fluid_res.fs, "fluid", None)
+    return {
+        "event_wall_s": round(event_s, 4),
+        "fluid_wall_s": round(fluid_s, 4),
+        "speedup": round(event_s / fluid_s, 3) if fluid_s else None,
+        "event_makespan_s": round(event_make, 6),
+        "fluid_makespan_s": round(fluid_make, 6),
+        "makespan_err": round(
+            abs(fluid_make - event_make) / event_make if event_make else 0.0, 6
+        ),
+        "phases_solved": getattr(servicer, "phases_solved", 0),
+        "phases_declined": getattr(servicer, "phases_declined", 0),
+    }
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+def test_fluid_wall_time(benchmark):
+    best = benchmark(lambda: run_mode("htf", "small", "fluid", 1)[0])
+    assert best > 0
+
+
+def test_event_wall_time(benchmark):
+    best = benchmark(lambda: run_mode("htf", "small", "event", 1)[0])
+    assert best > 0
+
+
+# -- script entry (CI fluid-smoke, `make perf`) --------------------------------
+def main(argv=None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="experiment scale (default small; paper is the acceptance run)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of-N per mode (default 2)"
+    )
+    parser.add_argument(
+        "--error-bound",
+        type=float,
+        default=ERROR_BOUND,
+        help="max tolerated fluid-vs-event makespan error (default 0.02)",
+    )
+    args = parser.parse_args(argv)
+
+    payload: dict = {"scale": args.scale, "error_bound": args.error_bound, "apps": {}}
+    lines = [
+        f"scale: {args.scale}",
+        f"{'app':<12} {'event':>9} {'fluid':>9} {'speedup':>8} "
+        f"{'mk-err':>9} {'solved':>7} {'declined':>9}",
+    ]
+    violations = []
+    for app in APPS:
+        row = compare_app(app, args.scale, args.repeats)
+        payload["apps"][app] = row
+        lines.append(
+            f"{app:<12} {row['event_wall_s']:>8.3f}s {row['fluid_wall_s']:>8.3f}s "
+            f"x{row['speedup']:>6.2f} {row['makespan_err']:>9.2e} "
+            f"{row['phases_solved']:>7} {row['phases_declined']:>9}"
+        )
+        if row["makespan_err"] > args.error_bound:
+            violations.append(
+                f"{app}: makespan error {row['makespan_err']:.4f} "
+                f"exceeds bound {args.error_bound:.4f}"
+            )
+    emit("fluid", "\n".join(lines))
+    path = emit_json("BENCH_fluid", payload)
+    if violations:
+        raise SystemExit("fluid error-bound violations:\n  " + "\n  ".join(violations))
+    return path
+
+
+if __name__ == "__main__":
+    print(main())

@@ -25,12 +25,11 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
-import time
 
 from repro.campaign.spec import RunSpec
 from repro.ppfs import BlockCache, ExtentSet
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import best_of, emit, emit_json
 
 APPS = ("escat", "render", "htf")
 PRESETS = ("default", "escat_tuned", "sequential_reader", "adaptive", "two_level")
@@ -68,12 +67,8 @@ def extent_churn(rounds: int = 300, writes: int = 256) -> int:
 
 
 def _ops_per_second(fn) -> float:
-    ops = fn()  # warm-up
-    best = float("inf")
-    for _ in range(3):
-        t0 = time.perf_counter()
-        ops = fn()
-        best = min(best, time.perf_counter() - t0)
+    fn()  # warm-up
+    best, ops = best_of(fn, repeats=3)
     return ops / best
 
 
@@ -83,12 +78,13 @@ def preset_wall_time(
 ) -> float:
     """Best-of-N `Experiment.run()` wall seconds for one PPFS preset."""
     policy = None if preset == "default" else preset
-    best = float("inf")
-    for _ in range(repeats):
-        exp = RunSpec(app, scale=scale, fs="ppfs", policy=policy).build_experiment()
-        t0 = time.perf_counter()
-        exp.run()
-        best = min(best, time.perf_counter() - t0)
+    best, _ = best_of(
+        lambda exp: exp.run(),
+        repeats=repeats,
+        setup=lambda: RunSpec(
+            app, scale=scale, fs="ppfs", policy=policy
+        ).build_experiment(),
+    )
     return best
 
 

@@ -12,9 +12,16 @@ improve when they shrink (speedup = old/new); rate-like metrics
 (``*per_s*``) improve when they grow (speedup = new/old); anything else
 is reported as a ratio without judgement.
 
-The CI perf-smoke job uses this via ``make perf-diff`` to annotate its
-artifacts (e.g. batched vs ``REPRO_NO_BATCH=1`` kernel numbers); it is
-an annotation tool, so it always exits 0.
+By default the diff is annotation-only (exit 0).  With
+``--fail-threshold RATIO`` it becomes a gate: any time/rate metric whose
+speedup falls below ``1/RATIO`` (e.g. 1.25 = more than 25% slower) gets
+a GitHub ``::warning::`` annotation line and the exit status is 1.
+Seconds-like metrics smaller than ``--min-seconds`` (default 0.05) never
+gate — millisecond small-scale wall times are noise-dominated and would
+make the gate flaky — though they still show in the table.  The CI
+perf-smoke job runs the gated form via ``make perf-diff`` but stays
+non-gating overall (``continue-on-error``), so regressions surface as
+warnings on the run without failing the build.
 """
 
 from __future__ import annotations
@@ -124,6 +131,34 @@ def render(report: dict[str, list[dict]]) -> str:
     return "\n".join(lines).rstrip()
 
 
+def regressions(
+    report: dict[str, list[dict]], threshold: float, min_seconds: float = 0.05
+) -> list[str]:
+    """``::warning::`` annotation lines for metrics slower than 1/threshold.
+
+    Only time/rate metrics gate — 'plain' metrics have no better/worse
+    direction, so counting them would flag intentional workload changes.
+    Time metrics below ``min_seconds`` on both sides are skipped: at the
+    millisecond scale a best-of-2 wall time swings far more than any
+    sensible threshold.
+    """
+    floor = 1.0 / threshold
+    lines: list[str] = []
+    for bench, rows in report.items():
+        for row in rows:
+            ratio = row["speedup"]
+            if ratio is None or row["kind"] == "plain" or ratio >= floor:
+                continue
+            if row["kind"] == "time" and max(row["old"], row["new"]) < min_seconds:
+                continue
+            lines.append(
+                f"::warning title=perf regression::{bench}: {row['metric']} "
+                f"x{ratio:.3f} (old {row['old']:g}, new {row['new']:g}, "
+                f"floor x{floor:.3f})"
+            )
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old", help="directory holding the baseline BENCH_*.json set")
@@ -132,11 +167,29 @@ def main(argv=None) -> int:
         "--json", default=None, metavar="PATH",
         help="also write the machine-readable diff to PATH",
     )
+    parser.add_argument(
+        "--fail-threshold", type=float, default=None, metavar="RATIO",
+        help="exit 1 when any time/rate metric is more than RATIOx slower "
+             "(e.g. 1.25 tolerates 25%% noise); default: annotate only",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05, metavar="S",
+        help="seconds-like metrics below this on both sides never gate "
+             "(noise floor; default 0.05)",
+    )
     args = parser.parse_args(argv)
+    if args.fail_threshold is not None and args.fail_threshold < 1.0:
+        parser.error(f"--fail-threshold must be >= 1.0, got {args.fail_threshold}")
     report = diff_sets(load_set(args.old), load_set(args.new))
     print(render(report))
     if args.json:
         atomic_write_json(args.json, report)
+    if args.fail_threshold is not None:
+        warnings = regressions(report, args.fail_threshold, args.min_seconds)
+        for line in warnings:
+            print(line)
+        if warnings:
+            return 1
     return 0
 
 

@@ -92,9 +92,12 @@ class Application:
         """Setup hook; the generated __init__ calls it for subclasses
         whether or not they are dataclasses themselves."""
 
-    def mark(self, name: str) -> None:
-        """Record a phase boundary at the current simulated time."""
-        self.phase_marks.append(PhaseMark(name, self.machine.env.now))
+    def mark(self, name: str, at: float | None = None) -> None:
+        """Record a phase boundary at the current simulated time (or at
+        ``at``, for fluid-mode phases whose interior instants were solved
+        in closed form rather than visited by the clock)."""
+        when = self.machine.env.now if at is None else at
+        self.phase_marks.append(PhaseMark(name, when))
 
     def phase_time(self, name: str) -> float:
         """Time of the first mark with the given name."""

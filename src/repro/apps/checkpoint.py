@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..pfs.errors import PFSError
 from ..pfs.modes import AccessMode
+from ..sim import fluid as fl
 from ..util.units import KB, MB
 from .base import Application, Collective
 
@@ -257,6 +258,77 @@ class Checkpoint(Application):
                 self.mark("restore")
             yield from self._restore(node, fds, 0)
             yield self.group.barrier()
+
+        # Fault-free epoch loops are regular (synchronized compute + one
+        # seek + chunked dump per epoch): offer the whole loop as one
+        # fluid phase.  Restart runs carry restore state and stay
+        # discrete; burst-tier files decline via ``fluid_ok`` when a
+        # burst buffer is attached.
+        servicer = None
+        if not cfg.restart:
+            servicer = getattr(getattr(fs, "fs", fs), "fluid", None)
+        done = None
+        if servicer is not None:
+
+            def build_plan():
+                ops = []
+                for e in range(cfg.checkpoints):
+                    jitter = 1.0 + cfg.compute_jitter * float(
+                        self._rng.standard_normal()
+                    )
+                    ops.append(fl.compute(max(0.0, cfg.interval_s * jitter)))
+                    ops.append(fl.barrier())
+                    if node0:
+                        ops.append(fl.mark(f"ckpt{e}"))
+                    raw = cfg.raw_bytes(e, node)
+                    if cfg.compress_cost_s_per_mb > 0:
+                        ops.append(
+                            fl.compute(raw / MB * cfg.compress_cost_s_per_mb)
+                        )
+                    fd = fds[e % cfg.checkpoint_files]
+                    ops.append(fl.seek(fd, node * region))
+                    left = cfg.wire_bytes(e, node)
+                    while left > 0:
+                        n = min(cfg.chunk_bytes, left)
+                        ops.append(fl.write(fd, n))
+                        left -= n
+                    ops.append(fl.barrier())
+                    if node0:
+                        ops.append(fl.mark(f"done{e}"))
+                return ops
+
+            done = servicer.enroll(
+                "checkpoint",
+                cfg.nodes,
+                node,
+                fs,
+                probe=[
+                    op
+                    for fd in fds
+                    for op in (fl.seek(fd, 0), fl.write(fd, cfg.chunk_bytes))
+                ],
+                build=build_plan,
+                mod=node_mod,
+            )
+        if done is not None:
+            marks = yield done
+            if node0:
+                times = dict(marks)
+                for e in range(cfg.checkpoints):
+                    start = times[f"ckpt{e}"]
+                    self.mark(f"ckpt{e}", at=start)
+                    self.stats.checkpoints_taken += 1
+                    self.stats.checkpoint_costs.append(times[f"done{e}"] - start)
+                self._last_complete = cfg.checkpoints - 1
+            for e in range(cfg.checkpoints):
+                self.stats.bytes_written += cfg.wire_bytes(e, node)
+                self.stats.raw_bytes += cfg.raw_bytes(e, node)
+            yield self.group.barrier()
+            for fd in fds:
+                yield from fs.close(node, fd)
+            if node0:
+                self.mark("end")
+            return
 
         epoch = 0
         attempt = 0

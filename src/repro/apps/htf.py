@@ -30,6 +30,7 @@ from ..machine.paragon import Paragon
 from ..pablo.capture import InstrumentedPFS
 from ..pablo.trace import Trace
 from ..pfs.filesystem import PFS
+from ..sim import fluid as fl
 from .base import Application, Collective
 
 __all__ = ["HTFConfig", "Psetup", "Pargos", "Pscf", "HartreeFock", "HTFResult"]
@@ -237,12 +238,46 @@ class Pargos(Application):
                 yield from fs.flush(node, cfd)
             yield from fs.close(node, cfd)
 
-        for _ in range(cfg.records_for(node)):
-            jitter = 1.0 + cfg.pargos_compute_jitter * float(self._rng.standard_normal())
-            yield from mod.compute(max(0.0, cfg.pargos_cycle_compute_s * jitter))
-            yield from fs.write(node, fd, cfg.integral_record_bytes)
-            yield from fs.flush(node, fd)
-        yield from fs.flush(node, fd)  # final forflush before lsize
+        # The record loop is regular (compute/write/flush per record on a
+        # private file): offer it to the fluid servicer as one phase.
+        servicer = getattr(getattr(fs, "fs", fs), "fluid", None)
+        done = None
+        if servicer is not None:
+
+            def build_plan() -> list:
+                ops = []
+                for _ in range(cfg.records_for(node)):
+                    jitter = 1.0 + cfg.pargos_compute_jitter * float(
+                        self._rng.standard_normal()
+                    )
+                    ops.append(
+                        fl.compute(max(0.0, cfg.pargos_cycle_compute_s * jitter))
+                    )
+                    ops.append(fl.write(fd, cfg.integral_record_bytes))
+                    ops.append(fl.flush(fd))
+                ops.append(fl.flush(fd))  # final forflush before lsize
+                return ops
+
+            done = servicer.enroll(
+                "pargos",
+                cfg.nodes,
+                node,
+                fs,
+                probe=[fl.write(fd, cfg.integral_record_bytes), fl.flush(fd)],
+                build=build_plan,
+                mod=mod,
+            )
+        if done is not None:
+            yield done
+        else:
+            for _ in range(cfg.records_for(node)):
+                jitter = 1.0 + cfg.pargos_compute_jitter * float(
+                    self._rng.standard_normal()
+                )
+                yield from mod.compute(max(0.0, cfg.pargos_cycle_compute_s * jitter))
+                yield from fs.write(node, fd, cfg.integral_record_bytes)
+                yield from fs.flush(node, fd)
+            yield from fs.flush(node, fd)  # final forflush before lsize
         yield from fs.lsize(node, fd)
         yield from fs.close(node, fd)
         if node0:
@@ -323,16 +358,51 @@ class Pscf(Application):
             yield from self._aux_slice(aux_state, 0, slices)
         fd = yield from fs.open(node, _integral_path(node))
         records = cfg.records_for(node)
+        # Each SCF pass is a regular read sweep — one fluid cohort per
+        # pass.  Node 0's aux-file slices stay discrete between passes;
+        # they queue behind the solved pass via the absorbed I/O-node
+        # horizon.
+        servicer = getattr(getattr(fs, "fs", fs), "fluid", None)
         for scf_pass in range(cfg.scf_passes):
-            if scf_pass > 0:
-                yield from fs.seek(node, fd, 0)  # rewind: ~5.4 MB distance
-            for _ in range(records):
-                yield from fs.read(node, fd, cfg.integral_record_bytes)
-                jitter = 1.0 + 0.03 * float(self._rng.standard_normal())
-                yield from mod.compute(
-                    max(0.0, cfg.scf_compute_per_record_s * jitter)
+            done = None
+            if servicer is not None:
+
+                def build_plan(scf_pass=scf_pass):
+                    ops = []
+                    if scf_pass > 0:
+                        ops.append(fl.seek(fd, 0))  # rewind: ~5.4 MB distance
+                    for _ in range(records):
+                        ops.append(fl.read(fd, cfg.integral_record_bytes))
+                        jitter = 1.0 + 0.03 * float(self._rng.standard_normal())
+                        ops.append(
+                            fl.compute(
+                                max(0.0, cfg.scf_compute_per_record_s * jitter)
+                            )
+                        )
+                    ops.append(fl.compute(cfg.scf_pass_compute_s))
+                    return ops
+
+                done = servicer.enroll(
+                    ("pscf", scf_pass),
+                    cfg.nodes,
+                    node,
+                    fs,
+                    probe=[fl.seek(fd, 0), fl.read(fd, cfg.integral_record_bytes)],
+                    build=build_plan,
+                    mod=mod,
                 )
-            yield from mod.compute(cfg.scf_pass_compute_s)
+            if done is not None:
+                yield done
+            else:
+                if scf_pass > 0:
+                    yield from fs.seek(node, fd, 0)  # rewind: ~5.4 MB distance
+                for _ in range(records):
+                    yield from fs.read(node, fd, cfg.integral_record_bytes)
+                    jitter = 1.0 + 0.03 * float(self._rng.standard_normal())
+                    yield from mod.compute(
+                        max(0.0, cfg.scf_compute_per_record_s * jitter)
+                    )
+                yield from mod.compute(cfg.scf_pass_compute_s)
             if node0:
                 yield from self._aux_slice(aux_state, scf_pass + 1, slices)
         yield from fs.close(node, fd)

@@ -93,6 +93,12 @@ class RunSpec:
         Optional burst-buffer log capacity in bytes (``True`` selects the
         default capacity).  A falsy value normalizes to None — no tier
         attached, so a buffer-free spec must keep its pre-buffer hash.
+    fidelity:
+        Execution fidelity: ``'fluid'`` for closed-form phase service,
+        or None / ``'event'`` for discrete events.  ``'event'`` (and any
+        falsy value) normalizes to None — event fidelity is the default
+        and byte-identical, so an event spec must keep its pre-fidelity
+        hash.
     """
 
     app: str
@@ -104,6 +110,7 @@ class RunSpec:
     faults: Optional[Any] = None
     telemetry: Optional[float] = None
     burst_buffer: Optional[int] = None
+    fidelity: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPLICATIONS:
@@ -160,6 +167,17 @@ class RunSpec:
                 )
             # Falsy -> None: zero capacity means no tier at all.
             object.__setattr__(self, "burst_buffer", spec or None)
+        if self.fidelity is not None:
+            if self.fidelity not in ("event", "fluid"):
+                raise ValueError(
+                    f"fidelity must be 'event', 'fluid' or None, "
+                    f"got {self.fidelity!r}"
+                )
+            # 'event' -> None: the default fidelity must hash identically
+            # to a spec that never mentions the axis.
+            object.__setattr__(
+                self, "fidelity", self.fidelity if self.fidelity == "fluid" else None
+            )
 
     # -- identity ----------------------------------------------------------
     def canonical(self) -> dict[str, Any]:
@@ -182,6 +200,9 @@ class RunSpec:
         # Likewise (pre-burst-buffer entries keep their hashes).
         if self.burst_buffer is not None:
             record["burst_buffer"] = self.burst_buffer
+        # Likewise (pre-fidelity entries keep their hashes).
+        if self.fidelity is not None:
+            record["fidelity"] = self.fidelity
         return record
 
     @property
@@ -203,6 +224,8 @@ class RunSpec:
             parts.append(f"telem{self.telemetry:g}")
         if self.burst_buffer is not None:
             parts.append(f"bb{self.burst_buffer // (1024 * 1024)}M")
+        if self.fidelity is not None:
+            parts.append(self.fidelity)
         return "/".join(parts)
 
     # -- (de)serialization -------------------------------------------------
@@ -221,6 +244,7 @@ class RunSpec:
             faults=data.get("faults"),
             telemetry=data.get("telemetry"),
             burst_buffer=data.get("burst_buffer"),
+            fidelity=data.get("fidelity"),
         )
 
     # -- materialization ---------------------------------------------------
@@ -249,6 +273,8 @@ class RunSpec:
             kwargs["telemetry"] = self.telemetry
         if self.burst_buffer is not None:
             kwargs["burst_buffer"] = self.burst_buffer
+        if self.fidelity is not None:
+            kwargs["fidelity"] = self.fidelity
         return build(self.app, **kwargs)
 
 
@@ -278,22 +304,26 @@ class CampaignSpec:
     #: combined with interval/size overrides this sweeps the checkpoint
     #: interval x state size x buffer capacity grid.
     burst_buffers: Sequence[Optional[int]] = (None,)
+    #: Fidelity axis: None/'event' (discrete, byte-identical) and/or
+    #: 'fluid' (closed-form phase service) — an event baseline plus its
+    #: approximate-but-fast twin.
+    fidelities: Sequence[Optional[str]] = (None,)
     name: str = "campaign"
 
     def expand(self) -> list[RunSpec]:
         """The grid's concrete runs, in deterministic order, deduplicated."""
         frozen = _freeze_overrides(self.overrides)
         runs: dict[str, RunSpec] = {}
-        for app, scale, fs, policy, seed, faults, telem, bb in itertools.product(
+        for app, scale, fs, policy, seed, faults, telem, bb, fid in itertools.product(
             self.apps, self.scales, self.filesystems, self.policies, self.seeds,
-            self.fault_plans, self.telemetry, self.burst_buffers,
+            self.fault_plans, self.telemetry, self.burst_buffers, self.fidelities,
         ):
             if fs == "pfs" and policy is not None:
                 continue
             spec = RunSpec(
                 app=app, scale=scale, fs=fs, policy=policy, seed=seed,
                 overrides=frozen, faults=faults, telemetry=telem,
-                burst_buffer=bb,
+                burst_buffer=bb, fidelity=fid,
             )
             runs.setdefault(spec.run_hash, spec)
         if not runs:

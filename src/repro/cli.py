@@ -129,6 +129,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="attach a host-side burst-buffer tier (optional log "
                      "capacity like 64MB; default capacity without a value); "
                      "checkpoint files destage through it asynchronously")
+    run.add_argument("--fidelity", choices=("event", "fluid"), default=None,
+                     help="execution fidelity: 'event' (discrete, "
+                     "byte-identical; the default) or 'fluid' (closed-form "
+                     "phase service, approximate but much faster)")
     run.add_argument("--mtbf", type=float, default=None, metavar="SEC",
                      help="mean time between failures for the checkpoint "
                      "report's optimal-interval model (checkpoint app only)")
@@ -185,6 +189,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="S,S",
                       help="burst-buffer axis: comma-separated log capacities "
                       "(e.g. none,16MB,64MB); 'none' = no tier")
+    crun.add_argument("--fidelities", type=_csv, default=["none"],
+                      metavar="F,F",
+                      help="fidelity axis: comma-separated from event,fluid; "
+                      "'none'/'event' = discrete default")
 
     cstat = csub.add_parser("status", help="summarize the result cache")
     cstat.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
@@ -276,6 +284,8 @@ def _cmd_run(args) -> int:
         except argparse.ArgumentTypeError as exc:
             print(f"bad burst-buffer capacity: {exc}", file=sys.stderr)
             return 2
+    if args.fidelity is not None:
+        kwargs["fidelity"] = args.fidelity
     result = build(args.app, **kwargs).run()
     for name, trace in result.traces.items():
         print(CharacterizationReport(trace).render())
@@ -363,6 +373,9 @@ def _cmd_campaign_run(args) -> int:
             burst_buffers=tuple(
                 None if s == "none" else _parse_size(s)
                 for s in args.burst_buffers
+            ),
+            fidelities=tuple(
+                None if f in ("none", "event") else f for f in args.fidelities
             ),
         )
         runs = spec.expand()

@@ -97,6 +97,13 @@ class Experiment:
         :class:`repro.machine.BurstBufferParams`, or a dict of its
         fields.  ``None`` (the default) attaches nothing — the data path
         then pays one attribute check, and traces stay golden.
+    fidelity:
+        ``'event'`` (the default: every request is a discrete event,
+        byte-identical traces) or ``'fluid'`` (regular phases priced in
+        closed form by :class:`repro.sim.fluid.FluidServicer`, falling
+        back to discrete wherever policies interact — approximate by
+        contract, see ``docs/PERFORMANCE.md``).  Fault plans force
+        event fidelity: no servicer is attached when an injector runs.
     """
 
     app: str
@@ -110,6 +117,7 @@ class Experiment:
     faults: Any = None
     telemetry: Any = None
     burst_buffer: Any = None
+    fidelity: str = "event"
 
     def __post_init__(self) -> None:
         if self.app not in _APP_DEFAULTS:
@@ -118,6 +126,11 @@ class Experiment:
             raise ValueError(f"filesystem must be pfs/ppfs, got {self.filesystem!r}")
         if self.policies is not None and self.filesystem != "ppfs":
             raise ValueError("policies require filesystem='ppfs'")
+        self.fidelity = self.fidelity or "event"
+        if self.fidelity not in ("event", "fluid"):
+            raise ValueError(
+                f"fidelity must be event/fluid, got {self.fidelity!r}"
+            )
 
     def build_fs(self, machine: Paragon) -> PFS:
         """The configured (uninstrumented) file system."""
@@ -183,6 +196,14 @@ class Experiment:
             from ..faults.inject import FaultInjector
 
             injector = FaultInjector(machine, self.faults, fs=fs).start()
+
+        if self.fidelity == "fluid" and injector is None:
+            # Imported here so event-fidelity builds never touch the
+            # subsystem.  An active injector forces event fidelity: the
+            # closed form cannot price a machine whose health changes.
+            from ..sim.fluid import FluidServicer
+
+            fs.fluid = FluidServicer(fs)
 
         if telemetry is not None:
             telemetry.attach(machine, fs)

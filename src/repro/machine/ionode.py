@@ -314,6 +314,25 @@ class IONode:
         )
         return done
 
+    def sync_free_at(self, end: float) -> None:
+        """Absorb an externally priced busy horizon (fluid-mode phases).
+
+        The fluid servicer prices a whole phase's requests against this
+        node's FIFO without arming per-request events; afterwards it
+        publishes the final busy-until time here so later *discrete*
+        submits queue behind the fluid tail exactly as they would behind
+        real armed work.  A placeholder completion keeps the eager chain
+        non-empty until ``end`` (an empty chain would restart pricing
+        from ``env.now``).
+        """
+        env = self.env
+        if end <= env.now:
+            return  # horizon already past: discrete pricing is correct as-is
+        self._free_at = end
+        done = Event(env)
+        self._eager_open.append(done)
+        env.schedule_at(end).callbacks.append(partial(self._eager_done, done, 0.0))
+
     def _eager_done(self, done: Event, service: float, _event: Event) -> None:
         open_ = self._eager_open
         if not open_ or open_[0] is not done:

@@ -106,7 +106,11 @@ class Mesh:
                     + self.hops(src, dst) * p.per_hop_s
                     + nbytes / p.bandwidth_bps
                 )
-            if len(memo) >= 65536:
+            # The bound must hold every (client, I/O node, chunk size)
+            # triple at production scale (2048 x 64 x a handful of sizes
+            # ~ 500k); a 64k cap thrashed there, turning ~90% of calls
+            # into recomputes.
+            if len(memo) >= 1048576:
                 memo.clear()
             memo[key] = t
         telem = self.telem

@@ -123,6 +123,9 @@ class PFS:
         #: Telemetry live counters (repro.telemetry); None = disabled, and
         #: every hook below then costs one attribute check per operation.
         self.telemetry = None
+        #: Fluid-fidelity servicer (repro.sim.fluid); None = event mode,
+        #: and applications then run every phase discretely.
+        self.fluid = None
         #: Burst-buffer tier, when the machine has one; None = absent, and
         #: the data path then costs one attribute check per transfer.
         self._bb = getattr(machine, "burstbuffer", None)
@@ -162,6 +165,17 @@ class PFS:
             return self._fd_tables[node][fd]
         except KeyError:
             raise BadFileDescriptor(f"node {node} has no open fd {fd}") from None
+
+    def fluid_ok(self, f: PFSFile) -> bool:
+        """May operations on ``f`` be priced in closed form?
+
+        The base data path qualifies except where the burst-buffer tier
+        intercepts transfers (its drain pipeline is stateful).  Subclasses
+        that interpose caches or write-behind must override and decline
+        whenever that state could change outcomes (see
+        :mod:`repro.sim.fluid`).
+        """
+        return not (self._bb is not None and f.burst_tier)
 
     def lookup(self, path: str) -> Optional[PFSFile]:
         """The file object for ``path`` if it exists."""

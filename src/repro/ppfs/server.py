@@ -160,6 +160,24 @@ class PPFS(PFS):
             total.merge(cache.stats)
         return total
 
+    def fluid_ok(self, f) -> bool:
+        """Decline closed-form pricing whenever a policy layer interposes.
+
+        Client caches, second-level (I/O-node) caches, prefetching, and
+        write-behind all carry state that feeds back into request timing
+        and ordering — the fluid solver cannot reproduce them, so any
+        active policy forces the discrete path (see :mod:`repro.sim.fluid`).
+        """
+        if not super().fluid_ok(f):
+            return False
+        pol = self.policies
+        return not (
+            pol.cache_blocks
+            or pol.server_cache_blocks
+            or self._prefetch_on
+            or self.writeback is not None
+        )
+
     def _plain(self, f) -> bool:
         """True for modes the policy layer handles.
 

@@ -75,6 +75,13 @@ class WriteBehindManager:
         return len(self._inflight)
 
     @property
+    def idle(self) -> bool:
+        """No buffered or in-flight data anywhere (fluid-mode precondition:
+        a non-idle write-behind pipeline could reorder against closed-form
+        phases, so the servicer declines while anything is pending)."""
+        return not self._inflight and not self.backlog_bytes()
+
+    @property
     def aggregation_factor(self) -> float:
         """Application writes per physical transfer (>1 = aggregation won)."""
         return (

@@ -391,6 +391,10 @@ class Environment:
         self._unhandled: list[BaseException] = []
         #: Pending heap events that must not keep the simulation alive.
         self.background = 0
+        #: Phase-boundary callbacks: run once all work at the current
+        #: instant is exhausted, before the clock advances (see
+        #: :meth:`at_boundary`).
+        self._boundary: list[Callable[[], None]] = []
 
     # -- factory helpers ---------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -445,6 +449,24 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """An event firing when any of ``events`` has fired."""
         return AnyOf(self, events)
+
+    def at_boundary(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the next *phase boundary*.
+
+        A phase boundary is the instant where every event and process
+        resume queued at the current timestamp has executed and the
+        kernel is about to advance the clock (or return).  At that point
+        no more work can be scheduled *at* the current time, so a
+        callback sees a complete picture of everything that happened
+        "now" — the hook the fluid servicer uses to close a cohort of
+        enrollments before computing the phase analytically.
+
+        Callbacks run in registration order, may schedule new events
+        (including new immediate work at the current time, which the
+        kernel then drains before advancing), and may register further
+        boundary callbacks.  Each callback fires exactly once.
+        """
+        self._boundary.append(callback)
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
@@ -530,7 +552,21 @@ class Environment:
             # mid-run), so the count can be read once outside the loop.
             background = self.background
             step = self.step
-            while imm or len(queue) > background:
+            while imm or len(queue) > background or self._boundary:
+                if not imm and self._boundary:
+                    # Current-instant work is exhausted: fire the phase
+                    # boundary before the clock can advance.  Drain in
+                    # place so callbacks registering further boundaries
+                    # land on the same (live) list.
+                    callbacks = self._boundary[:]
+                    del self._boundary[:]
+                    for cb in callbacks:
+                        cb()
+                    if unhandled:
+                        exc = unhandled[0]
+                        unhandled.clear()
+                        raise exc
+                    continue
                 # Immediate entries fire at <= now <= until, so the stop
                 # check only matters when the heap is next.
                 if not imm and until is not None and queue[0][0] > until:
@@ -553,7 +589,8 @@ class Environment:
             # still exactly the global (time, seq) order.
             pop = heapq.heappop
             popleft = imm.popleft
-            while imm or queue:
+            boundary = self._boundary  # live alias; drained in place
+            while imm or queue or boundary:
                 if imm:
                     head = imm[0]
                     if queue:
@@ -585,6 +622,18 @@ class Environment:
                     else:
                         # Direct process resume: no Event was allocated.
                         head[3]._step(head[4], head[5])
+                    if unhandled:
+                        exc = unhandled[0]
+                        unhandled.clear()
+                        raise exc
+                    continue
+                if boundary:
+                    # Phase boundary: the current instant is fully
+                    # drained, fire callbacks before advancing the clock.
+                    callbacks = boundary[:]
+                    del boundary[:]
+                    for cb in callbacks:
+                        cb()
                     if unhandled:
                         exc = unhandled[0]
                         unhandled.clear()
