@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench perf perf-diff scale-smoke examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke fluid-smoke clean all
+.PHONY: install test bench perf perf-diff scale-smoke examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke fluid-smoke vfs-smoke ingest-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
 # perf-diff gate: fail when a metric is more than this factor slower than
@@ -23,6 +23,7 @@ perf:
 	PYTHONPATH=src:. python benchmarks/bench_telemetry_overhead.py
 	PYTHONPATH=src:. python benchmarks/bench_ckpt_burst.py --scale small
 	PYTHONPATH=src:. python benchmarks/bench_fluid.py --scale small
+	PYTHONPATH=src:. python benchmarks/bench_ingest.py --scale small
 
 # Production-preset (2048-node) smoke: full machine, trimmed ESCAT workload.
 scale-smoke:
@@ -94,6 +95,26 @@ ckpt-smoke:
 fluid-smoke:
 	PYTHONPATH=src python -m repro run htf --fidelity fluid
 	PYTHONPATH=src:. python benchmarks/bench_fluid.py --scale small
+
+# Bring-your-own-app smoke: run a real Python program (an out-of-core
+# sort) against the simulated machine and characterize its trace.
+vfs-smoke:
+	PYTHONPATH=src python examples/byoapp_sort.py > /dev/null
+	PYTHONPATH=src python -m pytest tests/test_vfs.py -q
+
+# Ingest smoke: capture a trace, export it, re-ingest and replay it
+# through the CLI, then run it as a campaign trace axis.
+ingest-smoke:
+	PYTHONPATH=src python -m repro run escat --save-dir $(CAMPAIGN_CACHE).ingest
+	PYTHONPATH=src python -m repro ingest convert \
+		$(CAMPAIGN_CACHE).ingest/escat.sddf $(CAMPAIGN_CACHE).ingest/escat.jsonl
+	PYTHONPATH=src python -m repro ingest replay \
+		$(CAMPAIGN_CACHE).ingest/escat.jsonl --think anchor
+	PYTHONPATH=src python -m repro campaign run --name ingest-smoke \
+		--apps trace --traces $(CAMPAIGN_CACHE).ingest/escat.jsonl \
+		--cache-dir $(CAMPAIGN_CACHE) --quiet
+	PYTHONPATH=src python -m repro campaign clean --cache-dir $(CAMPAIGN_CACHE)
+	rm -rf $(CAMPAIGN_CACHE).ingest
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

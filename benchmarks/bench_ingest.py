@@ -1,0 +1,167 @@
+"""Ingest benchmark: export/import throughput and replay fidelity.
+
+Measures the `repro.ingest` pipeline on a captured ESCAT trace:
+
+* **export / import throughput** — best-of-N events/second for the
+  JSONL and CSV containers (the costs a user pays to move traces in and
+  out of the toolchain);
+* **round-trip exactness** — the re-imported trace must carry the
+  original's content hash, in every container (a correctness gate, not
+  a timing: the script exits nonzero on a mismatch);
+* **replay fidelity** — wall time to replay the ingested trace as the
+  `trace` application with anchored timestamps, plus the replayed
+  makespan's error against the source trace (bounded at 2%, same
+  contract the tier-1 tests enforce).
+
+Runs two ways:
+
+* under pytest-benchmark (``pytest benchmarks/bench_ingest.py
+  --benchmark-only``);
+* as a script (``python benchmarks/bench_ingest.py [--scale
+  small|paper]``) emitting the machine-readable ``BENCH_ingest.json``
+  artifact the CI perf-smoke step uploads.  ``make ingest-smoke`` runs
+  the CLI path as a gate in the tests job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+
+from repro.apps import TraceReplayConfig
+from repro.core.registry import paper_experiment, small_experiment
+from repro.ingest import export_trace, load_trace
+
+from benchmarks._common import best_of, emit, emit_json
+
+#: Replayed-vs-source makespan bound (matches tests/test_ingest.py).
+ERROR_BOUND = 0.02
+
+
+def capture(scale: str):
+    build = {"small": small_experiment, "paper": paper_experiment}[scale]
+    return build("escat").run().trace
+
+
+def bench_format(trace, fmt: str, workdir: str, repeats: int) -> dict:
+    path = os.path.join(workdir, f"escat.{fmt}")
+    export_s, count = best_of(lambda: export_trace(trace, path, fmt=fmt), repeats)
+    import_s, back = best_of(lambda: load_trace(path, fmt=fmt), repeats)
+    return {
+        "records": count,
+        "file_bytes": os.path.getsize(path),
+        "export_s": round(export_s, 4),
+        "import_s": round(import_s, 4),
+        "export_events_per_s": round(count / export_s) if export_s else None,
+        "import_events_per_s": round(count / import_s) if import_s else None,
+        "bit_exact": back.content_hash() == trace.content_hash(),
+    }
+
+
+def bench_replay(trace, workdir: str, scale: str, repeats: int) -> dict:
+    path = os.path.join(workdir, "escat.jsonl")
+    export_trace(trace, path)
+    build = {"small": small_experiment, "paper": paper_experiment}[scale]
+
+    def setup():
+        exp = build("trace")
+        exp.config = TraceReplayConfig(source=path, think_time="anchor")
+        return exp
+
+    wall_s, result = best_of(lambda exp: exp.run(), repeats, setup=setup)
+    source_span = float(trace.events["timestamp"].max())
+    replayed_span = float(result.machine.now)
+    return {
+        "wall_s": round(wall_s, 4),
+        "events": len(result.trace),
+        "source_makespan_s": round(source_span, 6),
+        "replay_makespan_s": round(replayed_span, 6),
+        "makespan_err": round(
+            abs(replayed_span - source_span) / source_span if source_span else 0.0,
+            6,
+        ),
+    }
+
+
+def run(scale: str, repeats: int) -> dict:
+    trace = capture(scale)
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as workdir:
+        payload = {
+            "scale": scale,
+            "trace_events": len(trace),
+            "jsonl": bench_format(trace, "jsonl", workdir, repeats),
+            "csv": bench_format(trace, "csv", workdir, repeats),
+            "replay": bench_replay(trace, workdir, scale, repeats),
+        }
+    return payload
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"scale={payload['scale']}  source trace: {payload['trace_events']} events",
+        "",
+        f"{'container':<10}{'records':>9}{'bytes':>10}{'export/s':>12}"
+        f"{'import/s':>12}{'bit-exact':>11}",
+    ]
+    for fmt in ("jsonl", "csv"):
+        row = payload[fmt]
+        lines.append(
+            f"{fmt:<10}{row['records']:>9,}{row['file_bytes']:>10,}"
+            f"{row['export_events_per_s']:>12,}{row['import_events_per_s']:>12,}"
+            f"{str(row['bit_exact']):>11}"
+        )
+    rep = payload["replay"]
+    lines += [
+        "",
+        f"replay (anchored): {rep['events']} events in {rep['wall_s']}s wall, "
+        f"makespan {rep['replay_makespan_s']}s vs {rep['source_makespan_s']}s "
+        f"(err {rep['makespan_err']:.2%}, bound {ERROR_BOUND:.0%})",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    payload = run(args.scale, args.repeats)
+    emit("BENCH ingest", render(payload))
+    emit_json("BENCH_ingest", payload)
+
+    failures = [
+        fmt for fmt in ("jsonl", "csv") if not payload[fmt]["bit_exact"]
+    ]
+    if failures:
+        print(f"FAIL: round trip not bit-exact for {failures}")
+        return 1
+    if payload["replay"]["makespan_err"] > ERROR_BOUND:
+        print(
+            f"FAIL: replay makespan error {payload['replay']['makespan_err']:.2%} "
+            f"exceeds {ERROR_BOUND:.0%}"
+        )
+        return 1
+    return 0
+
+
+# -- pytest-benchmark hooks ---------------------------------------------------
+
+def test_export_jsonl(benchmark):
+    trace = capture("small")
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "t.jsonl")
+        benchmark(lambda: export_trace(trace, path))
+
+
+def test_import_jsonl(benchmark):
+    trace = capture("small")
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "t.jsonl")
+        export_trace(trace, path)
+        benchmark(lambda: load_trace(path))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,17 +10,20 @@ from .htf_science import ScienceHartreeFock, ScienceHTFConfig
 from .render_science import ScienceRender, ScienceRenderConfig
 from .render import Render, RenderConfig
 from .synthetic import SyntheticConfig, SyntheticKernel
+from .trace import TraceReplay, TraceReplayConfig
 from .workloads import (
     paper_checkpoint,
     paper_escat,
     paper_htf,
     paper_machine,
     paper_render,
+    paper_trace,
     small_checkpoint,
     small_escat,
     small_htf,
     small_machine,
     small_render,
+    small_trace,
 )
 
 __all__ = [
@@ -48,14 +51,18 @@ __all__ = [
     "RenderConfig",
     "SyntheticConfig",
     "SyntheticKernel",
+    "TraceReplay",
+    "TraceReplayConfig",
     "paper_checkpoint",
     "paper_escat",
     "paper_htf",
     "paper_machine",
     "paper_render",
+    "paper_trace",
     "small_checkpoint",
     "small_escat",
     "small_htf",
     "small_machine",
     "small_render",
+    "small_trace",
 ]

@@ -1,0 +1,105 @@
+"""Trace replay as a first-class application.
+
+The fifth "application" of the study is any application at all: an
+ingested I/O trace (:mod:`repro.ingest` — Darshan/Recorder-style JSONL
+or CSV records, or our own exported traces) replayed through the
+simulator with the same machinery the built-in skeletons use.  That
+makes external workloads composable with everything an app gets —
+machine scales, PPFS policy presets, fault plans, telemetry, burst
+buffers, campaign sweeps — while :mod:`repro.core.replay` remains the
+lighter standalone what-if tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.replay import THINK_TIMES, node_streams, prepare_replay_files, replay_node
+from ..pablo.trace import Trace
+from .base import Application
+
+__all__ = ["TraceReplayConfig", "TraceReplay"]
+
+
+@dataclass(frozen=True)
+class TraceReplayConfig:
+    """What to replay and how.
+
+    Parameters
+    ----------
+    source:
+        Path to the trace file — JSONL/CSV schema records or native SDDF
+        (dispatched by extension, see :func:`repro.ingest.load_trace`).
+    think_time:
+        'preserve' (original inter-op gaps), 'none' (back-to-back) or
+        'anchor' (original absolute start times — timed replay).
+    trace:
+        A pre-loaded :class:`Trace`; takes precedence over ``source``
+        (spares in-process callers a round-trip through a file).
+    """
+
+    source: str = ""
+    think_time: str = "preserve"
+    trace: Optional[Trace] = None
+
+    def __post_init__(self) -> None:
+        if self.think_time not in THINK_TIMES:
+            raise ValueError(
+                f"think_time must be one of {'/'.join(THINK_TIMES)}, "
+                f"got {self.think_time!r}"
+            )
+    def load(self) -> Trace:
+        """The trace to replay (loads ``source`` unless preloaded)."""
+        if self.trace is not None:
+            return self.trace
+        if not self.source:
+            raise ValueError(
+                "trace replay needs an input: pass source=<path> "
+                "(repro run trace --input FILE) or a pre-loaded trace"
+            )
+        from ..ingest import load_trace
+
+        return load_trace(self.source)
+
+
+@dataclass
+class TraceReplay(Application):
+    """Replays an ingested request stream as an SPMD application."""
+
+    config: TraceReplayConfig = field(default_factory=lambda: TraceReplayConfig(trace=Trace()))
+
+    def __post_init__(self) -> None:
+        self.name = "trace"
+        self.original = self.config.load()
+        nodes = max(self.original.nodes, 1)
+        if len(self.original.events):
+            nodes = max(nodes, int(self.original.events["node"].max()) + 1)
+        if nodes > self.machine.config.compute_nodes:
+            raise ValueError(
+                f"trace uses {nodes} nodes, machine has "
+                f"{self.machine.config.compute_nodes} "
+                "(pick a larger --scale)"
+            )
+        # Replay under the original paths when the trace names its files
+        # (ingested schema records always do); otherwise the /replay
+        # namespace.  Files pre-exist at full extent so reads see data.
+        names = self.original.file_names
+        self._path_of = (
+            (lambda fid: names.get(fid, f"/replay/file{fid}")) if names else None
+        )
+        prepare_replay_files(self.fs.fs, self.original, self._path_of)
+        self.fs.trace.nodes = max(self.fs.trace.nodes, nodes)
+        ev = self.original.events
+        self._base = float(ev["timestamp"].min()) if len(ev) else 0.0
+
+    def node_processes(self):
+        for node, events in node_streams(self.original).items():
+            yield node, replay_node(
+                self.fs,
+                node,
+                events,
+                self.config.think_time,
+                path_of=self._path_of,
+                base=self._base,
+            )

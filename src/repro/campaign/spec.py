@@ -66,7 +66,7 @@ class RunSpec:
     Parameters
     ----------
     app:
-        'escat', 'render' or 'htf'.
+        'escat', 'render', 'htf', 'checkpoint' or 'trace'.
     scale:
         'paper' (the Tables 1-6 runs), 'small' (structure-preserving
         miniatures) or 'production' (the 2048-node partition).
@@ -99,6 +99,11 @@ class RunSpec:
         falsy value) normalizes to None — event fidelity is the default
         and byte-identical, so an event spec must keep its pre-fidelity
         hash.
+    trace:
+        Path to the ingested trace file (``app='trace'`` only, and
+        required there).  The run hash covers the file's *content*
+        digest, not the path — the same records cached under two
+        filenames dedupe, and editing the file invalidates the cache.
     """
 
     app: str
@@ -111,6 +116,7 @@ class RunSpec:
     telemetry: Optional[float] = None
     burst_buffer: Optional[int] = None
     fidelity: Optional[str] = None
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.app not in APPLICATIONS:
@@ -178,6 +184,23 @@ class RunSpec:
             object.__setattr__(
                 self, "fidelity", self.fidelity if self.fidelity == "fluid" else None
             )
+        if (self.app == "trace") != (self.trace is not None):
+            raise ValueError(
+                "app='trace' requires a trace file path (and only "
+                f"app='trace' takes one); got app={self.app!r}, "
+                f"trace={self.trace!r}"
+            )
+        if self.trace is not None:
+            if not isinstance(self.trace, str) or not self.trace:
+                raise ValueError(f"trace must be a file path, got {self.trace!r}")
+            try:
+                with open(self.trace, "rb") as fh:
+                    digest = hashlib.sha256(fh.read()).hexdigest()[:16]
+            except OSError as exc:
+                raise ValueError(f"cannot read trace {self.trace!r}: {exc}") from None
+            # Cached on the instance (not a field): the run hash must
+            # follow the file's content, not its name.
+            object.__setattr__(self, "_trace_digest", digest)
 
     # -- identity ----------------------------------------------------------
     def canonical(self) -> dict[str, Any]:
@@ -203,6 +226,9 @@ class RunSpec:
         # Likewise (pre-fidelity entries keep their hashes).
         if self.fidelity is not None:
             record["fidelity"] = self.fidelity
+        # Likewise; the digest (not the path) is what identifies the run.
+        if self.trace is not None:
+            record["trace"] = self._trace_digest
         return record
 
     @property
@@ -226,11 +252,17 @@ class RunSpec:
             parts.append(f"bb{self.burst_buffer // (1024 * 1024)}M")
         if self.fidelity is not None:
             parts.append(self.fidelity)
+        if self.trace is not None:
+            parts.append(f"trace{self._trace_digest[:6]}")
         return "/".join(parts)
 
     # -- (de)serialization -------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return self.canonical()
+        record = self.canonical()
+        if self.trace is not None:
+            # The digest identifies the run; the path rebuilds it.
+            record["trace_path"] = self.trace
+        return record
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunSpec":
@@ -245,6 +277,7 @@ class RunSpec:
             telemetry=data.get("telemetry"),
             burst_buffer=data.get("burst_buffer"),
             fidelity=data.get("fidelity"),
+            trace=data.get("trace_path"),
         )
 
     # -- materialization ---------------------------------------------------
@@ -257,7 +290,15 @@ class RunSpec:
         }
         build, config_index, machine = builders[self.scale]
         kwargs: dict[str, Any] = {}
-        if self.overrides:
+        if self.trace is not None:
+            # The trace app's presets are scale-free placeholders; the
+            # config that matters is the input path (+ any overrides,
+            # e.g. think_time).
+            base = APPLICATIONS[self.app][config_index]()
+            kwargs["config"] = dataclasses.replace(
+                base, source=self.trace, **dict(self.overrides)
+            )
+        elif self.overrides:
             base = APPLICATIONS[self.app][config_index]()
             kwargs["config"] = dataclasses.replace(base, **dict(self.overrides))
         if self.seed is not None:
@@ -308,22 +349,30 @@ class CampaignSpec:
     #: 'fluid' (closed-form phase service) — an event baseline plus its
     #: approximate-but-fast twin.
     fidelities: Sequence[Optional[str]] = (None,)
+    #: Ingested-trace axis (``apps`` containing 'trace' only): paths to
+    #: JSONL/CSV/SDDF trace files, each replayed under every other axis
+    #: combination.  None pairs with the built-in apps.
+    traces: Sequence[Optional[str]] = (None,)
     name: str = "campaign"
 
     def expand(self) -> list[RunSpec]:
         """The grid's concrete runs, in deterministic order, deduplicated."""
         frozen = _freeze_overrides(self.overrides)
         runs: dict[str, RunSpec] = {}
-        for app, scale, fs, policy, seed, faults, telem, bb, fid in itertools.product(
+        for app, scale, fs, policy, seed, faults, telem, bb, fid, trc in itertools.product(
             self.apps, self.scales, self.filesystems, self.policies, self.seeds,
             self.fault_plans, self.telemetry, self.burst_buffers, self.fidelities,
+            self.traces,
         ):
             if fs == "pfs" and policy is not None:
+                continue
+            # Trace files pair only with the trace app (and vice versa).
+            if (app == "trace") != (trc is not None):
                 continue
             spec = RunSpec(
                 app=app, scale=scale, fs=fs, policy=policy, seed=seed,
                 overrides=frozen, faults=faults, telemetry=telem,
-                burst_buffer=bb, fidelity=fid,
+                burst_buffer=bb, fidelity=fid, trace=trc,
             )
             runs.setdefault(spec.run_hash, spec)
         if not runs:

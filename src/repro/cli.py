@@ -21,6 +21,10 @@
     python -m repro telemetry export out/escat.telemetry.jsonl --format csv
     python -m repro run checkpoint --burst-buffer 64MB   # buffered checkpoints
     python -m repro campaign run --apps checkpoint --burst-buffers none,16MB
+    python -m repro run trace --input darshan.jsonl  # replay an ingested trace
+    python -m repro ingest convert darshan.csv out.sddf  # any format to any
+    python -m repro ingest replay out.jsonl --fs ppfs --think anchor
+    python -m repro campaign run --apps trace --traces a.jsonl,b.csv
 """
 
 from __future__ import annotations
@@ -42,42 +46,27 @@ from .core.registry import (
     production_experiment,
     small_experiment,
 )
-from .core.replay import replay_trace
+from .core.replay import THINK_TIMES, replay_trace
 from .faults.plan import DiskFailure, FaultPlan, NodeOutage, RequestDrops
 from .pablo.trace import Trace
 from .ppfs.policies import PPFSPolicies
 from .ppfs.server import PPFS
+from .util import csv_list, parse_size
 
 __all__ = ["main"]
 
 _DEFAULT_CACHE_DIR = ".campaign-cache"
 
-
-def _csv(text: str) -> list[str]:
-    return [item for item in (part.strip() for part in text.split(",")) if item]
-
-
-_SIZE_SUFFIXES = {"KB": 1024, "MB": 1024**2, "GB": 1024**3, "B": 1}
+#: argparse-friendly aliases for the shared parsers in repro.util.
+_csv = csv_list
 
 
 def _parse_size(text: str) -> int:
-    """A byte count like ``64MB``, ``1GB`` or a plain integer."""
-    raw = text.strip().upper()
-    for suffix, mult in _SIZE_SUFFIXES.items():
-        if raw.endswith(suffix):
-            raw = raw[: -len(suffix)]
-            break
-    else:
-        mult = 1
+    """:func:`repro.util.parse_size` with argparse error reporting."""
     try:
-        value = int(float(raw) * mult)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"bad size {text!r} (expected e.g. 64MB, 1GB or a byte count)"
-        ) from None
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
-    return value
+        return parse_size(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _parse_override(pair: str) -> tuple[str, object]:
@@ -136,6 +125,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mtbf", type=float, default=None, metavar="SEC",
                      help="mean time between failures for the checkpoint "
                      "report's optimal-interval model (checkpoint app only)")
+    run.add_argument("--input", default=None, metavar="FILE",
+                     help="trace file to replay (trace app only): JSONL/CSV "
+                     "schema records or native SDDF")
+    run.add_argument("--think", choices=THINK_TIMES, default="preserve",
+                     help="trace app think time: preserve original gaps, "
+                     "none (back-to-back) or anchor (original start times)")
 
     char = sub.add_parser("characterize", help="report a saved SDDF trace")
     char.add_argument("trace", help="path to a .sddf trace file")
@@ -144,10 +139,30 @@ def _build_parser() -> argparse.ArgumentParser:
     comp.add_argument("traces", nargs="+", help="two or more .sddf traces")
 
     rep = sub.add_parser("replay", help="replay a trace on another configuration")
-    rep.add_argument("trace", help="path to a .sddf trace file")
+    rep.add_argument("trace", help="path to a trace file (.sddf/.jsonl/.csv)")
     rep.add_argument("--fs", choices=["pfs", "ppfs"], default="pfs")
     rep.add_argument("--policies", choices=PPFSPolicies.presets(), default=None)
-    rep.add_argument("--think", choices=["preserve", "none"], default="preserve")
+    rep.add_argument("--think", choices=THINK_TIMES, default="preserve")
+
+    ing = sub.add_parser(
+        "ingest", help="import/export external I/O traces (JSONL/CSV schema)"
+    )
+    isub = ing.add_subparsers(dest="ingest_command", required=True)
+
+    iconv = isub.add_parser(
+        "convert", help="convert a trace between JSONL/CSV/SDDF (by extension)"
+    )
+    iconv.add_argument("src", help="input trace (.jsonl/.csv/.sddf)")
+    iconv.add_argument("dst", help="output trace (.jsonl/.csv/.sddf)")
+
+    irep = isub.add_parser(
+        "replay", help="ingest an external trace and replay it (alias of "
+        "'replay' that prints ingest statistics first)"
+    )
+    irep.add_argument("src", help="input trace (.jsonl/.csv/.sddf)")
+    irep.add_argument("--fs", choices=["pfs", "ppfs"], default="pfs")
+    irep.add_argument("--policies", choices=PPFSPolicies.presets(), default=None)
+    irep.add_argument("--think", choices=THINK_TIMES, default="preserve")
 
     camp = sub.add_parser(
         "campaign", help="run parameter sweeps with a content-addressed cache"
@@ -193,6 +208,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="F,F",
                       help="fidelity axis: comma-separated from event,fluid; "
                       "'none'/'event' = discrete default")
+    crun.add_argument("--traces", type=_csv, default=["none"],
+                      metavar="F,F",
+                      help="ingested-trace axis (requires 'trace' in --apps): "
+                      "comma-separated trace file paths; runs are cached by "
+                      "trace *content*, not path")
 
     cstat = csub.add_parser("status", help="summarize the result cache")
     cstat.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR, metavar="DIR")
@@ -286,6 +306,18 @@ def _cmd_run(args) -> int:
             return 2
     if args.fidelity is not None:
         kwargs["fidelity"] = args.fidelity
+    if args.app == "trace":
+        if not args.input:
+            print("the trace app needs --input FILE", file=sys.stderr)
+            return 2
+        from .apps.trace import TraceReplayConfig
+
+        kwargs["config"] = TraceReplayConfig(
+            source=args.input, think_time=args.think
+        )
+    elif args.input:
+        print("--input applies to the trace app only", file=sys.stderr)
+        return 2
     result = build(args.app, **kwargs).run()
     for name, trace in result.traces.items():
         print(CharacterizationReport(trace).render())
@@ -338,7 +370,9 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_replay(args) -> int:
-    trace = Trace.load(args.trace)
+    from .ingest import load_trace
+
+    trace = load_trace(args.trace)
     policies = _policies(args.policies)
     if args.fs == "ppfs":
         fs_factory = lambda m: PPFS(m, policies=policies or PPFSPolicies())  # noqa: E731
@@ -351,6 +385,42 @@ def _cmd_replay(args) -> int:
     print()
     print(CharacterizationReport(result.trace).render())
     return 0
+
+
+def _cmd_ingest_convert(args) -> int:
+    from .ingest import SchemaError, export_trace, load_trace
+
+    try:
+        trace = load_trace(args.src)
+    except (OSError, ValueError) as exc:
+        print(f"bad trace {args.src!r}: {exc}", file=sys.stderr)
+        return 2
+    print(f"ingested: {trace.summary_line()}")
+    try:
+        if args.dst.lower().endswith((".sddf", ".trace")):
+            trace.save(args.dst)
+            written = len(trace)
+        else:
+            written = export_trace(trace, args.dst)
+    except (OSError, ValueError, SchemaError) as exc:
+        print(f"cannot write {args.dst!r}: {exc}", file=sys.stderr)
+        return 2
+    print(f"written: {args.dst} ({written} records)")
+    return 0
+
+
+def _cmd_ingest_replay(args) -> int:
+    from .ingest import load_trace
+
+    try:
+        trace = load_trace(args.src)
+    except (OSError, ValueError) as exc:
+        print(f"bad trace {args.src!r}: {exc}", file=sys.stderr)
+        return 2
+    print(f"ingested: {trace.summary_line()} "
+          f"({trace.nodes} nodes, {len(trace.file_names)} files)")
+    args.trace = args.src
+    return _cmd_replay(args)
 
 
 def _cmd_campaign_run(args) -> int:
@@ -377,6 +447,7 @@ def _cmd_campaign_run(args) -> int:
             fidelities=tuple(
                 None if f in ("none", "event") else f for f in args.fidelities
             ),
+            traces=tuple(None if t == "none" else t for t in args.traces),
         )
         runs = spec.expand()
     except (OSError, ValueError, argparse.ArgumentTypeError) as exc:
@@ -564,6 +635,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             "show": _cmd_telemetry_show,
             "export": _cmd_telemetry_export,
         }[args.telemetry_command]
+        return handler(args)
+    if args.command == "ingest":
+        handler = {
+            "convert": _cmd_ingest_convert,
+            "replay": _cmd_ingest_replay,
+        }[args.ingest_command]
         return handler(args)
     handler = {
         "run": _cmd_run,

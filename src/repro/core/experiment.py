@@ -16,12 +16,14 @@ from ..apps.checkpoint import Checkpoint, CheckpointConfig
 from ..apps.escat import Escat, EscatConfig
 from ..apps.htf import HartreeFock, HTFConfig, HTFResult
 from ..apps.render import Render, RenderConfig
+from ..apps.trace import TraceReplay, TraceReplayConfig
 from ..apps.workloads import (
     paper_checkpoint,
     paper_escat,
     paper_htf,
     paper_machine,
     paper_render,
+    paper_trace,
 )
 from ..machine.paragon import Paragon
 from ..pablo.capture import InstrumentedPFS
@@ -31,13 +33,51 @@ from ..pfs.filesystem import PFS
 from ..ppfs.policies import PPFSPolicies
 from ..ppfs.server import PPFS
 
-__all__ = ["Experiment", "ExperimentResult"]
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "normalize_telemetry",
+    "normalize_burst_buffer",
+]
+
+
+def normalize_telemetry(spec: Any) -> Any:
+    """Normalize a telemetry field (None/bool/cadence/Telemetry) into a
+    :class:`repro.telemetry.Telemetry` or None.  Shared by the experiment
+    harness and the vfs program harness."""
+    if spec is None or spec is False:
+        return None
+    # Imported here so telemetry-free builds never touch the subsystem.
+    from ..telemetry import Telemetry
+
+    if isinstance(spec, Telemetry):
+        return spec
+    if spec is True:
+        return Telemetry()
+    return Telemetry(cadence_s=float(spec))
+
+
+def normalize_burst_buffer(spec: Any) -> Any:
+    """Normalize a burst-buffer field (None/bool/bytes/params/dict) into
+    :class:`repro.machine.BurstBufferParams` or None."""
+    if spec is None or spec is False:
+        return None
+    from ..machine.burstbuffer import BurstBufferParams
+
+    if isinstance(spec, BurstBufferParams):
+        return spec
+    if spec is True:
+        return BurstBufferParams()
+    if isinstance(spec, dict):
+        return BurstBufferParams(**spec)
+    return BurstBufferParams(capacity_bytes=int(spec))
 
 _APP_DEFAULTS: dict[str, Callable[[], Any]] = {
     "escat": paper_escat,
     "render": paper_render,
     "htf": paper_htf,
     "checkpoint": paper_checkpoint,
+    "trace": paper_trace,
 }
 
 
@@ -70,7 +110,8 @@ class Experiment:
     Parameters
     ----------
     app:
-        'escat', 'render', 'htf' or 'checkpoint'.
+        'escat', 'render', 'htf', 'checkpoint' or 'trace' (replay an
+        ingested trace, see :mod:`repro.apps.trace`).
     config:
         Application workload config; None = the paper's run.
     machine_factory:
@@ -140,32 +181,11 @@ class Experiment:
 
     def _build_telemetry(self) -> Any:
         """Normalize the ``telemetry`` field into a Telemetry or None."""
-        spec = self.telemetry
-        if spec is None or spec is False:
-            return None
-        # Imported here so telemetry-free builds never touch the subsystem.
-        from ..telemetry import Telemetry
-
-        if isinstance(spec, Telemetry):
-            return spec
-        if spec is True:
-            return Telemetry()
-        return Telemetry(cadence_s=float(spec))
+        return normalize_telemetry(self.telemetry)
 
     def _build_burst_buffer(self) -> Any:
         """Normalize the ``burst_buffer`` field into params or None."""
-        spec = self.burst_buffer
-        if spec is None or spec is False:
-            return None
-        from ..machine.burstbuffer import BurstBufferParams
-
-        if isinstance(spec, BurstBufferParams):
-            return spec
-        if spec is True:
-            return BurstBufferParams()
-        if isinstance(spec, dict):
-            return BurstBufferParams(**spec)
-        return BurstBufferParams(capacity_bytes=int(spec))
+        return normalize_burst_buffer(self.burst_buffer)
 
     def run(self) -> ExperimentResult:
         """Execute the experiment; returns traces keyed by program name."""
@@ -236,6 +256,12 @@ class Experiment:
                     f"checkpoint needs CheckpointConfig, got {type(config).__name__}"
                 )
             application = Checkpoint(machine=machine, fs=instrumented, config=config)
+        elif self.app == "trace":
+            if not isinstance(config, TraceReplayConfig):
+                raise TypeError(
+                    f"trace needs TraceReplayConfig, got {type(config).__name__}"
+                )
+            application = TraceReplay(machine=machine, fs=instrumented, config=config)
         else:
             if not isinstance(config, RenderConfig):
                 raise TypeError(f"render needs RenderConfig, got {type(config).__name__}")

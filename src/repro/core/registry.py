@@ -23,6 +23,9 @@ from ..apps.workloads import (
     small_htf,
     small_machine,
     small_render,
+    small_trace,
+    paper_trace,
+    production_trace,
 )
 from .experiment import Experiment
 
@@ -40,6 +43,10 @@ APPLICATIONS: dict[str, tuple[Callable[[], Any], ...]] = {
     "render": (paper_render, small_render, production_render),
     "htf": (paper_htf, small_htf, production_htf),
     "checkpoint": (paper_checkpoint, small_checkpoint, production_checkpoint),
+    # Trace replay: the "bring your own app" entry.  Its presets are
+    # scale-free placeholders — the ingested trace supplies the workload
+    # (repro run trace --input FILE).
+    "trace": (paper_trace, small_trace, production_trace),
 }
 
 

@@ -16,7 +16,10 @@ Semantics
   restored with explicit positioning, so data lands where it did.
 * ``think_time='preserve'`` reinserts the original gaps between a node's
   operations (compute stays compute); ``'none'`` issues back-to-back
-  (measures pure I/O capability for this stream).
+  (measures pure I/O capability for this stream); ``'anchor'`` waits for
+  each operation's original absolute start time (timed replay: start
+  times — and hence the makespan — track the source trace even when the
+  replay configuration re-prices individual calls).
 * Async pairs (AsynchRead + I/O Wait) are matched per (node, file) in
   FIFO order, as NX semantics guarantee.
 * Files are replayed in M_UNIX mode; coordinated-mode scheduling effects
@@ -37,7 +40,17 @@ from ..pablo.trace import Trace
 from ..pfs.filesystem import PFS
 from ..apps.workloads import paper_machine
 
-__all__ = ["ReplayResult", "replay_trace"]
+__all__ = [
+    "ReplayResult",
+    "replay_trace",
+    "node_streams",
+    "replay_node",
+    "prepare_replay_files",
+    "THINK_TIMES",
+]
+
+#: Accepted ``think_time`` values (see module docstring).
+THINK_TIMES = ("preserve", "none", "anchor")
 
 
 @dataclass
@@ -62,7 +75,7 @@ class ReplayResult:
         return self.trace.duration / self.original.duration if self.original.duration else 0.0
 
 
-def _node_streams(trace: Trace) -> dict[int, np.ndarray]:
+def node_streams(trace: Trace) -> dict[int, np.ndarray]:
     """Per-node event arrays in timestamp order."""
     ev = trace.events
     streams: dict[int, np.ndarray] = {}
@@ -73,9 +86,27 @@ def _node_streams(trace: Trace) -> dict[int, np.ndarray]:
     return streams
 
 
-def _replay_node(fs: InstrumentedPFS, node: int, events: np.ndarray, preserve: bool):
-    """Generator process replaying one node's stream."""
+def replay_node(
+    fs: InstrumentedPFS,
+    node: int,
+    events: np.ndarray,
+    think_time: str = "preserve",
+    path_of: Optional[Callable[[int], str]] = None,
+    base: float = 0.0,
+):
+    """Generator process replaying one node's stream.
+
+    ``path_of`` maps a file id to the path opened during replay (default:
+    the ``/replay/fileN`` namespace).  ``think_time`` is one of
+    :data:`THINK_TIMES`.  ``base`` is the trace-global first timestamp —
+    the instant anchored replay maps onto the current simulated time (it
+    keeps inter-node alignment when a node starts late in the original).
+    """
     env = fs.env
+    naming = path_of if path_of is not None else _default_path
+    preserve = think_time == "preserve"
+    anchor = think_time == "anchor"
+    epoch = env.now
     fds: dict[int, int] = {}  # file_id -> replay fd
     pending: dict[int, list] = {}  # file_id -> FIFO of aread handles
     prev_end: Optional[float] = None
@@ -83,7 +114,7 @@ def _replay_node(fs: InstrumentedPFS, node: int, events: np.ndarray, preserve: b
     def fd_for(file_id: int):
         fd = fds.get(file_id)
         if fd is None:
-            fd = yield from fs.open(node, f"/replay/file{file_id}", file_id=file_id)
+            fd = yield from fs.open(node, naming(file_id), file_id=file_id)
             fds[file_id] = fd
         return fd
 
@@ -96,12 +127,19 @@ def _replay_node(fs: InstrumentedPFS, node: int, events: np.ndarray, preserve: b
             gap = float(row["timestamp"]) - prev_end
             if gap > 0:
                 yield env.timeout(gap)
+        elif anchor:
+            # Wait out the original absolute start time (first event of
+            # the whole trace = replay epoch); a replay running late
+            # issues immediately and re-anchors at the next opportunity.
+            due = epoch + (float(row["timestamp"]) - base)
+            if due > env.now:
+                yield env.timeout(due - env.now)
         prev_end = float(row["timestamp"] + row["duration"])
 
         if op is Op.OPEN:
             if file_id not in fds:
                 fds[file_id] = yield from fs.open(
-                    node, f"/replay/file{file_id}", file_id=file_id
+                    node, naming(file_id), file_id=file_id
                 )
         elif op is Op.CLOSE:
             fd = fds.pop(file_id, None)
@@ -143,6 +181,27 @@ def _replay_node(fs: InstrumentedPFS, node: int, events: np.ndarray, preserve: b
             yield from fs.iowait(node, handle)
 
 
+def _default_path(file_id: int) -> str:
+    """The replay namespace path for a file id."""
+    return f"/replay/file{file_id}"
+
+
+def prepare_replay_files(
+    fs: PFS,
+    trace: Trace,
+    path_of: Optional[Callable[[int], str]] = None,
+) -> None:
+    """Pre-create every file the trace touches at its maximum data
+    extent, with its original file id, so replayed reads see data."""
+    naming = path_of if path_of is not None else _default_path
+    ev = trace.events
+    for file_id in np.unique(ev["file_id"]):
+        sel = ev[ev["file_id"] == file_id]
+        data = sel[np.isin(sel["op"], [int(Op.READ), int(Op.AREAD), int(Op.WRITE)])]
+        size = int((data["offset"] + data["nbytes"]).max()) if len(data) else 0
+        fs.ensure(naming(int(file_id)), file_id=int(file_id), size=size)
+
+
 def replay_trace(
     trace: Trace,
     machine_factory: Callable[[], Paragon] = paper_machine,
@@ -162,10 +221,13 @@ def replay_trace(
         pass e.g. ``lambda m: PPFS(m, policies=...)`` for what-if runs.
     think_time:
         'preserve' reinserts original inter-op gaps; 'none' replays
-        back-to-back.
+        back-to-back; 'anchor' starts each call at its original absolute
+        time (timed replay).
     """
-    if think_time not in ("preserve", "none"):
-        raise ValueError(f"think_time must be preserve/none, got {think_time!r}")
+    if think_time not in THINK_TIMES:
+        raise ValueError(
+            f"think_time must be one of {'/'.join(THINK_TIMES)}, got {think_time!r}"
+        )
     machine = machine_factory()
     fs = fs_factory(machine) if fs_factory is not None else PFS(machine)
     instrumented = InstrumentedPFS(
@@ -173,21 +235,17 @@ def replay_trace(
     )
 
     # Pre-create every file at its original size so reads see data.
-    ev = trace.events
-    for file_id in np.unique(ev["file_id"]):
-        sel = ev[ev["file_id"] == file_id]
-        data = sel[np.isin(sel["op"], [int(Op.READ), int(Op.AREAD), int(Op.WRITE)])]
-        size = int((data["offset"] + data["nbytes"]).max()) if len(data) else 0
-        fs.ensure(f"/replay/file{int(file_id)}", file_id=int(file_id), size=size)
+    prepare_replay_files(fs, trace)
 
-    preserve = think_time == "preserve"
+    ev = trace.events
+    base = float(ev["timestamp"].min()) if len(ev) else 0.0
     start = machine.env.now
     procs = [
         machine.env.process(
-            _replay_node(instrumented, node, events, preserve),
+            replay_node(instrumented, node, events, think_time, base=base),
             name=f"replay.n{node}",
         )
-        for node, events in _node_streams(trace).items()
+        for node, events in node_streams(trace).items()
     ]
     machine.run()
     for p in procs:

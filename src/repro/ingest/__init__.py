@@ -1,0 +1,34 @@
+"""repro.ingest — bring your own trace.
+
+Imports external I/O trace records (a documented JSONL/CSV common-core
+schema covering what Darshan and Recorder logs carry: rank, op, file,
+offset, size, timestamp) and our own exported traces, normalizes them
+into Pablo :class:`~repro.pablo.trace.Trace` objects, and exports
+captured traces back out in the same schema.  Ingested traces replay
+through the simulator as the ``trace`` application and join campaigns as
+a sweep axis.
+"""
+
+from .convert import (
+    export_trace,
+    load_trace,
+    records_to_trace,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_records,
+)
+from .schema import OP_ALIASES, Record, SchemaError, canonical_op_name, parse_op
+
+__all__ = [
+    "OP_ALIASES",
+    "Record",
+    "SchemaError",
+    "canonical_op_name",
+    "export_trace",
+    "load_trace",
+    "parse_op",
+    "records_to_trace",
+    "trace_from_csv",
+    "trace_from_jsonl",
+    "trace_to_records",
+]

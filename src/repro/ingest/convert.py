@@ -1,0 +1,261 @@
+"""Convert external trace records to and from Pablo traces.
+
+The import side parses JSONL or CSV files of :mod:`schema
+<repro.ingest.schema>` records, resolves implicit offsets with POSIX
+file-cursor semantics, assigns file ids, and produces an ordinary
+:class:`repro.pablo.trace.Trace` — from there the whole toolchain
+(characterize, compare, replay, campaigns) applies unchanged.
+
+The export side writes any captured Trace back out in the same schema,
+carrying explicit ``file_id`` and ``offset`` per record, so
+``export -> ingest`` is bit-exact: the re-imported trace has the same
+content hash as the original.  Resilience rows (FAULT/RETRY/DEGRADED)
+describe the run, not the application, and are not exported.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Iterator, Optional
+
+from ..pablo.events import Op
+from ..pablo.trace import Trace
+from .schema import Record, SchemaError, canonical_op_name
+
+__all__ = [
+    "records_to_trace",
+    "trace_to_records",
+    "trace_from_jsonl",
+    "trace_from_csv",
+    "export_trace",
+    "load_trace",
+]
+
+#: Ops replayed from external traces (everything but resilience rows).
+_REPLAYABLE = frozenset(int(op) for op in Op if op < Op.FAULT)
+
+#: CSV column order for exports (imports accept any order).
+_CSV_FIELDS = ("timestamp", "rank", "op", "file", "offset", "size", "duration", "file_id")
+
+
+# -- import ------------------------------------------------------------------
+
+def _iter_jsonl(text: str) -> Iterator[Record]:
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(lineno, f"invalid JSON: {exc.msg}") from None
+        if not isinstance(row, dict):
+            raise SchemaError(lineno, f"expected an object, got {type(row).__name__}")
+        yield Record.from_mapping(row, lineno)
+
+
+def _iter_csv(text: str) -> Iterator[Record]:
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None:
+        return
+    fields = {name.strip().lower() for name in reader.fieldnames}
+    missing = {"rank", "op", "file", "timestamp"} - fields
+    if missing:
+        raise SchemaError(1, f"header missing required columns {sorted(missing)}")
+    for row in reader:
+        lineno = reader.line_num
+        cleaned = {
+            (k or "").strip().lower(): (v.strip() if isinstance(v, str) else v)
+            for k, v in row.items()
+        }
+        if cleaned.get(None) or None in row and row[None]:
+            raise SchemaError(lineno, "row has more columns than the header")
+        yield Record.from_mapping(cleaned, lineno)
+
+
+def records_to_trace(
+    records: Iterable[Record],
+    application: str = "ingested",
+    comment: str = "",
+) -> Trace:
+    """Normalize validated records into a Pablo trace.
+
+    Records are taken in file order (external tools emit per-rank streams
+    already time-sorted; replay re-sorts per node anyway).  Offsets absent
+    from the input are resolved against a per-(rank, file) cursor exactly
+    as a POSIX file descriptor would move; seek sizes become seek
+    *distances* per the Pablo convention.  File ids honour an explicit
+    ``file_id`` column (our own exports) and are otherwise assigned in
+    order of first appearance.
+    """
+    trace = Trace(application=application, comment=comment)
+    ids: dict[str, int] = {}
+    used: set[int] = set()
+    cursors: dict[tuple[int, int], int] = {}
+    pending: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    max_rank = -1
+
+    def file_id_for(rec: Record) -> int:
+        fid = ids.get(rec.file)
+        if fid is not None:
+            if rec.file_id is not None and rec.file_id != fid:
+                raise SchemaError(
+                    rec.line,
+                    f"file {rec.file!r} bound to id {fid}, record says {rec.file_id}",
+                )
+            return fid
+        if rec.file_id is not None:
+            fid = rec.file_id
+            if fid in used:
+                raise SchemaError(
+                    rec.line, f"file_id {fid} already used by another file"
+                )
+        else:
+            fid = 1
+            while fid in used:
+                fid += 1
+        ids[rec.file] = fid
+        used.add(fid)
+        trace.file_names[fid] = rec.file
+        return fid
+
+    for rec in records:
+        fid = file_id_for(rec)
+        key = (rec.rank, fid)
+        max_rank = max(max_rank, rec.rank)
+        cursor = cursors.get(key, 0)
+        offset, nbytes = rec.offset, rec.size
+
+        if rec.op in (Op.READ, Op.WRITE, Op.AREAD):
+            if offset is None:
+                offset = cursor
+            cursors[key] = offset + nbytes
+            if rec.op is Op.AREAD:
+                pending.setdefault(key, []).append((offset, nbytes))
+        elif rec.op is Op.SEEK:
+            # offset is the target (validated non-None); nbytes records the
+            # distance moved unless the source already supplied one.
+            if nbytes == 0:
+                nbytes = abs(offset - cursor)
+            cursors[key] = offset
+        elif rec.op is Op.IOWAIT:
+            queue = pending.get(key)
+            if queue and rec.offset is None:
+                offset, matched = queue.pop(0)
+                if nbytes == 0:
+                    nbytes = matched
+        elif rec.op is Op.OPEN:
+            cursors.setdefault(key, 0)
+
+        trace.add(
+            rec.timestamp,
+            rec.rank,
+            rec.op,
+            fid,
+            offset if offset is not None else 0,
+            nbytes,
+            rec.duration,
+        )
+
+    trace.nodes = max_rank + 1 if max_rank >= 0 else 0
+    return trace
+
+
+def trace_from_jsonl(text: str, application: str = "ingested") -> Trace:
+    """Parse JSON Lines records into a trace."""
+    return records_to_trace(_iter_jsonl(text), application=application)
+
+
+def trace_from_csv(text: str, application: str = "ingested") -> Trace:
+    """Parse CSV records into a trace."""
+    return records_to_trace(_iter_csv(text), application=application)
+
+
+def load_trace(path: str, fmt: str = "auto", application: Optional[str] = None) -> Trace:
+    """Load a trace from ``path`` in any supported container.
+
+    ``fmt`` is ``'jsonl'``, ``'csv'``, ``'sddf'`` or ``'auto'`` (by file
+    extension; unknown extensions are treated as SDDF, our native form).
+    """
+    path = str(path)
+    if fmt == "auto":
+        lower = path.lower()
+        if lower.endswith((".jsonl", ".ndjson", ".json")):
+            fmt = "jsonl"
+        elif lower.endswith(".csv"):
+            fmt = "csv"
+        else:
+            fmt = "sddf"
+    if fmt == "sddf":
+        trace = Trace.load(path)
+        if application:
+            trace.application = application
+        return trace
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    name = application or "ingested"
+    if fmt == "jsonl":
+        return trace_from_jsonl(text, application=name)
+    if fmt == "csv":
+        return trace_from_csv(text, application=name)
+    raise ValueError(f"unknown trace format {fmt!r}; pick jsonl/csv/sddf/auto")
+
+
+# -- export ------------------------------------------------------------------
+
+def trace_to_records(trace: Trace) -> Iterator[dict]:
+    """Yield one schema mapping per replayable event (resilience rows —
+    FAULT/RETRY/DEGRADED — are documentation of the run, not workload,
+    and are skipped)."""
+    names = trace.file_names
+    for ts, node, op, fid, offset, nbytes, dur in trace.events.tolist():
+        if int(op) not in _REPLAYABLE:
+            continue
+        yield {
+            "timestamp": float(ts),
+            "rank": int(node),
+            "op": canonical_op_name(Op(int(op))),
+            "file": names.get(int(fid), f"/file{int(fid)}"),
+            "offset": int(offset),
+            "size": int(nbytes),
+            "duration": float(dur),
+            "file_id": int(fid),
+        }
+
+
+def export_trace(trace: Trace, path: str, fmt: str = "auto") -> int:
+    """Write ``trace`` to ``path`` as JSONL or CSV schema records;
+    returns the number of records written."""
+    path = str(path)
+    if fmt == "auto":
+        lower = path.lower()
+        if lower.endswith(".csv"):
+            fmt = "csv"
+        elif lower.endswith((".jsonl", ".ndjson", ".json")):
+            fmt = "jsonl"
+        else:
+            raise ValueError(
+                f"cannot infer export format from {path!r}; pass fmt='jsonl' or 'csv'"
+            )
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        if fmt == "jsonl":
+            for rec in trace_to_records(trace):
+                fh.write(json.dumps(rec, separators=(", ", ": ")) + "\n")
+                count += 1
+        elif fmt == "csv":
+            writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+            writer.writeheader()
+            for rec in trace_to_records(trace):
+                writer.writerow({k: _csv_cell(rec[k]) for k in _CSV_FIELDS})
+                count += 1
+        else:
+            raise ValueError(f"unknown export format {fmt!r}; pick jsonl/csv")
+    return count
+
+
+def _csv_cell(value):
+    """Render floats with full precision so a CSV round-trip is exact."""
+    return repr(value) if isinstance(value, float) else value

@@ -1,0 +1,177 @@
+"""The external trace record schema and its validation.
+
+``repro.ingest`` accepts I/O trace records in a deliberately small
+common-core schema — the intersection of what Darshan DXT segments,
+Recorder POSIX logs and our own Pablo exports all carry:
+
+=============  =========  =====================================================
+field          required   meaning
+=============  =========  =====================================================
+``rank``       yes        issuing process rank (maps to a compute node)
+``op``         yes        operation name; aliases accepted, see `OP_ALIASES`
+``file``       yes        file path (string); ranks share a namespace
+``timestamp``  yes        operation start time in seconds (any epoch)
+``size``       no         bytes transferred (seek: distance); default 0
+``offset``     no         absolute byte offset; resolved from a per-(rank,
+                          file) cursor when absent, POSIX-style
+``duration``   no         seconds the call took; default 0
+``file_id``    no         explicit file id (our own exports carry it so a
+                          round-trip is bit-exact); assigned when absent
+=============  =========  =====================================================
+
+Containers: JSON Lines (one object per line) or CSV (header row names the
+columns, any order).  Validation failures raise :class:`SchemaError`
+naming the offending line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..pablo.events import Op
+
+__all__ = ["SchemaError", "Record", "OP_ALIASES", "canonical_op_name", "parse_op"]
+
+
+class SchemaError(ValueError):
+    """An external trace record that does not fit the ingest schema."""
+
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        #: 1-based line number in the source file.
+        self.line = line
+
+
+#: Canonical export name for each replayable operation.
+CANONICAL_NAMES: dict[Op, str] = {
+    Op.OPEN: "open",
+    Op.CLOSE: "close",
+    Op.READ: "read",
+    Op.WRITE: "write",
+    Op.SEEK: "seek",
+    Op.AREAD: "aread",
+    Op.IOWAIT: "iowait",
+    Op.LSIZE: "lsize",
+    Op.FLUSH: "flush",
+}
+
+#: Accepted operation spellings -> Op.  Covers the POSIX/stdio families
+#: Darshan and Recorder emit plus NX/PFS names from our own exports.
+OP_ALIASES: dict[str, Op] = {
+    # opens
+    "open": Op.OPEN, "open64": Op.OPEN, "openat": Op.OPEN, "fopen": Op.OPEN,
+    "fopen64": Op.OPEN, "creat": Op.OPEN, "create": Op.OPEN, "gopen": Op.OPEN,
+    # closes
+    "close": Op.CLOSE, "fclose": Op.CLOSE,
+    # reads
+    "read": Op.READ, "pread": Op.READ, "pread64": Op.READ, "fread": Op.READ,
+    "readv": Op.READ, "preadv": Op.READ, "cread": Op.READ,
+    # writes
+    "write": Op.WRITE, "pwrite": Op.WRITE, "pwrite64": Op.WRITE,
+    "fwrite": Op.WRITE, "writev": Op.WRITE, "pwritev": Op.WRITE,
+    "cwrite": Op.WRITE,
+    # seeks
+    "seek": Op.SEEK, "lseek": Op.SEEK, "lseek64": Op.SEEK, "fseek": Op.SEEK,
+    "fseeko": Op.SEEK,
+    # async reads + completion
+    "aread": Op.AREAD, "iread": Op.AREAD, "aio_read": Op.AREAD,
+    "asynchread": Op.AREAD,
+    "iowait": Op.IOWAIT, "iodone": Op.IOWAIT, "aio_wait": Op.IOWAIT,
+    "aio_suspend": Op.IOWAIT, "i/o wait": Op.IOWAIT,
+    # metadata size query
+    "lsize": Op.LSIZE, "stat": Op.LSIZE, "fstat": Op.LSIZE,
+    "stat64": Op.LSIZE, "fstat64": Op.LSIZE,
+    # flushes
+    "flush": Op.FLUSH, "fflush": Op.FLUSH, "fsync": Op.FLUSH,
+    "fdatasync": Op.FLUSH, "forflush": Op.FLUSH,
+    # Darshan module-prefixed counter names (POSIX_READ, MPIIO_WRITE, ...)
+    "posix_open": Op.OPEN, "posix_close": Op.CLOSE, "posix_read": Op.READ,
+    "posix_write": Op.WRITE, "posix_seek": Op.SEEK, "posix_stat": Op.LSIZE,
+    "posix_fsync": Op.FLUSH,
+    "mpiio_open": Op.OPEN, "mpiio_close": Op.CLOSE, "mpiio_read": Op.READ,
+    "mpiio_write": Op.WRITE, "mpiio_seek": Op.SEEK, "mpiio_sync": Op.FLUSH,
+}
+
+
+def canonical_op_name(op: Op) -> str:
+    """The name :func:`repro.ingest.export_trace` writes for ``op``."""
+    return CANONICAL_NAMES[Op(op)]
+
+
+def parse_op(name: str, line: int) -> Op:
+    """Resolve an external op spelling; raises :class:`SchemaError`."""
+    try:
+        return OP_ALIASES[str(name).strip().lower()]
+    except KeyError:
+        raise SchemaError(
+            line,
+            f"unknown op {name!r} (known: {sorted(set(OP_ALIASES))})",
+        ) from None
+
+
+@dataclass
+class Record:
+    """One validated external trace record."""
+
+    rank: int
+    op: Op
+    file: str
+    timestamp: float
+    size: int = 0
+    offset: Optional[int] = None
+    duration: float = 0.0
+    file_id: Optional[int] = None
+    #: Source line (diagnostics only).
+    line: int = 0
+
+    @classmethod
+    def from_mapping(cls, row: dict, line: int) -> "Record":
+        """Validate one raw mapping (parsed JSON object / CSV row)."""
+        def need(key):
+            value = row.get(key)
+            if value is None or value == "":
+                raise SchemaError(line, f"missing required field {key!r}")
+            return value
+
+        def integer(key, value, minimum=0):
+            try:
+                out = int(value)
+            except (TypeError, ValueError):
+                raise SchemaError(line, f"{key} must be an integer, got {value!r}") from None
+            if out < minimum:
+                raise SchemaError(line, f"{key} must be >= {minimum}, got {out}")
+            return out
+
+        def floating(key, value, minimum=None):
+            try:
+                out = float(value)
+            except (TypeError, ValueError):
+                raise SchemaError(line, f"{key} must be a number, got {value!r}") from None
+            if minimum is not None and out < minimum:
+                raise SchemaError(line, f"{key} must be >= {minimum}, got {out}")
+            return out
+
+        op = parse_op(need("op"), line)
+        path = str(need("file"))
+        offset = row.get("offset")
+        offset = None if offset in (None, "") else integer("offset", offset)
+        if op is Op.SEEK and offset is None:
+            raise SchemaError(line, "seek records require an offset (the target)")
+        size = row.get("size")
+        size = 0 if size in (None, "") else integer("size", size)
+        duration = row.get("duration")
+        duration = 0.0 if duration in (None, "") else floating("duration", duration, 0.0)
+        file_id = row.get("file_id")
+        file_id = None if file_id in (None, "") else integer("file_id", file_id, 1)
+        return cls(
+            rank=integer("rank", need("rank")),
+            op=op,
+            file=path,
+            timestamp=floating("timestamp", need("timestamp")),
+            size=size,
+            offset=offset,
+            duration=duration,
+            file_id=file_id,
+            line=line,
+        )

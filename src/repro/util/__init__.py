@@ -1,6 +1,7 @@
 """Shared helpers: byte units, formatting, validation, atomic file writes."""
 
 from .io import atomic_write_json, atomic_write_text
+from .parsing import csv_list, parse_size
 from .units import GB, KB, MB, STRIPE_UNIT, fmt_bytes, fmt_seconds
 from .validation import check_nonneg, check_positive, check_range, sanitize_filename
 
@@ -9,6 +10,8 @@ __all__ = [
     "MB",
     "GB",
     "STRIPE_UNIT",
+    "csv_list",
+    "parse_size",
     "fmt_bytes",
     "fmt_seconds",
     "check_nonneg",

@@ -1,0 +1,130 @@
+"""Lock-step bridge between ordinary Python code and the event kernel.
+
+The simulator is cooperative: every PFS operation is a generator the
+kernel resumes.  Arbitrary user programs are *not* generators — they call
+``f.read(...)`` and expect it to block.  The bridge reconciles the two
+with one worker thread per simulated program and a strict hand-off
+discipline:
+
+* The user program runs on its own thread.  Every simulated call posts a
+  request to its :class:`Channel` and blocks until the result arrives.
+* A *pump* — a plain simulation process — serves the channel: it blocks
+  the kernel thread until the program posts its next request (user
+  compute takes zero simulated time), executes the operation as a
+  normal ``yield from``, and posts the result back.
+
+At most one side of a channel runs at any instant, so execution is
+sequential and fully deterministic: the kernel's (time, seq) event order
+alone decides how concurrent programs interleave, exactly as it does for
+the built-in application skeletons.  User threads never touch simulator
+state directly — everything crosses through the channel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+__all__ = ["Channel", "ProgramCrashed", "pump"]
+
+
+class ProgramCrashed(RuntimeError):
+    """A user program raised; carries the original exception as cause."""
+
+
+class _Request:
+    """One marshalled call crossing the thread boundary."""
+
+    __slots__ = ("method", "args", "kwargs", "done")
+
+    def __init__(self, method: str, args: tuple, kwargs: dict, done: bool = False):
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.done = done
+
+
+class Channel:
+    """Rendezvous between one user thread and its pump process.
+
+    The protocol is strictly alternating: the user side calls
+    :meth:`call` (or :meth:`finish`), the sim side answers with
+    :meth:`post`.  Both directions use one-shot events re-armed per
+    exchange, so a stalled partner can never consume a stale message.
+    """
+
+    def __init__(self) -> None:
+        self._req: Optional[_Request] = None
+        self._result: Any = None
+        self._exc: Optional[BaseException] = None
+        self._req_ready = threading.Event()
+        self._res_ready = threading.Event()
+        self.closed = False
+
+    # -- user-thread side --------------------------------------------------
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Marshal one simulated operation; blocks until the pump answers."""
+        if self.closed:
+            raise ProgramCrashed("simulation already finished for this program")
+        self._req = _Request(method, args, kwargs)
+        self._req_ready.set()
+        self._res_ready.wait()
+        self._res_ready.clear()
+        exc, self._exc = self._exc, None
+        if exc is not None:
+            raise exc
+        return self._result
+
+    def finish(self, exc: Optional[BaseException] = None) -> None:
+        """Tell the pump the program is done (or died with ``exc``)."""
+        self._req = _Request("", (), {"exc": exc}, done=True)
+        self._req_ready.set()
+
+    # -- sim side ----------------------------------------------------------
+    def next_request(self) -> _Request:
+        """Block the kernel thread until the user posts its next request."""
+        self._req_ready.wait()
+        self._req_ready.clear()
+        req = self._req
+        assert req is not None
+        return req
+
+    def post(self, result: Any = None, exc: Optional[BaseException] = None) -> None:
+        """Answer the pending request, waking the user thread."""
+        self._result = result
+        self._exc = exc
+        self._res_ready.set()
+
+    def abort(self, exc: BaseException) -> None:
+        """Release a user thread still blocked in :meth:`call` after the
+        simulation ended without serving it (deadlock cleanup)."""
+        self.closed = True
+        if not self._res_ready.is_set():
+            self._result, self._exc = None, exc
+            self._res_ready.set()
+
+
+def pump(channel: Channel, dispatch: Callable[[str, tuple, dict], Any]):
+    """Simulation-process generator serving one program's channel.
+
+    ``dispatch(method, args, kwargs)`` must return a generator executing
+    the operation (pure state queries simply return without yielding).
+    Errors raised by an operation cross back to the user thread — user
+    code may catch a simulated ``FileNotFoundError`` and carry on.  An
+    exception that escapes the user program itself re-raises here,
+    wrapped in :class:`ProgramCrashed`, so the harness surfaces it.
+    """
+    while True:
+        req = channel.next_request()
+        if req.done:
+            channel.closed = True
+            exc = req.kwargs.get("exc")
+            if exc is not None:
+                raise ProgramCrashed(f"user program raised {exc!r}") from exc
+            return
+        try:
+            result = yield from dispatch(req.method, req.args, req.kwargs)
+        except BaseException as exc:  # noqa: BLE001 - crosses the bridge
+            channel.post(exc=exc)
+        else:
+            channel.post(result)

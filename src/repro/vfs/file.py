@@ -1,0 +1,262 @@
+"""File objects returned by :meth:`repro.vfs.SimFileSystem.open`.
+
+A :class:`SimFile` looks and behaves like a built-in Python file —
+``read/write/seek/tell/flush/close``, ``readinto``, line iteration,
+context-manager protocol, text or binary mode — but every data-touching
+call crosses the :mod:`bridge <repro.vfs.bridge>` into the simulated
+PFS, takes simulated time, and lands in the run's Pablo trace.
+
+Bytes are real when the harness tracks content (the default for
+:class:`repro.vfs.SimMachine`); with tracking off, reads return zero
+bytes of the correct length — the timing model is identical, only the
+payload is synthetic.
+
+Line iteration is client-buffered (stdio-style): ``readline`` fetches
+``buffer_size``-byte chunks through ordinary traced reads and splits
+them locally, so a line-by-line consumer costs a few large reads, not
+one read per line.  Seeks and writes invalidate the lookahead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SimFile", "AsyncRead"]
+
+#: Lookahead chunk for readline/iteration (one PFS read-buffer block).
+_DEFAULT_BUFFER = 8192
+
+
+class AsyncRead:
+    """Completion handle from :meth:`SimFile.read_async` (NX ``iread``)."""
+
+    def __init__(self, file: "SimFile", handle_id: int, nbytes: int):
+        self._file = file
+        self._id = handle_id
+        #: Bytes the read will return (EOF-clipped at issue time).
+        self.nbytes = nbytes
+        self._done = False
+        self._data: Optional[bytes] = None
+
+    def wait(self):
+        """Block (in simulated time) until the read lands; returns the
+        data in binary mode, the decoded text in text mode."""
+        if not self._done:
+            count, data = self._file._call("iowait", self._id)
+            self._done = True
+            self._data = data if data is not None else b"\x00" * count
+        return self._file._decode(self._data)
+
+
+class SimFile:
+    """A file handle bound to one simulated node.
+
+    Created by :meth:`SimFileSystem.open`; not constructed directly.
+    """
+
+    def __init__(
+        self,
+        channel,
+        fd: int,
+        path: str,
+        mode: str,
+        *,
+        readable: bool,
+        writable: bool,
+        append: bool,
+        text: bool,
+        encoding: str = "utf-8",
+        buffer_size: int = _DEFAULT_BUFFER,
+    ):
+        self._channel = channel
+        self._fd = fd
+        self.name = path
+        self.mode = mode
+        self._readable = readable
+        self._writable = writable
+        self._append = append
+        self._text = text
+        self.encoding = encoding if text else None
+        self._buffer_size = max(1, buffer_size)
+        self._peek = b""  # lookahead already consumed from the simulated file
+        self.closed = False
+
+    # -- plumbing ----------------------------------------------------------
+    def _call(self, method: str, *args, **kwargs):
+        if self.closed:
+            raise ValueError(f"I/O operation on closed file {self.name!r}")
+        return self._channel.call(method, *args, **kwargs)
+
+    def _decode(self, data: bytes):
+        return data.decode(self.encoding) if self._text else data
+
+    def _check(self, want_read: bool) -> None:
+        if want_read and not self._readable:
+            raise ValueError(f"file {self.name!r} not open for reading")
+        if not want_read and not self._writable:
+            raise ValueError(f"file {self.name!r} not open for writing")
+
+    # -- queries -----------------------------------------------------------
+    def readable(self) -> bool:
+        return self._readable
+
+    def writable(self) -> bool:
+        return self._writable
+
+    def seekable(self) -> bool:
+        return True
+
+    def fileno(self) -> int:
+        return self._fd
+
+    def tell(self) -> int:
+        """Logical position (byte offset, also in text mode)."""
+        return self._call("tell", self._fd) - len(self._peek)
+
+    def size(self) -> int:
+        """Current file size — a client-side query, unlike :meth:`lsize`."""
+        return self._call("size_of_fd", self._fd)
+
+    def lsize(self) -> int:
+        """File size via the metadata server (traced PFS ``lsize``)."""
+        self._drop_peek()
+        return self._call("lsize", self._fd)
+
+    # -- reading -----------------------------------------------------------
+    def _drop_peek(self) -> None:
+        """Discard the lookahead, repositioning to the logical offset."""
+        if self._peek:
+            back = len(self._peek)
+            self._peek = b""
+            self._call("rewind", self._fd, back)
+
+    def _read_raw(self, nbytes: int) -> bytes:
+        count, data = self._call("read", self._fd, nbytes)
+        return data if data is not None else b"\x00" * count
+
+    def read(self, size: int = -1):
+        """Read up to ``size`` bytes (all remaining when negative)."""
+        self._check(want_read=True)
+        if size is None or size < 0:
+            size = max(0, self._call("size_of_fd", self._fd) - self.tell())
+        out = b""
+        if self._peek:
+            out, self._peek = self._peek[:size], self._peek[size:]
+            size -= len(out)
+        if size > 0:
+            out += self._read_raw(size)
+        return self._decode(out)
+
+    def readinto(self, buffer) -> int:
+        """Fill ``buffer`` (binary mode only); returns bytes stored."""
+        if self._text:
+            raise TypeError("readinto requires binary mode")
+        view = memoryview(buffer)
+        data = self.read(len(view))
+        view[: len(data)] = data
+        return len(data)
+
+    def readline(self, limit: int = -1):
+        """Read one line (trailing newline kept, as built-in files do)."""
+        self._check(want_read=True)
+        while True:
+            idx = self._peek.find(b"\n")
+            if idx >= 0:
+                end = idx + 1 if limit < 0 else min(idx + 1, limit)
+                line, self._peek = self._peek[:end], self._peek[end:]
+                return self._decode(line)
+            if 0 <= limit <= len(self._peek):
+                line, self._peek = self._peek[:limit], self._peek[limit:]
+                return self._decode(line)
+            chunk = self._read_raw(self._buffer_size)
+            if not chunk:
+                line, self._peek = self._peek, b""
+                return self._decode(line)
+            self._peek += chunk
+
+    def readlines(self) -> list:
+        return list(self)
+
+    def __iter__(self) -> "SimFile":
+        return self
+
+    def __next__(self):
+        line = self.readline()
+        if not line:
+            raise StopIteration
+        return line
+
+    # -- async reads (M_ASYNC files) ---------------------------------------
+    def read_async(self, nbytes: int) -> AsyncRead:
+        """Issue an asynchronous read (cheap); overlap compute, then
+        :meth:`AsyncRead.wait` for the data."""
+        self._check(want_read=True)
+        self._drop_peek()
+        handle_id, count = self._call("aread", self._fd, nbytes)
+        return AsyncRead(self, handle_id, count)
+
+    # -- writing -----------------------------------------------------------
+    def write(self, data) -> int:
+        """Write ``data`` (str in text mode, bytes-like otherwise);
+        returns the number of bytes (not characters) written."""
+        self._check(want_read=False)
+        if self._text:
+            if not isinstance(data, str):
+                raise TypeError(f"write() expects str in text mode, got {type(data).__name__}")
+            payload = data.encode(self.encoding)
+        else:
+            payload = bytes(data)
+        self._drop_peek()
+        if self._append:
+            self._call("seek_end", self._fd)
+        if not payload:
+            return 0
+        return self._call("write", self._fd, payload)
+
+    def writelines(self, lines) -> None:
+        for line in lines:
+            self.write(line)
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        """Clip (or zero-extend) the file; returns the new size.
+
+        Modelled as an administrative metadata change: no simulated cost,
+        no trace row (PFS had no truncate call for applications to pay for).
+        """
+        self._check(want_read=False)
+        self._drop_peek()
+        return self._call("truncate", self._fd, size)
+
+    # -- positioning / lifecycle -------------------------------------------
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Reposition (traced PFS seek); returns the new offset."""
+        if whence == 1:
+            # The simulated pointer sits past the lookahead; correct the
+            # relative target so user-visible semantics match built-ins.
+            offset -= len(self._peek)
+        self._peek = b""
+        return self._call("seek", self._fd, offset, whence)
+
+    def flush(self) -> None:
+        """Force buffered data out (traced PFS flush/forflush)."""
+        if self.closed:
+            raise ValueError(f"I/O operation on closed file {self.name!r}")
+        self._call("flush", self._fd)
+
+    def close(self) -> None:
+        """Close the descriptor (idempotent, like built-in files)."""
+        if self.closed:
+            return
+        self._peek = b""
+        self._call("close", self._fd)
+        self.closed = True
+
+    def __enter__(self) -> "SimFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return f"<SimFile {self.name!r} mode={self.mode!r} {state}>"

@@ -1,0 +1,303 @@
+"""The bring-your-own-app harness: run real Python programs on the
+simulated machine.
+
+:class:`SimMachine` assembles exactly what :class:`repro.core.Experiment`
+would — machine, PFS or PPFS with policy presets, optional burst-buffer
+tier, fault injection, telemetry, Pablo instrumentation — then executes
+*user-written Python callables* against it instead of a built-in
+skeleton.  Each registered program gets a compute node, a worker thread,
+and a :class:`~repro.vfs.filesystem.SimFileSystem`; the program's
+ordinary blocking file calls take simulated time, and the run produces a
+standard Pablo :class:`~repro.pablo.trace.Trace` the existing
+``characterize``/``compare``/ingest pipeline consumes unchanged.
+
+::
+
+    def program(fs):
+        with fs.open("/in/data", "rb") as f:
+            data = f.read(65536)
+        with fs.open("/out/result", "wb") as f:
+            f.write(data)
+
+    sm = SimMachine(scale="small")
+    sm.stage("/in/data", b"x" * 65536)
+    sm.run_program(program, nodes=range(4))
+    result = sm.run()
+    print(result.trace.summary_line())
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from ..apps.workloads import paper_machine, production_machine, small_machine
+from ..core.experiment import normalize_burst_buffer, normalize_telemetry
+from ..machine.paragon import Paragon
+from ..pablo.capture import InstrumentedPFS
+from ..pablo.trace import Trace
+from ..pfs.costs import CostModel
+from ..pfs.filesystem import PFS
+from ..ppfs.policies import PPFSPolicies
+from ..ppfs.server import PPFS
+from ..sim.resources import Barrier
+from .bridge import Channel, ProgramCrashed, pump
+from .filesystem import NodeExecutor, SimFileSystem
+
+__all__ = ["SimMachine", "VfsResult"]
+
+_MACHINES: dict[str, Callable[[], Paragon]] = {
+    "paper": paper_machine,
+    "small": small_machine,
+    "production": production_machine,
+}
+
+
+class VfsResult:
+    """Everything one :meth:`SimMachine.run` produced."""
+
+    def __init__(self, machine, fs, trace, app_name, injector=None, telemetry=None):
+        self.machine = machine
+        #: The raw file system (PFS or PPFS) the programs ran against.
+        self.fs = fs
+        #: The captured Pablo trace (all programs share it).
+        self.trace = trace
+        self.injector = injector
+        self.telemetry = telemetry
+        self._app_name = app_name
+
+    @property
+    def traces(self) -> dict[str, Trace]:
+        """Experiment-compatible {program: trace} view."""
+        return {self._app_name: self.trace}
+
+    @property
+    def makespan_s(self) -> float:
+        """Simulated clock when the last program finished."""
+        return float(self.machine.env.now)
+
+
+class SimMachine:
+    """A simulated machine that runs arbitrary Python programs.
+
+    Parameters
+    ----------
+    scale:
+        'small', 'paper' or 'production' — picks the machine preset.
+    machine_factory:
+        Overrides ``scale`` with an explicit :class:`Paragon` builder.
+    filesystem / policies / costs:
+        As in :class:`repro.core.Experiment`: 'pfs' or 'ppfs', an optional
+        :class:`PPFSPolicies` preset, an optional :class:`CostModel`.
+    faults / telemetry / burst_buffer:
+        The same composition knobs experiments take — a
+        :class:`~repro.faults.FaultPlan`, a telemetry cadence/instance,
+        a burst-buffer capacity/params.
+    track_content:
+        Store real bytes per file so reads return actual data (the
+        default here, unlike the built-in skeletons: user programs
+        usually care about contents).  Turn off for huge byte volumes.
+    capture_overhead_s:
+        Per-call Pablo instrumentation perturbation (default zero).
+    name:
+        Application name stamped into the trace.
+    """
+
+    def __init__(
+        self,
+        scale: str = "small",
+        machine_factory: Optional[Callable[[], Paragon]] = None,
+        filesystem: str = "pfs",
+        policies: Optional[PPFSPolicies] = None,
+        costs: Optional[CostModel] = None,
+        faults: Any = None,
+        telemetry: Any = None,
+        burst_buffer: Any = None,
+        track_content: bool = True,
+        capture_overhead_s: float = 0.0,
+        name: str = "byoapp",
+    ):
+        if machine_factory is None:
+            if scale not in _MACHINES:
+                raise ValueError(
+                    f"scale must be one of {sorted(_MACHINES)}, got {scale!r}"
+                )
+            machine_factory = _MACHINES[scale]
+        if filesystem not in ("pfs", "ppfs"):
+            raise ValueError(f"filesystem must be pfs/ppfs, got {filesystem!r}")
+        if policies is not None and filesystem != "ppfs":
+            raise ValueError("policies require filesystem='ppfs'")
+        self.name = name
+        self.track_content = track_content
+        self.capture_overhead_s = capture_overhead_s
+        self.machine: Paragon = machine_factory()
+        bb_params = normalize_burst_buffer(burst_buffer)
+        if bb_params is not None and self.machine.burstbuffer is None:
+            from ..machine.burstbuffer import BurstBuffer
+
+            self.machine.burstbuffer = BurstBuffer(self.machine.env, bb_params)
+        if filesystem == "ppfs":
+            self.fs: PFS = PPFS(
+                self.machine, policies=policies, costs=costs,
+                track_content=track_content,
+            )
+        else:
+            self.fs = PFS(self.machine, costs=costs, track_content=track_content)
+        self.instrumented = InstrumentedPFS(
+            self.fs, trace=Trace(application=name), overhead_s=capture_overhead_s
+        )
+        self._faults = faults
+        self._telemetry_spec = telemetry
+        self._programs: dict[int, Callable[[SimFileSystem], Any]] = {}
+        self._ran = False
+
+    # -- setup ---------------------------------------------------------------
+    def stage(self, path: str, data: bytes = b"", size: Optional[int] = None) -> None:
+        """Pre-create ``path`` before the run (no simulated cost): real
+        ``data`` when given, else a hole of ``size`` bytes."""
+        f = self.fs.ensure(path, size=size if size is not None else len(data))
+        if data and f._content is not None:
+            f.write_content(0, data)
+            f.size = max(f.size, len(data))
+
+    def mark_burst_tier(self, path: str, enabled: bool = True) -> None:
+        """Route ``path``'s writes through the burst-buffer log (must be
+        staged or created first; harmless without a buffer)."""
+        self.fs.mark_burst_tier(path, enabled)
+
+    def run_program(
+        self,
+        fn: Callable[[SimFileSystem], Any],
+        node: int = 0,
+        nodes: Optional[Iterable[int]] = None,
+    ) -> "SimMachine":
+        """Register ``fn`` to run on ``node`` (or on each of ``nodes`` —
+        SPMD style, one thread per node).  ``fn`` receives that node's
+        :class:`SimFileSystem` and runs unmodified Python.  Returns self
+        for chaining."""
+        if self._ran:
+            raise RuntimeError("SimMachine.run() already executed")
+        if not callable(fn):
+            raise TypeError(f"program must be callable, got {type(fn).__name__}")
+        targets = [node] if nodes is None else list(nodes)
+        if not targets:
+            raise ValueError("nodes must be non-empty")
+        limit = self.machine.config.compute_nodes
+        for n in targets:
+            n = int(n)
+            if not 0 <= n < limit:
+                raise ValueError(f"node {n} outside machine's {limit} compute nodes")
+            if n in self._programs:
+                raise ValueError(f"node {n} already has a program")
+            self._programs[n] = fn
+        return self
+
+    # -- execution -------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> VfsResult:
+        """Execute every registered program to completion; returns the
+        result with the shared Pablo trace."""
+        if self._ran:
+            raise RuntimeError("SimMachine.run() already executed")
+        if not self._programs:
+            raise RuntimeError("no programs registered; call run_program() first")
+        self._ran = True
+        env = self.machine.env
+
+        injector = None
+        if self._faults is not None and not self._faults.empty:
+            from ..faults.inject import FaultInjector
+
+            injector = FaultInjector(self.machine, self._faults, fs=self.fs).start()
+
+        telemetry = normalize_telemetry(self._telemetry_spec)
+        if telemetry is not None:
+            telemetry.attach(self.machine, self.fs)
+            telemetry.start()
+
+        barrier = Barrier(env, len(self._programs))
+        channels: list[Channel] = []
+        threads: list[threading.Thread] = []
+        procs = []
+        for node in sorted(self._programs):
+            fn = self._programs[node]
+            channel = Channel()
+            channels.append(channel)
+            executor = NodeExecutor(
+                self.instrumented, node, barrier, self.track_content
+            )
+            sfs = SimFileSystem(
+                channel, node, len(self._programs), self.track_content
+            )
+            procs.append(
+                env.process(
+                    pump(channel, executor.dispatch), name=f"{self.name}.n{node}"
+                )
+            )
+            threads.append(
+                threading.Thread(
+                    target=_thread_main,
+                    args=(channel, fn, sfs),
+                    name=f"{self.name}.n{node}",
+                    daemon=True,
+                )
+            )
+
+        self.instrumented.trace.nodes = max(
+            self.instrumented.trace.nodes, len(self._programs)
+        )
+        for t in threads:
+            t.start()
+        try:
+            env.run(until=until)
+        except ProgramCrashed as exc:
+            # Surface the user program's own exception, not the wrapper
+            # the bridge uses to carry it across threads.
+            if exc.__cause__ is not None:
+                raise exc.__cause__ from None
+            raise
+        finally:
+            # Whatever happened, no channel may leave its user thread
+            # blocked: release stragglers, then reap the threads.
+            stuck = RuntimeError("simulation ended before this operation completed")
+            for channel in channels:
+                channel.abort(stuck)
+            for t in threads:
+                t.join(timeout=10.0)
+
+        alive = [p.name for p in procs if p.is_alive]
+        if alive:
+            raise RuntimeError(
+                f"programs never finished (deadlock? barrier mismatch?): {alive}"
+            )
+        for p in procs:
+            if not p.ok:
+                exc = p.value
+                if isinstance(exc, ProgramCrashed) and exc.__cause__ is not None:
+                    raise exc.__cause__
+                raise exc
+
+        if injector is not None:
+            injector.finalize()
+            rows = injector.recorder.rows
+            if rows:
+                self.instrumented.trace.extend(rows)
+        if telemetry is not None:
+            telemetry.finalize()
+        return VfsResult(
+            self.machine,
+            self.fs,
+            self.instrumented.trace,
+            self.name,
+            injector=injector,
+            telemetry=telemetry,
+        )
+
+
+def _thread_main(channel: Channel, fn, sfs: SimFileSystem) -> None:
+    """Worker-thread entry: run the user program, then report its end."""
+    try:
+        fn(sfs)
+    except BaseException as exc:  # noqa: BLE001 - reported across the bridge
+        channel.finish(exc=exc)
+    else:
+        channel.finish()

@@ -58,7 +58,7 @@ class TestExperiment:
         assert result.fs.writeback.writes_submitted > 0
 
     def test_registry_lists_all_apps(self):
-        assert set(APPLICATIONS) == {"escat", "render", "htf", "checkpoint"}
+        assert set(APPLICATIONS) == {"escat", "render", "htf", "checkpoint", "trace"}
 
     def test_registry_unknown_app(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,324 @@
+"""Tests for repro.ingest: external trace import, export, and replay.
+
+Covers schema validation (required columns, op aliases, typed errors
+with line numbers), POSIX-style cursor resolution of missing offsets,
+bit-exact export→import round trips in all three formats, the `trace`
+application end to end (registry, experiment harness, campaign axis),
+and the headline acceptance check: exporting an ESCAT run, re-ingesting
+it, and replaying it reproduces per-node op counts and byte totals
+exactly with an anchored makespan within 2%.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import TraceReplay, TraceReplayConfig
+from repro.campaign import CampaignSpec, RunSpec
+from repro.core import small_experiment
+from repro.ingest import (
+    OP_ALIASES,
+    Record,
+    SchemaError,
+    export_trace,
+    load_trace,
+    parse_op,
+    records_to_trace,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_records,
+)
+from repro.pablo import Op
+from repro.pablo.trace import Trace
+
+
+def write_jsonl(path, rows):
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+
+
+BASIC_ROWS = [
+    {"rank": 0, "op": "open", "file": "/data/a", "timestamp": 0.0},
+    {"rank": 0, "op": "write", "file": "/data/a", "timestamp": 0.1, "size": 4096},
+    {"rank": 0, "op": "write", "file": "/data/a", "timestamp": 0.2, "size": 4096},
+    {"rank": 0, "op": "close", "file": "/data/a", "timestamp": 0.3},
+    {"rank": 1, "op": "open", "file": "/data/a", "timestamp": 0.0},
+    {"rank": 1, "op": "seek", "file": "/data/a", "timestamp": 0.1, "offset": 8192},
+    {"rank": 1, "op": "read", "file": "/data/a", "timestamp": 0.2, "size": 1024},
+    {"rank": 1, "op": "close", "file": "/data/a", "timestamp": 0.3},
+]
+
+
+class TestSchema:
+    def test_op_aliases_cover_common_spellings(self):
+        for alias, want in [
+            ("pread64", Op.READ),
+            ("fwrite", Op.WRITE),
+            ("lseek", Op.SEEK),
+            ("fsync", Op.FLUSH),
+            ("aio_read", Op.AREAD),
+            ("iread", Op.AREAD),
+            ("POSIX_READ", Op.READ),
+        ]:
+            assert parse_op(alias, line=1) is want
+        assert len(OP_ALIASES) > 30
+
+    def test_unknown_op_rejected_with_line(self):
+        with pytest.raises(SchemaError) as err:
+            parse_op("teleport", line=17)
+        assert err.value.line == 17
+        assert "teleport" in str(err.value)
+
+    def test_record_from_mapping_validates(self):
+        rec = Record.from_mapping(
+            {"rank": "2", "op": "read", "file": "/f", "timestamp": "1.5",
+             "size": "100"},
+            line=3,
+        )
+        assert rec.rank == 2 and rec.op is Op.READ and rec.size == 100
+        assert rec.timestamp == 1.5 and rec.line == 3
+
+    @pytest.mark.parametrize(
+        "row, fragment",
+        [
+            ({"op": "read", "file": "/f", "timestamp": 0}, "rank"),
+            ({"rank": 0, "file": "/f", "timestamp": 0}, "op"),
+            ({"rank": 0, "op": "read", "timestamp": 0}, "file"),
+            ({"rank": 0, "op": "read", "file": "/f"}, "timestamp"),
+            ({"rank": -1, "op": "read", "file": "/f", "timestamp": 0}, "rank"),
+            ({"rank": "x", "op": "read", "file": "/f", "timestamp": 0}, "rank"),
+            ({"rank": 0, "op": "read", "file": "/f", "timestamp": "soon"},
+             "timestamp"),
+            ({"rank": 0, "op": "read", "file": "/f", "timestamp": 0,
+              "size": -5}, "size"),
+            ({"rank": 0, "op": "seek", "file": "/f", "timestamp": 0}, "offset"),
+            ({"rank": 0, "op": "read", "file": "/f", "timestamp": 0,
+              "file_id": 0}, "file_id"),
+        ],
+    )
+    def test_bad_rows_raise_schema_errors(self, row, fragment):
+        with pytest.raises(SchemaError) as err:
+            Record.from_mapping(row, line=9)
+        assert err.value.line == 9
+        assert fragment in str(err.value)
+
+
+class TestConvert:
+    def test_jsonl_to_trace_with_cursor_resolution(self, tmp_path):
+        src = tmp_path / "t.jsonl"
+        write_jsonl(src, BASIC_ROWS)
+        trace = load_trace(src)
+        assert len(trace) == len(BASIC_ROWS)
+        assert trace.nodes == 2
+
+        ev = trace.events
+        r0_writes = ev[(ev["node"] == 0) & (ev["op"] == int(Op.WRITE))]
+        # Sequential offsets resolved POSIX-style from a fresh cursor.
+        assert list(r0_writes["offset"]) == [0, 4096]
+        r1 = ev[ev["node"] == 1]
+        seek = r1[r1["op"] == int(Op.SEEK)][0]
+        read = r1[r1["op"] == int(Op.READ)][0]
+        assert seek["nbytes"] == 8192  # distance travelled
+        assert read["offset"] == 8192  # cursor honoured the seek
+
+    def test_jsonl_skips_blanks_and_comments(self, tmp_path):
+        src = tmp_path / "t.jsonl"
+        body = "\n".join(
+            ["# exported by some tool", "",
+             json.dumps(BASIC_ROWS[0]), json.dumps(BASIC_ROWS[3])]
+        )
+        src.write_text(body + "\n")
+        assert len(trace_from_jsonl(src.read_text())) == 2
+
+    def test_jsonl_bad_json_reports_line(self):
+        with pytest.raises(SchemaError) as err:
+            trace_from_jsonl(json.dumps(BASIC_ROWS[0]) + "\n{not json\n")
+        assert err.value.line == 2
+
+    def test_csv_parses_and_validates_header(self):
+        trace = trace_from_csv(
+            "timestamp,rank,op,file,size\n"
+            "0.0,0,open,/f,0\n"
+            "0.5,0,write,/f,512\n"
+        )
+        assert len(trace) == 2
+        assert trace.events["nbytes"][1] == 512
+
+        with pytest.raises(SchemaError):
+            trace_from_csv("when,who\n1,2\n")
+
+    def test_explicit_file_id_conflict_rejected(self):
+        recs = [
+            Record(rank=0, op=Op.OPEN, file="/a", timestamp=0.0, file_id=1),
+            Record(rank=0, op=Op.OPEN, file="/b", timestamp=0.1, file_id=1),
+        ]
+        with pytest.raises(SchemaError):
+            records_to_trace(recs)
+
+    def test_aread_iowait_fifo_matching(self):
+        recs = [
+            Record(rank=0, op=Op.AREAD, file="/a", timestamp=0.0, size=100),
+            Record(rank=0, op=Op.AREAD, file="/a", timestamp=0.1, size=200),
+            Record(rank=0, op=Op.IOWAIT, file="/a", timestamp=0.2),
+            Record(rank=0, op=Op.IOWAIT, file="/a", timestamp=0.3),
+        ]
+        trace = records_to_trace(recs)
+        waits = trace.events[trace.events["op"] == int(Op.IOWAIT)]
+        assert list(waits["nbytes"]) == [100, 200]
+
+    def test_load_trace_format_sniffing(self, tmp_path):
+        src = tmp_path / "t.jsonl"
+        write_jsonl(src, BASIC_ROWS)
+        assert len(load_trace(src)) == len(BASIC_ROWS)
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "t.jsonl", fmt="parquet")
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def escat_trace(self):
+        return small_experiment("escat").run().trace
+
+    @pytest.mark.parametrize("fmt", ["jsonl", "csv"])
+    def test_export_import_bit_exact(self, escat_trace, tmp_path, fmt):
+        path = tmp_path / f"out.{fmt}"
+        count = export_trace(escat_trace, path, fmt=fmt)
+        assert count > 0
+        back = load_trace(path, fmt=fmt)
+        assert back.content_hash() == escat_trace.content_hash()
+
+    def test_sddf_round_trip(self, escat_trace, tmp_path):
+        path = tmp_path / "out.sddf"
+        escat_trace.save(path)
+        back = load_trace(path)
+        assert back.content_hash() == escat_trace.content_hash()
+
+    def test_trace_to_records_drops_fault_rows(self):
+        trace = Trace()
+        trace.add(0.0, 0, Op.OPEN, 1, 0, 0, 0.001)
+        trace.add(0.1, 0, Op.FAULT, 1, 0, 0, 0.0)
+        assert len(list(trace_to_records(trace))) == 1
+
+
+class TestTraceApplication:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ingest") / "escat.jsonl"
+        result = small_experiment("escat").run()
+        export_trace(result.trace, path)
+        return path, result
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplayConfig(think_time="psychic")
+        with pytest.raises(ValueError):
+            TraceReplayConfig().load()  # no source, no trace
+
+    def test_registry_exposes_trace_app(self):
+        from repro.core import APPLICATIONS
+
+        assert "trace" in APPLICATIONS
+
+    def test_replay_reproduces_per_node_ops_and_bytes(self, exported):
+        path, original = exported
+        exp = small_experiment("trace")
+        exp.config = TraceReplayConfig(source=str(path), think_time="anchor")
+        replayed = exp.run().trace
+
+        orig, re = original.trace.events, replayed.events
+        data_ops = (int(Op.READ), int(Op.WRITE))
+        for node in np.unique(orig["node"]):
+            for op in np.unique(orig["op"]):
+                o = orig[(orig["node"] == node) & (orig["op"] == op)]
+                r = re[(re["node"] == node) & (re["op"] == op)]
+                assert len(o) == len(r), (node, op)
+                if op in data_ops:
+                    assert o["nbytes"].sum() == r["nbytes"].sum(), (node, op)
+
+    def test_anchor_makespan_within_two_percent(self, exported):
+        path, original = exported
+        exp = small_experiment("trace")
+        exp.config = TraceReplayConfig(source=str(path), think_time="anchor")
+        replayed = exp.run()
+        orig_span = float(original.trace.events["timestamp"].max())
+        ratio = replayed.machine.now / orig_span
+        assert 0.98 <= ratio <= 1.02
+
+    def test_replay_preserves_file_names(self, exported):
+        path, original = exported
+        exp = small_experiment("trace")
+        exp.config = TraceReplayConfig(source=str(path))
+        replayed = exp.run().trace
+        assert set(replayed.file_names.values()) <= set(
+            original.trace.file_names.values()
+        ) | {f"/replay/file{i}" for i in range(512)}
+
+    def test_trace_app_requires_matching_config(self, exported):
+        path, _ = exported
+        exp = small_experiment("escat")
+        exp.config = TraceReplayConfig(source=str(path))
+        with pytest.raises(TypeError):
+            exp.run()
+
+
+class TestCampaignTraceAxis:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, BASIC_ROWS)
+        return path
+
+    def test_runspec_requires_trace_iff_trace_app(self, trace_file):
+        with pytest.raises(ValueError):
+            RunSpec(app="trace", scale="small", fs="pfs")
+        with pytest.raises(ValueError):
+            RunSpec(
+                app="escat", scale="small", fs="pfs",
+                trace=str(trace_file),
+            )
+
+    def test_content_addressed_hashing(self, trace_file, tmp_path):
+        copy = tmp_path / "renamed.jsonl"
+        copy.write_bytes(trace_file.read_bytes())
+        a = RunSpec(app="trace", scale="small", fs="pfs",
+                    trace=str(trace_file))
+        b = RunSpec(app="trace", scale="small", fs="pfs",
+                    trace=str(copy))
+        assert a.run_hash == b.run_hash  # same content, different path
+
+        (tmp_path / "other.jsonl").write_text(
+            json.dumps(BASIC_ROWS[0]) + "\n"
+        )
+        c = RunSpec(app="trace", scale="small", fs="pfs",
+                    trace=str(tmp_path / "other.jsonl"))
+        assert a.run_hash != c.run_hash
+
+    def test_label_mentions_trace_digest(self, trace_file):
+        spec = RunSpec(app="trace", scale="small", fs="pfs",
+                       trace=str(trace_file))
+        assert "trace" in spec.label()
+
+    def test_to_dict_round_trip(self, trace_file):
+        spec = RunSpec(app="trace", scale="small", fs="pfs",
+                       trace=str(trace_file))
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.run_hash == spec.run_hash
+
+    def test_campaign_expand_pairs_traces_with_trace_app(self, trace_file):
+        spec = CampaignSpec(
+            apps=("escat", "trace"),
+            scales=("small",),
+            filesystems=("pfs",),
+            traces=(None, str(trace_file)),
+        )
+        runs = spec.expand()
+        apps = [(r.app, r.trace) for r in runs]
+        assert ("escat", None) in apps
+        assert ("trace", str(trace_file)) in apps
+        # No invalid cross products: escat never gets a trace, trace
+        # never runs without one.
+        assert all((app == "trace") == (trc is not None) for app, trc in apps)
