@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench perf perf-diff scale-smoke examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke fluid-smoke vfs-smoke ingest-smoke clean all
+.PHONY: install test bench perf perf-diff scale-smoke examples campaign-smoke faults-smoke telemetry-smoke ckpt-smoke fluid-smoke vfs-smoke ingest-smoke spans-smoke clean all
 
 CAMPAIGN_CACHE ?= .campaign-cache
 # perf-diff gate: fail when a metric is more than this factor slower than
@@ -24,6 +24,7 @@ perf:
 	PYTHONPATH=src:. python benchmarks/bench_ckpt_burst.py --scale small
 	PYTHONPATH=src:. python benchmarks/bench_fluid.py --scale small
 	PYTHONPATH=src:. python benchmarks/bench_ingest.py --scale small
+	PYTHONPATH=src:. python benchmarks/bench_spans_overhead.py
 
 # Production-preset (2048-node) smoke: full machine, trimmed ESCAT workload.
 scale-smoke:
@@ -101,6 +102,23 @@ fluid-smoke:
 vfs-smoke:
 	PYTHONPATH=src python examples/byoapp_sort.py > /dev/null
 	PYTHONPATH=src python -m pytest tests/test_vfs.py -q
+
+# Spans smoke: record causal spans for one run, then drive every
+# consumer surface — report, per-request tree, critical path, and
+# Chrome trace-event export (loadable in Perfetto / chrome://tracing).
+spans-smoke:
+	PYTHONPATH=src python -m repro run escat --spans \
+		--save-dir $(CAMPAIGN_CACHE).spans
+	PYTHONPATH=src python -m repro spans report \
+		$(CAMPAIGN_CACHE).spans/escat.spans.jsonl
+	PYTHONPATH=src python -m repro spans show \
+		$(CAMPAIGN_CACHE).spans/escat.spans.jsonl --limit 3
+	PYTHONPATH=src python -m repro spans critical-path \
+		$(CAMPAIGN_CACHE).spans/escat.spans.jsonl
+	PYTHONPATH=src python -m repro spans export \
+		$(CAMPAIGN_CACHE).spans/escat.spans.jsonl --format chrome \
+		--out $(CAMPAIGN_CACHE).spans/escat.chrome.json
+	rm -rf $(CAMPAIGN_CACHE).spans
 
 # Ingest smoke: capture a trace, export it, re-ingest and replay it
 # through the CLI, then run it as a campaign trace axis.

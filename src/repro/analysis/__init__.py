@@ -2,6 +2,12 @@
 
 from .checkpoint import CheckpointReport
 from .classes import FileClassification, IOClass, classify_files
+from .critical_path import (
+    CriticalPathReport,
+    OpAttribution,
+    PhaseAttribution,
+    critical_path,
+)
 from .diff import OpDelta, TraceDiff
 from .cyclic import FileCycles, ReuseStats, detect_cycles, reuse_intervals
 from .load import LoadReport, observed_load, predicted_load
@@ -26,6 +32,10 @@ __all__ = [
     "FileClassification",
     "IOClass",
     "classify_files",
+    "CriticalPathReport",
+    "OpAttribution",
+    "PhaseAttribution",
+    "critical_path",
     "OpDelta",
     "TraceDiff",
     "FileCycles",

@@ -16,6 +16,7 @@ from ..pablo.capture import InstrumentedPFS
 from ..pablo.trace import Trace
 from ..sim.core import Environment, Event
 from ..sim.resources import Barrier
+from ..spans.record import LEAF_BARRIER_WAIT, LEAF_MESH_BCAST
 
 __all__ = ["Collective", "Application", "PhaseMark"]
 
@@ -32,9 +33,24 @@ class Collective:
         self._barrier = Barrier(self.env, len(nodes))
         self._bcast_done: dict[int, Event] = {}
         self._node_gen: dict[int, int] = {}
+        self._bar_base = -1.0
 
     def barrier(self):
         """Event: fires when every node in the group has arrived."""
+        spans = getattr(self.machine, "spans", None)
+        if spans is not None:
+            # Hottest wait site (one call per node per barrier): stage
+            # one record per arrival with the release time encoded as
+            # ``-(generation id + 1)``.  A barrier releases at its last
+            # arrival's timestamp, so finalize rewrites the end to the
+            # generation's max start — no callback on the release event.
+            base = self._bar_base
+            if base < 0.0:
+                base = self._bar_base = spans.alloc_barrier_base()
+            spans.leaf_raw.append(
+                (LEAF_BARRIER_WAIT, -1.0, self.env.now,
+                 -1.0 - (base + self._barrier.generation), 0.0)
+            )
         return self._barrier.wait()
 
     def broadcast(self, node: int, root: int, nbytes: int):
@@ -50,12 +66,18 @@ class Collective:
         if ev is None:
             ev = Event(self.env)
             self._bcast_done[gen] = ev
+        spans = getattr(self.machine, "spans", None)
         if node == root:
+            t0 = self.env.now
             yield self.env.timeout(
                 self.machine.mesh.broadcast_time(root, len(self.nodes), nbytes)
             )
+            if spans is not None:
+                spans.leaf_raw.append((LEAF_MESH_BCAST, node, t0, self.env.now, nbytes))
             ev.succeed()
         else:
+            if spans is not None:
+                spans.wrap_wait("bcast.wait", node, ev)
             yield ev
 
     def gather(self, node: int, root: int, nbytes_each: int):
@@ -98,6 +120,9 @@ class Application:
         in closed form rather than visited by the clock)."""
         when = self.machine.env.now if at is None else at
         self.phase_marks.append(PhaseMark(name, when))
+        spans = getattr(self.machine, "spans", None)
+        if spans is not None:
+            spans.mark(name, -1, when)
 
     def phase_time(self, name: str) -> float:
         """Time of the first mark with the given name."""

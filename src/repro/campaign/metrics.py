@@ -106,6 +106,9 @@ def run_metrics(result: Any) -> dict[str, Any]:
     telemetry = getattr(result, "telemetry", None)
     if telemetry is not None:
         out["telemetry"] = telemetry.summary()
+    spans = getattr(result, "spans", None)
+    if spans is not None:
+        out["spans"] = spans.store.summary()
     # Checkpoint runs carry their per-epoch cost record; burst-buffered
     # runs the log's occupancy/stall/drain counters.  Both keys appear
     # only when the feature ran, so pre-existing records are unchanged.

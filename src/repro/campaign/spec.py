@@ -99,6 +99,10 @@ class RunSpec:
         falsy value) normalizes to None — event fidelity is the default
         and byte-identical, so an event spec must keep its pre-fidelity
         hash.
+    spans:
+        ``True`` records causal span trees for the run.  A falsy value
+        normalizes to None — recording never perturbs the trace, so a
+        spans-free spec must keep its pre-spans hash.
     trace:
         Path to the ingested trace file (``app='trace'`` only, and
         required there).  The run hash covers the file's *content*
@@ -116,6 +120,7 @@ class RunSpec:
     telemetry: Optional[float] = None
     burst_buffer: Optional[int] = None
     fidelity: Optional[str] = None
+    spans: Optional[bool] = None
     trace: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -184,6 +189,10 @@ class RunSpec:
             object.__setattr__(
                 self, "fidelity", self.fidelity if self.fidelity == "fluid" else None
             )
+        if self.spans is not None:
+            # Falsy -> None: a spans-off spec must hash like one that
+            # never mentions the axis (recording is read-only).
+            object.__setattr__(self, "spans", True if self.spans else None)
         if (self.app == "trace") != (self.trace is not None):
             raise ValueError(
                 "app='trace' requires a trace file path (and only "
@@ -226,6 +235,9 @@ class RunSpec:
         # Likewise (pre-fidelity entries keep their hashes).
         if self.fidelity is not None:
             record["fidelity"] = self.fidelity
+        # Likewise (pre-spans entries keep their hashes).
+        if self.spans is not None:
+            record["spans"] = self.spans
         # Likewise; the digest (not the path) is what identifies the run.
         if self.trace is not None:
             record["trace"] = self._trace_digest
@@ -252,6 +264,8 @@ class RunSpec:
             parts.append(f"bb{self.burst_buffer // (1024 * 1024)}M")
         if self.fidelity is not None:
             parts.append(self.fidelity)
+        if self.spans is not None:
+            parts.append("spans")
         if self.trace is not None:
             parts.append(f"trace{self._trace_digest[:6]}")
         return "/".join(parts)
@@ -277,6 +291,7 @@ class RunSpec:
             telemetry=data.get("telemetry"),
             burst_buffer=data.get("burst_buffer"),
             fidelity=data.get("fidelity"),
+            spans=data.get("spans"),
             trace=data.get("trace_path"),
         )
 
@@ -316,6 +331,8 @@ class RunSpec:
             kwargs["burst_buffer"] = self.burst_buffer
         if self.fidelity is not None:
             kwargs["fidelity"] = self.fidelity
+        if self.spans is not None:
+            kwargs["spans"] = self.spans
         return build(self.app, **kwargs)
 
 
@@ -349,6 +366,9 @@ class CampaignSpec:
     #: 'fluid' (closed-form phase service) — an event baseline plus its
     #: approximate-but-fast twin.
     fidelities: Sequence[Optional[str]] = (None,)
+    #: Spans axis: None (off) and/or True — enabled runs record causal
+    #: span trees (read-only: traces and hashes are unchanged).
+    spans: Sequence[Optional[bool]] = (None,)
     #: Ingested-trace axis (``apps`` containing 'trace' only): paths to
     #: JSONL/CSV/SDDF trace files, each replayed under every other axis
     #: combination.  None pairs with the built-in apps.
@@ -359,10 +379,10 @@ class CampaignSpec:
         """The grid's concrete runs, in deterministic order, deduplicated."""
         frozen = _freeze_overrides(self.overrides)
         runs: dict[str, RunSpec] = {}
-        for app, scale, fs, policy, seed, faults, telem, bb, fid, trc in itertools.product(
+        for app, scale, fs, policy, seed, faults, telem, bb, fid, spn, trc in itertools.product(
             self.apps, self.scales, self.filesystems, self.policies, self.seeds,
             self.fault_plans, self.telemetry, self.burst_buffers, self.fidelities,
-            self.traces,
+            self.spans, self.traces,
         ):
             if fs == "pfs" and policy is not None:
                 continue
@@ -372,7 +392,7 @@ class CampaignSpec:
             spec = RunSpec(
                 app=app, scale=scale, fs=fs, policy=policy, seed=seed,
                 overrides=frozen, faults=faults, telemetry=telem,
-                burst_buffer=bb, fidelity=fid, trace=trc,
+                burst_buffer=bb, fidelity=fid, spans=spn, trace=trc,
             )
             runs.setdefault(spec.run_hash, spec)
         if not runs:

@@ -19,6 +19,11 @@
     python -m repro telemetry report out/escat.telemetry.jsonl
     python -m repro telemetry show out/escat.telemetry.jsonl --column mesh.bytes
     python -m repro telemetry export out/escat.telemetry.jsonl --format csv
+    python -m repro telemetry export out/escat.telemetry.jsonl --format chrome
+    python -m repro run escat --spans --save-dir out/    # record causal spans
+    python -m repro spans report out/escat.spans.jsonl   # per-kind summary
+    python -m repro spans critical-path out/escat.spans.jsonl  # phase attribution
+    python -m repro spans export out/escat.spans.jsonl --format chrome --out t.json
     python -m repro run checkpoint --burst-buffer 64MB   # buffered checkpoints
     python -m repro campaign run --apps checkpoint --burst-buffers none,16MB
     python -m repro run trace --input darshan.jsonl  # replay an ingested trace
@@ -118,6 +123,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="attach a host-side burst-buffer tier (optional log "
                      "capacity like 64MB; default capacity without a value); "
                      "checkpoint files destage through it asynchronously")
+    run.add_argument("--spans", action="store_true", default=False,
+                     help="record causal span trees and print the per-kind "
+                     "summary and critical-path attribution; with --save-dir "
+                     "also writes <app>.spans.jsonl")
     run.add_argument("--fidelity", choices=("event", "fluid"), default=None,
                      help="execution fidelity: 'event' (discrete, "
                      "byte-identical; the default) or 'fluid' (closed-form "
@@ -208,6 +217,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="F,F",
                       help="fidelity axis: comma-separated from event,fluid; "
                       "'none'/'event' = discrete default")
+    crun.add_argument("--spans", type=_csv, default=["none"],
+                      metavar="S,S",
+                      help="spans axis: comma-separated from none,on — "
+                      "enabled runs carry a per-kind span summary in the "
+                      "manifest; 'none' = off")
     crun.add_argument("--traces", type=_csv, default=["none"],
                       metavar="F,F",
                       help="ingested-trace axis (requires 'trace' in --apps): "
@@ -248,13 +262,47 @@ def _build_parser() -> argparse.ArgumentParser:
     tshow.add_argument("--width", type=int, default=72)
     tshow.add_argument("--height", type=int, default=8)
 
-    texp = tsub.add_parser("export", help="convert a capture to CSV/Prometheus")
+    texp = tsub.add_parser("export", help="convert a capture to CSV/Prometheus/Chrome")
     texp.add_argument("file", help="path to a .telemetry.jsonl capture")
-    texp.add_argument("--format", choices=["csv", "prom"], default="csv",
+    texp.add_argument("--format", choices=["csv", "prom", "chrome"], default="csv",
                       help="csv = the sampled time series, prom = the "
-                      "metric registry in Prometheus text format")
+                      "metric registry in Prometheus text format, chrome = "
+                      "counter events for Perfetto/chrome://tracing")
     texp.add_argument("--out", default=None, metavar="PATH",
                       help="write here instead of stdout")
+
+    spans = sub.add_parser("spans", help="inspect saved causal span captures")
+    ssub = spans.add_subparsers(dest="spans_command", required=True)
+
+    srep = ssub.add_parser("report", help="per-kind summary of a span capture")
+    srep.add_argument("file", help="path to a .spans.jsonl capture")
+
+    sshow = ssub.add_parser("show", help="list spans (optionally one subtree)")
+    sshow.add_argument("file", help="path to a .spans.jsonl capture")
+    sshow.add_argument("--kind", default=None, metavar="KIND",
+                       help="only spans of this kind (e.g. ion.request)")
+    sshow.add_argument("--root", type=int, default=None, metavar="ID",
+                       help="print the subtree under span ID instead of a flat list")
+    sshow.add_argument("--limit", type=int, default=40, metavar="N",
+                       help="stop after N spans (flat list only)")
+
+    sexp = ssub.add_parser("export", help="convert a capture to Chrome trace JSON")
+    sexp.add_argument("file", help="path to a .spans.jsonl capture")
+    sexp.add_argument("--format", choices=["chrome", "jsonl"], default="chrome",
+                      help="chrome = Perfetto/chrome://tracing trace-event "
+                      "JSON, jsonl = the native round-trip form")
+    sexp.add_argument("--out", default=None, metavar="PATH",
+                      help="write here instead of stdout")
+    sexp.add_argument("--telemetry", default=None, metavar="FILE",
+                      help="merge counter lanes from this .telemetry.jsonl "
+                      "capture into the Chrome timeline (chrome format only)")
+
+    scrit = ssub.add_parser(
+        "critical-path", help="per-phase makespan attribution of a capture"
+    )
+    scrit.add_argument("file", help="path to a .spans.jsonl capture")
+    scrit.add_argument("--ops", type=int, default=0, metavar="N",
+                       help="also list the N slowest critical-chain ops per phase")
     return parser
 
 
@@ -306,6 +354,8 @@ def _cmd_run(args) -> int:
             return 2
     if args.fidelity is not None:
         kwargs["fidelity"] = args.fidelity
+    if args.spans:
+        kwargs["spans"] = True
     if args.app == "trace":
         if not args.input:
             print("the trace app needs --input FILE", file=sys.stderr)
@@ -350,6 +400,19 @@ def _cmd_run(args) -> int:
             path = os.path.join(args.save_dir, f"{args.app}.telemetry.jsonl")
             to_jsonl(result.telemetry.as_dict(), path)
             print(f"telemetry saved: {path}")
+    if result.spans is not None:
+        from .analysis.critical_path import critical_path
+        from .spans import to_jsonl as spans_to_jsonl
+
+        store = result.spans.store
+        print(_render_spans_summary(store))
+        print()
+        print(critical_path(store).render())
+        if args.save_dir:
+            path = os.path.join(args.save_dir, f"{args.app}.spans.jsonl")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(spans_to_jsonl(store))
+            print(f"spans saved: {path} ({len(store)} spans)")
     return 0
 
 
@@ -446,6 +509,9 @@ def _cmd_campaign_run(args) -> int:
             ),
             fidelities=tuple(
                 None if f in ("none", "event") else f for f in args.fidelities
+            ),
+            spans=tuple(
+                None if s in ("none", "off") else True for s in args.spans
             ),
             traces=tuple(None if t == "none" else t for t in args.traces),
         )
@@ -593,12 +659,138 @@ def _cmd_telemetry_export(args) -> int:
             print("capture has no sampled time series", file=sys.stderr)
             return 2
         text = series_to_csv(TimeSeries.from_dict(data["series"]), args.out)
+    elif args.format == "chrome":
+        from .spans.export import chrome_trace_json, telemetry_counter_events
+
+        if not data.get("series"):
+            print("capture has no sampled time series", file=sys.stderr)
+            return 2
+        text = chrome_trace_json(telemetry_counter_events(data))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
     else:
         text = to_prometheus(MetricsRegistry.from_dict(data["registry"]), args.out)
     if args.out:
         print(f"written: {args.out}")
     else:
         print(text, end="")
+    return 0
+
+
+def _render_spans_summary(store) -> str:
+    """Per-kind count/time/bytes table of a span store."""
+    lines = [
+        "causal spans",
+        "============",
+        f"{'kind':<16} {'count':>8} {'total':>10} {'max':>9} {'bytes':>14}",
+    ]
+    for kind, row in sorted(store.summary().items()):
+        lines.append(
+            f"{kind:<16} {row['count']:>8,} {row['total_s']:>9.3f}s "
+            f"{row['max_s']:>8.4f}s {row['bytes']:>14,}"
+        )
+    lines.append(f"{'(all)':<16} {len(store):>8,}")
+    return "\n".join(lines)
+
+
+def _load_spans_capture(path: str):
+    from .spans import load_jsonl
+
+    try:
+        return load_jsonl(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bad spans capture: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_spans_report(args) -> int:
+    store = _load_spans_capture(args.file)
+    if store is None:
+        return 2
+    print(_render_spans_summary(store))
+    return 0
+
+
+def _span_line(span: dict, indent: int = 0) -> str:
+    dur = span["end"] - span["start"]
+    return (
+        f"{'  ' * indent}#{span['id']:<7} {span['kind']:<14} node {span['node']:>4}  "
+        f"[{span['start']:>10.4f}, {span['end']:>10.4f}] {dur:>9.4f}s  "
+        f"{span['nbytes']:>10,} B"
+    )
+
+
+def _cmd_spans_show(args) -> int:
+    store = _load_spans_capture(args.file)
+    if store is None:
+        return 2
+    if args.root is not None:
+        if not 0 <= args.root < len(store):
+            print(f"span id {args.root} out of range (capture has "
+                  f"{len(store)} spans)", file=sys.stderr)
+            return 2
+        children = store.children_index()
+
+        def walk(sid: int, depth: int) -> None:
+            print(_span_line(store.span(sid), depth))
+            for kid in children.get(sid, ()):
+                walk(kid, depth + 1)
+
+        walk(args.root, 0)
+        return 0
+    shown = 0
+    for span in store.iter_spans():
+        if args.kind and span["kind"] != args.kind:
+            continue
+        print(_span_line(span))
+        shown += 1
+        if shown >= args.limit:
+            print(f"... (limit {args.limit}; raise with --limit)")
+            break
+    if shown == 0:
+        kinds = ", ".join(sorted(store.kinds))
+        print(f"no matching spans; kinds present: {kinds}")
+    return 0
+
+
+def _cmd_spans_export(args) -> int:
+    store = _load_spans_capture(args.file)
+    if store is None:
+        return 2
+    if args.format == "jsonl":
+        from .spans import to_jsonl
+
+        text = to_jsonl(store)
+    else:
+        from .spans import to_chrome, to_chrome_json
+        from .spans.export import chrome_trace_json, telemetry_counter_events
+
+        if args.telemetry:
+            data = _load_telemetry_capture(args.telemetry)
+            if data is None:
+                return 2
+            trace = to_chrome(store)
+            trace["traceEvents"].extend(telemetry_counter_events(data))
+            text = chrome_trace_json(trace["traceEvents"])
+        else:
+            text = to_chrome_json(store)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"written: {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_spans_critical_path(args) -> int:
+    from .analysis.critical_path import critical_path
+
+    store = _load_spans_capture(args.file)
+    if store is None:
+        return 2
+    print(critical_path(store).render(top_ops=args.ops))
     return 0
 
 
@@ -635,6 +827,14 @@ def main(argv: Optional[list[str]] = None) -> int:
             "show": _cmd_telemetry_show,
             "export": _cmd_telemetry_export,
         }[args.telemetry_command]
+        return handler(args)
+    if args.command == "spans":
+        handler = {
+            "report": _cmd_spans_report,
+            "show": _cmd_spans_show,
+            "export": _cmd_spans_export,
+            "critical-path": _cmd_spans_critical_path,
+        }[args.spans_command]
         return handler(args)
     if args.command == "ingest":
         handler = {

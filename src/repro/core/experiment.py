@@ -38,6 +38,7 @@ __all__ = [
     "ExperimentResult",
     "normalize_telemetry",
     "normalize_burst_buffer",
+    "normalize_spans",
 ]
 
 
@@ -55,6 +56,19 @@ def normalize_telemetry(spec: Any) -> Any:
     if spec is True:
         return Telemetry()
     return Telemetry(cadence_s=float(spec))
+
+
+def normalize_spans(spec: Any) -> Any:
+    """Normalize a spans field (None/bool/SpanRecorder) into a
+    :class:`repro.spans.SpanRecorder` or None."""
+    if spec is None or spec is False:
+        return None
+    # Imported here so spans-free builds never touch the subsystem.
+    from ..spans import SpanRecorder
+
+    if isinstance(spec, SpanRecorder):
+        return spec
+    return SpanRecorder()
 
 
 def normalize_burst_buffer(spec: Any) -> Any:
@@ -94,6 +108,9 @@ class ExperimentResult:
     #: The finalized Telemetry runtime when the run sampled metrics
     #: (None otherwise).
     telemetry: Any = None
+    #: The finalized SpanRecorder when the run recorded causal spans
+    #: (None otherwise).
+    spans: Any = None
 
     @property
     def trace(self) -> Trace:
@@ -145,6 +162,12 @@ class Experiment:
         back to discrete wherever policies interact — approximate by
         contract, see ``docs/PERFORMANCE.md``).  Fault plans force
         event fidelity: no servicer is attached when an injector runs.
+    spans:
+        Optional causal request tracing: ``True`` or a prepared
+        :class:`repro.spans.SpanRecorder`.  ``None`` (the default)
+        installs nothing — every hook site then pays one attribute
+        check.  Recording is read-only, so traces are byte-identical
+        either way (the golden-hash tests enforce it).
     """
 
     app: str
@@ -159,6 +182,7 @@ class Experiment:
     telemetry: Any = None
     burst_buffer: Any = None
     fidelity: str = "event"
+    spans: Any = None
 
     def __post_init__(self) -> None:
         if self.app not in _APP_DEFAULTS:
@@ -210,6 +234,12 @@ class Experiment:
             profiler.stop("build.fs")
         config = self.config if self.config is not None else _APP_DEFAULTS[self.app]()
 
+        recorder = normalize_spans(self.spans)
+        if recorder is not None:
+            # Attach before the injector starts so its FaultRecorder
+            # picks up the span handle from machine.spans.
+            recorder.attach(machine, fs)
+
         injector = None
         if self.faults is not None and not self.faults.empty:
             # Imported here so fault-free builds never touch the subsystem.
@@ -239,8 +269,11 @@ class Experiment:
             if telemetry is not None:
                 profiler.stop("simulate")
                 telemetry.finalize()
+            if recorder is not None:
+                recorder.seal(traces)
             return ExperimentResult(
-                machine, fs, traces, injector=injector, telemetry=telemetry
+                machine, fs, traces, injector=injector, telemetry=telemetry,
+                spans=recorder,
             )
 
         instrumented = InstrumentedPFS(fs, overhead_s=self.capture_overhead_s)
@@ -272,8 +305,11 @@ class Experiment:
         if telemetry is not None:
             profiler.stop("simulate")
             telemetry.finalize()
+        if recorder is not None:
+            recorder.seal(traces)
         return ExperimentResult(
-            machine, fs, traces, app=application, injector=injector, telemetry=telemetry
+            machine, fs, traces, app=application, injector=injector,
+            telemetry=telemetry, spans=recorder,
         )
 
     @staticmethod

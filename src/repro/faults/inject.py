@@ -54,9 +54,15 @@ class FaultRecorder:
 
     def __init__(self) -> None:
         self.rows: list[tuple] = []
+        #: Span recorder handle (wired by FaultInjector.start when the
+        #: experiment records spans): fault flips become zero-length
+        #: ``fault.<kind>`` markers, degraded windows become intervals.
+        self.spans = None
 
     def fault(self, ts: float, ionode: int, kind: FaultKind) -> None:
         self.rows.append((ts, ionode, int(Op.FAULT), -1, int(kind), 0, 0.0))
+        if self.spans is not None:
+            self.spans.add(f"fault.{kind.name.lower()}", ionode, ts, ts)
 
     def retry(
         self, ts: float, node: int, file_id: int, offset: int, nbytes: int,
@@ -68,6 +74,8 @@ class FaultRecorder:
         self.rows.append(
             (start_ts, ionode, int(Op.DEGRADED), -1, 0, 0, seconds)
         )
+        if self.spans is not None:
+            self.spans.add("fault.degraded", ionode, start_ts, start_ts + seconds)
 
     @property
     def fault_count(self) -> int:
@@ -115,6 +123,7 @@ class FaultInjector:
         """
         plan = self.plan
         plan.validate(len(self.machine.ionodes))
+        self.recorder.spans = getattr(self.machine, "spans", None)
         if plan.empty:
             return self
         if plan.buffer_faults and getattr(self.machine, "burstbuffer", None) is None:

@@ -106,6 +106,8 @@ class BurstBuffer:
         self.env = env
         self.params = params or BurstBufferParams()
         self._fs = None
+        #: Span recorder handle (planted by SpanRecorder.attach).
+        self.spans = None
         self._log = Resource(env, capacity=1)
         self._queue: list[_Extent] = []
         self._free = self.params.capacity_bytes
@@ -292,14 +294,29 @@ class BurstBuffer:
             return
         ext = self._queue[0]
         chunk = min(self.params.drain_chunk_bytes, ext.nbytes - ext.drained)
+        spans = self.spans
+        if spans is not None:
+            # Root span per destage chunk: the drainer runs off-thread, so
+            # its fan-out must not inherit whatever op the drain node's
+            # compute process happens to be running.
+            dsid = spans.store.begin(
+                "bb.drain", self.params.drain_node, self.env.now, nbytes=chunk
+            )
+            spans.fanout_parent = dsid
+        else:
+            dsid = -1
         ev = self._fs._fanout(
             self.params.drain_node, ext.f, ext.offset + ext.drained, chunk, True
         )
         ev.callbacks.append(
-            lambda done, ext=ext, chunk=chunk: self._chunk_done(done, ext, chunk)
+            lambda done, ext=ext, chunk=chunk, dsid=dsid: self._chunk_done(
+                done, ext, chunk, dsid
+            )
         )
 
-    def _chunk_done(self, ev: Event, ext: _Extent, chunk: int) -> None:
+    def _chunk_done(self, ev: Event, ext: _Extent, chunk: int, dsid: int = -1) -> None:
+        if dsid >= 0:
+            self.spans.store.finish(dsid, self.env.now)
         if not ev._ok:
             # Fatal destage error (e.g. retry budget exhausted during an
             # outage): drop the extent's remainder so the log never wedges;

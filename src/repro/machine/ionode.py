@@ -73,6 +73,9 @@ class _Pending:
     done: Event
     control: bool = False  # control visits: fixed service, no disk motion
     order: int = 0
+    # Span context, stamped at submit only when recording is on.
+    arrived: float = 0.0
+    span_parent: int = -1
 
 
 class IONode:
@@ -123,6 +126,8 @@ class IONode:
         self.failed_requests = 0
         # Telemetry request-size hook (a bound Histogram.observe); None = off.
         self._telem = None
+        # Span recorder handle (repro.spans); None = off.
+        self._spans = None
 
     @property
     def queue_length(self) -> int:
@@ -143,24 +148,38 @@ class IONode:
         return self._up
 
     # -- request entry points ------------------------------------------------
-    def submit(self, offset: int, nbytes: int, is_write: bool, extra_s: float = 0.0) -> Event:
+    def submit(
+        self,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+        extra_s: float = 0.0,
+        span_parent: float = -1.0,
+    ) -> Event:
         """Queue a data request; the returned event fires on completion
         with the in-service duration (excluding queueing delay) as value.
 
         ``extra_s`` adds caller-specified server-path cost (the file
-        system's per-chunk software charges).  This is the allocation-lean
-        entry point the hot data path uses: callers chain on the event's
-        callbacks instead of wrapping a generator in a Process.
+        system's per-chunk software charges).  ``span_parent`` is the
+        causal span id (or deferred ``-(node + 2)`` encoding) the
+        request nests under when recording is on; spans-off callers
+        leave the default.  This is the allocation-lean entry point the
+        hot data path uses: callers chain on the event's callbacks
+        instead of wrapping a generator in a Process.
 
         Under injected faults the returned event may *fail* with a
         :class:`~repro.pfs.errors.TransientIOError` subclass; callers on
         the retry path check ``event.ok`` in their completion callbacks.
         """
         if self._eager:
-            return self._eager_submit(offset, nbytes, is_write, extra_s, False)
+            return self._eager_submit(offset, nbytes, is_write, extra_s, False, span_parent)
         # Inlined _submit: this is the per-chunk hot path (millions of
         # calls per paper-scale run), so it pays to skip one frame.
         req = _Pending(offset, nbytes, is_write, extra_s, Event(self.env))
+        spans = self._spans
+        if spans is not None:
+            req.arrived = self.env.now
+            req.span_parent = span_parent
         if self._faulty and self._intercept(req):
             return req.done
         req.order = self._order
@@ -180,7 +199,7 @@ class IONode:
         service = yield self.submit(offset, nbytes, is_write, extra_s)
         return service
 
-    def submit_control(self, service_s: float) -> Event:
+    def submit_control(self, service_s: float, span_parent: float = -1.0) -> Event:
         """Queue a control operation (fixed service, no disk motion); the
         returned event fires on completion.
 
@@ -189,9 +208,10 @@ class IONode:
         server-cache hit path issues through here.
         """
         if self._eager:
-            return self._eager_submit(0, 0, False, service_s, True)
+            return self._eager_submit(0, 0, False, service_s, True, span_parent)
         return self._submit(
-            _Pending(0, 0, False, service_s, Event(self.env), control=True)
+            _Pending(0, 0, False, service_s, Event(self.env), control=True),
+            span_parent,
         )
 
     def visit(self, service_s: float):
@@ -199,7 +219,11 @@ class IONode:
         touching the array (control operations like flush)."""
         yield self.submit_control(service_s)
 
-    def _submit(self, req: _Pending) -> Event:
+    def _submit(self, req: _Pending, span_parent: float = -1.0) -> Event:
+        spans = self._spans
+        if spans is not None:
+            req.arrived = self.env.now
+            req.span_parent = span_parent
         if self._faulty and self._intercept(req):
             return req.done
         req.order = self._order
@@ -216,7 +240,13 @@ class IONode:
 
     # -- eager (batched) FIFO service --------------------------------------------
     def _eager_submit(
-        self, offset: int, nbytes: int, is_write: bool, extra_s: float, control: bool
+        self,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+        extra_s: float,
+        control: bool,
+        span_parent: float = -1.0,
     ) -> Event:
         """Fast-path submit: compute the service now, arm the completion
         at its absolute end time.
@@ -228,9 +258,13 @@ class IONode:
         now)`` need not round back to ``end``).
         """
         env = self.env
+        spans = self._spans
         if control:
             service = extra_s
         else:
+            # Head position before service is what the span recorder's
+            # closed-form seek decomposition needs (service_time moves it).
+            head = self.array._arm.head_pos if spans is not None else -1.0
             service = (
                 self.params.request_overhead_s
                 + extra_s
@@ -248,10 +282,30 @@ class IONode:
         done = Event(env)
         open_.append(done)
         env.schedule_at(end).callbacks.append(partial(self._eager_done, done, service))
+        if spans is not None:
+            spans.ion_raw.append(
+                (
+                    span_parent,
+                    self.index,
+                    env.now,
+                    end - service,
+                    end,
+                    offset,
+                    nbytes,
+                    extra_s,
+                    -1.0 if control else head,
+                    1.0 if is_write else 0.0,
+                )
+            )
         return done
 
     def submit_batch(
-        self, offsets, sizes, is_write: bool, extra_s: float = 0.0
+        self,
+        offsets,
+        sizes,
+        is_write: bool,
+        extra_s: float = 0.0,
+        span_parent: float = -1.0,
     ) -> Event:
         """Queue a same-instant FIFO cohort of data requests in one pass;
         the returned event fires when the *last* of them completes, with
@@ -282,7 +336,7 @@ class IONode:
                 else [float(x) for x in extra_s]
             )
             for off, nb, ex in zip(offsets, sizes, extras):
-                self.submit(int(off), int(nb), is_write, ex).callbacks.append(
+                self.submit(int(off), int(nb), is_write, ex, span_parent).callbacks.append(
                     chunk_done
                 )
             return done
@@ -300,7 +354,8 @@ class IONode:
         open_ = self._eager_open
         # Sequential fold, not cumsum: float addition grouping must match
         # the scalar one-at-a-time chain exactly.
-        end = self._free_at if open_ else env.now
+        first_start = self._free_at if open_ else env.now
+        end = first_start
         busy = self.busy_time
         for s in services.tolist():
             busy += s
@@ -312,6 +367,17 @@ class IONode:
         env.schedule_at(end).callbacks.append(
             partial(self._eager_done, done, float(services.sum()))
         )
+        spans = self._spans
+        if spans is not None:
+            # Explicit cohort-summary span: batched mode prices the whole
+            # burst in one sweep, so per-chunk spans don't exist here.
+            now = env.now
+            total = int(sizes.sum())
+            cohort = spans.add(
+                "ion.cohort", self.index, now, end, span_parent, total, float(n)
+            )
+            spans.add("ion.queue", self.index, now, first_start, cohort, total)
+            spans.add("ion.service", self.index, first_start, end, cohort, total)
         return done
 
     def sync_free_at(self, end: float) -> None:
@@ -525,9 +591,11 @@ class IONode:
             self._busy = False
             return
         req = pending.pop(self._select())
+        spans = self._spans
         if req.control:
             service = req.extra_s
         else:
+            head = self.array._arm.head_pos if spans is not None else -1.0
             service = (
                 self.params.request_overhead_s
                 + req.extra_s
@@ -539,6 +607,22 @@ class IONode:
             if observe is not None:
                 observe(req.nbytes)
         self.busy_time += service
+        if spans is not None:
+            now = self.env.now
+            spans.ion_raw.append(
+                (
+                    req.span_parent,
+                    self.index,
+                    req.arrived,
+                    now,
+                    now + service,
+                    req.offset,
+                    req.nbytes,
+                    req.extra_s,
+                    -1.0 if req.control else head,
+                    1.0 if req.is_write else 0.0,
+                )
+            )
         self._inflight = req
         Timeout(self.env, service).callbacks.append(partial(self._service_done, req, service))
 

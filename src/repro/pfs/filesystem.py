@@ -30,6 +30,14 @@ from typing import Optional
 from ..machine.paragon import Paragon
 from ..sim.core import Environment, Event, Timeout
 from ..sim.resources import Resource
+from ..spans.record import (
+    LEAF_BB_ABSORB,
+    LEAF_MESH_BCAST,
+    LEAF_SYNC_WAIT,
+    LEAF_TOKEN_ORDER,
+    LEAF_TOKEN_SEEK,
+    LEAF_TOKEN_WRITE,
+)
 from ..util.units import MB
 from .costs import CostModel
 from .errors import (
@@ -123,6 +131,9 @@ class PFS:
         #: Telemetry live counters (repro.telemetry); None = disabled, and
         #: every hook below then costs one attribute check per operation.
         self.telemetry = None
+        #: Span recorder (repro.spans); None = off, and the data path then
+        #: costs one attribute check per request.
+        self.spans = None
         #: Fluid-fidelity servicer (repro.sim.fluid); None = event mode,
         #: and applications then run every phase discretely.
         self.fluid = None
@@ -425,17 +436,37 @@ class PFS:
         io_pos = self._io_mesh_pos
         chunks = f.layout.decompose(offset, nbytes)
         done, chunk_done = countdown(env, len(chunks))
+        spans = self.spans
+        if spans is not None:
+            parent = spans.fanout_parent
+            if parent >= 0:
+                spans.fanout_parent = -1
+            else:
+                parent = -2 - node
+            mesh_ext = spans.mesh_raw.append
+            now = env.now
         for chunk in chunks:
             ion = ionodes[chunk.ionode]
             extra = self._chunk_extra(chunk.nbytes, is_write)
-            msg = Timeout(
-                env, mesh.message_time(node, io_pos[chunk.ionode], chunk.nbytes)
-            )
+            delay = mesh.message_time(node, io_pos[chunk.ionode], chunk.nbytes)
+            msg = Timeout(env, delay)
 
-            def _arrived(_ev, ion=ion, chunk=chunk, extra=extra):
-                ion.submit(
-                    chunk.disk_offset, chunk.nbytes, is_write, extra
-                ).callbacks.append(chunk_done)
+            if spans is None:
+
+                def _arrived(_ev, ion=ion, chunk=chunk, extra=extra):
+                    ion.submit(
+                        chunk.disk_offset, chunk.nbytes, is_write, extra
+                    ).callbacks.append(chunk_done)
+
+            else:
+                mesh_ext((parent, node, now, now + delay, chunk.nbytes))
+
+                def _arrived(_ev, ion=ion, chunk=chunk, extra=extra, parent=parent):
+                    # Thread the causal parent through the async mesh hop
+                    # as a submit argument.
+                    ion.submit(
+                        chunk.disk_offset, chunk.nbytes, is_write, extra, parent
+                    ).callbacks.append(chunk_done)
 
             msg.callbacks.append(_arrived)
         return done
@@ -451,11 +482,21 @@ class PFS:
             return 0
         bb = self._bb
         if bb is not None and f.burst_tier:
+            spans = self.spans
             if is_write:
+                if spans is not None:
+                    env = self.env
+                    t0 = env.now
                 yield from bb.absorb(node, f, offset, nbytes)
+                if spans is not None:
+                    spans.leaf_raw.append(
+                        (LEAF_BB_ABSORB, node, t0, env.now, nbytes)
+                    )
             else:
                 barrier = bb.read_barrier(f.file_id)
                 if barrier is not None:
+                    if spans is not None:
+                        spans.wrap_wait("bb.readbarrier", node, barrier)
                     yield barrier
                 yield self._fanout(node, f, offset, nbytes, False)
         else:
@@ -496,7 +537,13 @@ class PFS:
             if f.sync_parties is None:
                 f.sync_parties = f.declared_parties or max(1, len(f.openers))
             n = f.sync_parties
+            spans = self.spans
+            if spans is not None:
+                env = self.env
+                t0 = env.now
             yield f.sync_wait(node, n)
+            if spans is not None:
+                spans.leaf_raw.append((LEAF_SYNC_WAIT, node, t0, env.now, 0.0))
             try:
                 offset = f.tell(entry)
                 count = f.readable_bytes(offset, nbytes)
@@ -505,7 +552,13 @@ class PFS:
             finally:
                 f.sync_done(n)
         elif f.sem.fcfs_order:
+            spans = self.spans
+            if spans is not None:
+                env = self.env
+                t0 = env.now
             yield f.order_token.acquire()
+            if spans is not None:
+                spans.leaf_raw.append((LEAF_TOKEN_ORDER, node, t0, env.now, 0.0))
             try:
                 yield self.env.timeout(c.order_token_hold_s)
                 if f.sem.fixed_records:
@@ -553,15 +606,25 @@ class PFS:
         offset = f.tell(entry)
         count = f.readable_bytes(offset, nbytes)
         arrived, done, leader = f.global_arrive(parties)
+        spans = self.spans
         if leader:
             yield arrived
             yield from self._transfer(node, f, offset, count, is_write=False)
+            if spans is not None:
+                env = self.env
+                t0 = env.now
             yield self.env.timeout(
                 self.machine.mesh.broadcast_time(node, parties, count)
             )
+            if spans is not None:
+                spans.leaf_raw.append(
+                    (LEAF_MESH_BCAST, node, t0, env.now, count)
+                )
             f.advance(entry, count)
             done.succeed(count)
         else:
+            if spans is not None:
+                spans.wrap_wait("bcast.wait", node, done)
             yield done
         return count
 
@@ -590,7 +653,13 @@ class PFS:
             if f.sync_parties is None:
                 f.sync_parties = f.declared_parties or max(1, len(f.openers))
             n = f.sync_parties
+            spans = self.spans
+            if spans is not None:
+                env = self.env
+                t0 = env.now
             yield f.sync_wait(node, n)
+            if spans is not None:
+                spans.leaf_raw.append((LEAF_SYNC_WAIT, node, t0, env.now, 0.0))
             try:
                 offset = f.tell(entry)
                 yield from self._locked_write(node, f, offset, nbytes, data)
@@ -601,7 +670,13 @@ class PFS:
             return nbytes
 
         if f.sem.fcfs_order:
+            spans = self.spans
+            if spans is not None:
+                env = self.env
+                t0 = env.now
             yield f.order_token.acquire()
+            if spans is not None:
+                spans.leaf_raw.append((LEAF_TOKEN_ORDER, node, t0, env.now, 0.0))
             try:
                 yield self.env.timeout(c.order_token_hold_s)
                 if f.sem.fixed_records:
@@ -653,7 +728,13 @@ class PFS:
         """Write with per-file atomicity locking when the mode requires it."""
         lock_needed = f.sem.atomic and f.shared
         if lock_needed:
+            spans = self.spans
+            if spans is not None:
+                env = self.env
+                t0 = env.now
             yield f.write_token.acquire()
+            if spans is not None:
+                spans.leaf_raw.append((LEAF_TOKEN_WRITE, node, t0, env.now, 0.0))
         try:
             if lock_needed:
                 yield self.env.timeout(self.costs.shared_write_hold_s)
@@ -695,7 +776,13 @@ class PFS:
         entry.rbuf_start = entry.rbuf_end = -1
         yield self.env.timeout(self.costs.client_op_overhead_s)
         if f.shared:
+            spans = self.spans
+            if spans is not None:
+                env = self.env
+                t0 = env.now
             yield f.write_token.acquire()
+            if spans is not None:
+                spans.leaf_raw.append((LEAF_TOKEN_SEEK, node, t0, env.now, 0.0))
             try:
                 yield self.env.timeout(self.costs.shared_seek_hold_s)
             finally:
@@ -792,9 +879,19 @@ class PFS:
         yield self.env.timeout(self.costs.aread_issue_s)
         done = Event(self.env)
         handle = AreadHandle(done, count, f.file_id, offset, self.env.now)
+        spans = self.spans
+        bg_sid = (
+            spans.store.begin("aread.bg", node, self.env.now, -1, count)
+            if spans is not None
+            else -1
+        )
 
         def _background():
             if count:
+                if spans is not None:
+                    # The fan-out runs outside the issuing op's lifetime;
+                    # parent its chunks under the background root span.
+                    spans.fanout_parent = bg_sid
                 yield self._fanout(node, f, offset, count, is_write=False)
                 copier = self._copier(node)
                 creq = copier.request()
@@ -803,6 +900,8 @@ class PFS:
                     yield self.env.timeout(count * self.costs.client_byte_cost_s)
                 finally:
                     copier.release(creq)
+            if spans is not None:
+                spans.store.finish(bg_sid, self.env.now)
             done.succeed(count)
 
         self.env.process(_background())

@@ -170,6 +170,15 @@ def retrying_fanout(fs, domain, node: int, f, offset: int, nbytes: int, is_write
     use_cache = server_blocks > 0
     cache_block = pol.server_cache_block_bytes if use_cache else 1
     hit_s = pol.server_cache_hit_s if use_cache else 0.0
+    spans = getattr(fs, "spans", None)
+    if spans is not None:
+        root = spans.fanout_parent
+        if root >= 0:
+            spans.fanout_parent = -1
+        else:
+            root = -2 - node
+    else:
+        root = -1
 
     def settle() -> None:
         state["remaining"] -= 1
@@ -181,9 +190,10 @@ def retrying_fanout(fs, domain, node: int, f, offset: int, nbytes: int, is_write
                 done.fail(failure)
 
     def launch(chunk, attempt: int, prev_delay: float) -> None:
-        msg = Timeout(
-            env, mesh.message_time(node, io_pos[chunk.ionode], chunk.nbytes)
-        )
+        delay = mesh.message_time(node, io_pos[chunk.ionode], chunk.nbytes)
+        if spans is not None:
+            spans.mesh_raw.append((root, node, env.now, env.now + delay, chunk.nbytes))
+        msg = Timeout(env, delay)
         msg.callbacks.append(
             lambda _ev: issue(chunk, ionodes[chunk.ionode], attempt, prev_delay)
         )
@@ -195,14 +205,18 @@ def retrying_fanout(fs, domain, node: int, f, offset: int, nbytes: int, is_write
             first = chunk.disk_offset // cache_block
             last = (chunk.disk_offset + chunk.nbytes - 1) // cache_block
             if not is_write and cache.lookup_range(file_id, first, last):
-                ion.submit_control(hit_s).callbacks.append(
+                if spans is not None:
+                    spans.add(
+                        "scache.hit", chunk.ionode, env.now, env.now, root, chunk.nbytes
+                    )
+                ion.submit_control(hit_s, root).callbacks.append(
                     lambda ev: finish(ev, chunk, ion, attempt, prev_delay, None)
                 )
                 return
             insert = (cache, first, last)
         extra = fs._chunk_extra(chunk.nbytes, is_write)
         ion.submit(
-            chunk.disk_offset, chunk.nbytes, is_write, extra
+            chunk.disk_offset, chunk.nbytes, is_write, extra, root
         ).callbacks.append(
             lambda ev, insert=insert: finish(ev, chunk, ion, attempt, prev_delay, insert)
         )
@@ -244,6 +258,11 @@ def retrying_fanout(fs, domain, node: int, f, offset: int, nbytes: int, is_write
                 recorder.retry(
                     env.now, node, file_id, chunk.disk_offset, chunk.nbytes,
                     env.now - failed_at,
+                )
+            if spans is not None:
+                spans.add(
+                    "retry.backoff", node, failed_at, env.now,
+                    root, chunk.nbytes, float(attempt),
                 )
             launch(chunk, attempt + 1, delay)
 

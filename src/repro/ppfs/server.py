@@ -26,6 +26,7 @@ from ..pfs.fanout import countdown
 from ..pfs.filesystem import PFS, SEEK_CUR, SEEK_END, SEEK_SET
 from ..pfs.errors import PFSError
 from ..sim.core import Event, Timeout
+from ..spans.record import LEAF_CACHE_HIT, LEAF_CACHE_MISS, LEAF_WB_ENQUEUE
 from .adaptive import MarkovPredictor
 from .cache import BlockCache, CacheStats
 from .policies import PPFSPolicies
@@ -112,6 +113,15 @@ class PPFS(PFS):
         file_id = f.file_id
         chunks = f.layout.decompose(offset, nbytes)
         done, _chunk_done = countdown(env, len(chunks))
+        spans = self.spans
+        if spans is not None:
+            parent = spans.fanout_parent
+            if parent >= 0:
+                spans.fanout_parent = -1
+            else:
+                parent = -2 - node
+            mesh_ext = spans.mesh_raw.append
+            now = env.now
         for chunk in chunks:
             ion = self.machine.ionodes[chunk.ionode]
             io_pos = self._io_mesh_node(chunk.ionode)
@@ -120,24 +130,50 @@ class PPFS(PFS):
             first = chunk.disk_offset // block
             last = (chunk.disk_offset + chunk.nbytes - 1) // block
             hit = not is_write and cache.lookup_range(file_id, first, last)
-            msg = Timeout(env, mesh.message_time(node, io_pos, chunk.nbytes))
+            delay = mesh.message_time(node, io_pos, chunk.nbytes)
+            msg = Timeout(env, delay)
             if hit:
+                if spans is None:
 
-                def _arrived(_ev, ion=ion):
-                    ion.submit_control(hit_s).callbacks.append(_chunk_done)
+                    def _arrived(_ev, ion=ion):
+                        ion.submit_control(hit_s).callbacks.append(_chunk_done)
+
+                else:
+                    mesh_ext((parent, node, now, now + delay, chunk.nbytes))
+                    spans.add(
+                        "scache.hit", chunk.ionode, now, now, parent, chunk.nbytes
+                    )
+
+                    def _arrived(_ev, ion=ion, parent=parent):
+                        ion.submit_control(hit_s, parent).callbacks.append(_chunk_done)
 
             else:
                 extra = self._chunk_extra(chunk.nbytes, is_write)
+                if spans is None:
 
-                def _arrived(_ev, ion=ion, chunk=chunk, extra=extra,
-                             cache=cache, first=first, last=last):
-                    def _served(ev):
-                        cache.insert_range(file_id, first, last)
-                        _chunk_done(ev)
+                    def _arrived(_ev, ion=ion, chunk=chunk, extra=extra,
+                                 cache=cache, first=first, last=last):
+                        def _served(ev):
+                            cache.insert_range(file_id, first, last)
+                            _chunk_done(ev)
 
-                    ion.submit(
-                        chunk.disk_offset, chunk.nbytes, is_write, extra
-                    ).callbacks.append(_served)
+                        ion.submit(
+                            chunk.disk_offset, chunk.nbytes, is_write, extra
+                        ).callbacks.append(_served)
+
+                else:
+                    mesh_ext((parent, node, now, now + delay, chunk.nbytes))
+
+                    def _arrived(_ev, ion=ion, chunk=chunk, extra=extra,
+                                 cache=cache, first=first, last=last,
+                                 parent=parent):
+                        def _served(ev):
+                            cache.insert_range(file_id, first, last)
+                            _chunk_done(ev)
+
+                        ion.submit(
+                            chunk.disk_offset, chunk.nbytes, is_write, extra, parent
+                        ).callbacks.append(_served)
 
             msg.callbacks.append(_arrived)
         return done
@@ -200,6 +236,7 @@ class PPFS(PFS):
 
         c = self.costs
         env = self.env
+        spans = self.spans
         yield Timeout(env, c.client_op_overhead_s)
         offset = f.tell(entry)
         count = f.readable_bytes(offset, nbytes)
@@ -216,9 +253,18 @@ class PPFS(PFS):
                 if not cache.lookup(file_id, first):
                     start = first * block_size
                     length = f.readable_bytes(start, block_size)
+                    t0 = env.now
                     yield self._fanout(node, f, start, length, False)
                     yield Timeout(env, length * c.client_byte_cost_s)
                     cache.insert(file_id, first, prefetched=False)
+                    if spans is not None:
+                        spans.leaf_raw.append(
+                            (LEAF_CACHE_MISS, node, t0, env.now, length)
+                        )
+                elif spans is not None:
+                    spans.leaf_raw.append(
+                        (LEAF_CACHE_HIT, node, env.now, env.now, count)
+                    )
             else:
                 # Gather misses; fetch contiguous miss runs as single
                 # transfers.
@@ -236,14 +282,23 @@ class PPFS(PFS):
                         run_start = prev = b
                 if run_start is not None:
                     runs.append((run_start, prev))
+                if spans is not None and not runs:
+                    spans.leaf_raw.append(
+                        (LEAF_CACHE_HIT, node, env.now, env.now, count)
+                    )
                 for lo, hi in runs:
                     start = lo * block_size
                     length = f.readable_bytes(start, (hi - lo + 1) * block_size)
                     # _transfer's body, inlined (same yields, no delegated
                     # generator per run).
+                    t0 = env.now
                     yield self._fanout(node, f, start, length, False)
                     yield Timeout(env, length * c.client_byte_cost_s)
                     cache.insert_range(file_id, lo, hi, prefetched=False)
+                    if spans is not None:
+                        spans.leaf_raw.append(
+                            (LEAF_CACHE_MISS, node, t0, env.now, length)
+                        )
             if self._prefetch_on:
                 # Demand-access prediction: stage predicted blocks
                 # off-thread.
@@ -279,14 +334,26 @@ class PPFS(PFS):
         telem = self.telemetry
         if telem is not None:
             telem.prefetch_inflight += 1
+        spans = self.spans
+        if spans is not None:
+            # Root span: the staged fetch outlives the read op that
+            # predicted it, so it cannot nest under the op span.
+            psid = spans.store.begin("prefetch.stage", node, env.now, nbytes=length)
+            spans.fanout_parent = psid
+        else:
+            psid = -1
 
         def _landed(_ev):
             cache.insert(file_id, block, prefetched=True)
+            if psid >= 0:
+                spans.store.finish(psid, env.now)
 
         def _fetched(_ev):
             if telem is not None:
                 telem.prefetch_inflight -= 1
             if not _ev._ok:
+                if psid >= 0:
+                    spans.store.finish(psid, env.now)
                 return  # prefetch lost to a fatal I/O error: just skip it
             Timeout(env, copy_s).callbacks.append(_landed)
 
@@ -304,7 +371,11 @@ class PPFS(PFS):
         f.check_record(nbytes)
         c = self.costs
         # Complete at memory speed: overhead + buffer copy.
+        t0 = self.env.now
         yield Timeout(self.env, c.client_op_overhead_s + nbytes * c.client_byte_cost_s)
+        spans = self.spans
+        if spans is not None:
+            spans.leaf_raw.append((LEAF_WB_ENQUEUE, node, t0, self.env.now, nbytes))
         offset = f.tell(entry)
         cache = self.cache_for(node)
         if cache is not None and nbytes:

@@ -58,6 +58,8 @@ class WriteBehindManager:
         # caller to fail synchronously).
         self.retry_domain = None
         self._fatal: BaseException | None = None
+        #: Span recorder handle (planted by SpanRecorder.attach).
+        self.spans = None
         # Statistics for the ablation bench.
         self.writes_submitted = 0
         self.bytes_submitted = 0
@@ -133,6 +135,17 @@ class WriteBehindManager:
         decompose = f.layout.decompose
         chunk_extra = fs._chunk_extra
         self.transfers_issued += len(runs)
+        spans = self.spans
+        if spans is not None:
+            # Root span: the flush runs off every application thread's
+            # critical path, so it cannot nest under any op span.
+            fsid = spans.store.begin(
+                "wb.flush", -1, self.env.now,
+                nbytes=sum(end - start for start, end in runs),
+                aux=float(len(runs)),
+            )
+        else:
+            fsid = -1
         if all(ion._eager for ion in ionodes):
             # Columnar cohort path: every chunk of every run arrives at
             # this same instant, so each I/O node's share is one FIFO
@@ -158,6 +171,8 @@ class WriteBehindManager:
             def _node_done(_ev):
                 remaining[0] -= 1
                 if not remaining[0]:
+                    if fsid >= 0:
+                        spans.store.finish(fsid, self.env.now)
                     self._inflight.discard(token)
                     if not self._inflight and self._idle_event is not None:
                         self._idle_event.succeed()
@@ -167,7 +182,7 @@ class WriteBehindManager:
                 group = chunks[b0:b1]
                 sizes = group["nbytes"]
                 ionodes[int(node_ids[b0])].submit_batch(
-                    group["disk_offset"], sizes, True, sizes * per_byte
+                    group["disk_offset"], sizes, True, sizes * per_byte, fsid
                 ).callbacks.append(_node_done)
             return
         chunk_events: list[Event] = []
@@ -178,7 +193,7 @@ class WriteBehindManager:
                 extra = chunk_extra(chunk.nbytes, is_write=True)
                 chunk_events.append(
                     ionodes[chunk.ionode].submit(
-                        chunk.disk_offset, chunk.nbytes, True, extra
+                        chunk.disk_offset, chunk.nbytes, True, extra, fsid
                     )
                 )
         token = object()
@@ -188,6 +203,8 @@ class WriteBehindManager:
         def _chunk_done(_ev):
             remaining[0] -= 1
             if not remaining[0]:
+                if fsid >= 0:
+                    spans.store.finish(fsid, self.env.now)
                 self._inflight.discard(token)
                 if not self._inflight and self._idle_event is not None:
                     self._idle_event.succeed()
@@ -226,6 +243,15 @@ class WriteBehindManager:
                     chunk.ionode, chunk.disk_offset, chunk.nbytes,
                     fs._chunk_extra(chunk.nbytes, is_write=True),
                 ))
+        spans = self.spans
+        if spans is not None:
+            fsid = spans.store.begin(
+                "wb.flush", -1, env.now,
+                nbytes=sum(end - start for start, end in runs),
+                aux=float(len(runs)),
+            )
+        else:
+            fsid = -1
         token = object()
         self._inflight.add(token)
         remaining = [len(specs)]
@@ -233,6 +259,8 @@ class WriteBehindManager:
         def _settle() -> None:
             remaining[0] -= 1
             if not remaining[0]:
+                if fsid >= 0:
+                    spans.store.finish(fsid, env.now)
                 self._inflight.discard(token)
                 if not self._inflight and self._idle_event is not None:
                     self._idle_event.succeed()
@@ -240,7 +268,7 @@ class WriteBehindManager:
 
         def _launch(spec, attempt: int, prev_delay: float) -> None:
             ion = ionodes[spec[0]]
-            ion.submit(spec[1], spec[2], True, spec[3]).callbacks.append(
+            ion.submit(spec[1], spec[2], True, spec[3], fsid).callbacks.append(
                 lambda ev: _finish(ev, spec, ion, attempt, prev_delay)
             )
 
@@ -277,6 +305,11 @@ class WriteBehindManager:
                     recorder.retry(
                         env.now, ion.index, file_id, spec[1], spec[2],
                         env.now - failed_at,
+                    )
+                if fsid >= 0:
+                    spans.add(
+                        "retry.backoff", ion.index, failed_at, env.now,
+                        fsid, spec[2], float(attempt),
                     )
                 _launch(spec, attempt + 1, delay)
 

@@ -557,6 +557,17 @@ class FluidServicer:
             if end < now:
                 end = now  # clamp: completions may not precede the solve
             env.schedule_at(end).callbacks.append(partial(self._finish, plan))
+        spans = getattr(fs, "spans", None)
+        if spans is not None:
+            # Closed-form phases have no per-request events to hook, so the
+            # solver synthesizes its span tree directly: one phase-level
+            # span plus one span per solved plan (aux = op count).
+            psid = spans.add("fluid.phase", -1, first, last, aux=float(n_ops))
+            for plan in plans:
+                spans.add(
+                    "fluid.plan", plan.node, plan.start, plan.end, psid,
+                    aux=float(len(plan.ops)),
+                )
         self.phases_solved += 1
         self.ops_serviced += n_ops
         self.phases.append({

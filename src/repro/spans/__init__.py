@@ -1,0 +1,27 @@
+"""Causal request tracing: span trees over the simulated I/O stack.
+
+Every app-level op (read/write/aread/open/barrier) becomes a root span
+with children for client-side work, per-chunk fan-out, I/O-node
+queue/service, and the disk-level seek/transfer/degraded split —
+recorded in simulated time behind single ``is not None`` hook checks so
+spans-off runs stay byte-identical and free.  See
+:mod:`repro.spans.store` for the columnar store,
+:mod:`repro.spans.record` for the recorder threaded through the stack,
+:mod:`repro.spans.export` for Perfetto/Chrome and JSONL exporters, and
+:mod:`repro.analysis.critical_path` for the makespan attribution built
+on top.
+"""
+
+from .export import from_jsonl, load_jsonl, to_chrome, to_chrome_json, to_jsonl
+from .record import SpanRecorder
+from .store import SpanStore
+
+__all__ = [
+    "SpanStore",
+    "SpanRecorder",
+    "to_chrome",
+    "to_chrome_json",
+    "to_jsonl",
+    "from_jsonl",
+    "load_jsonl",
+]

@@ -1,0 +1,228 @@
+"""Span exporters: Chrome trace-event JSON (Perfetto) and JSONL.
+
+The Chrome writer emits the trace-event format understood by Perfetto
+and ``chrome://tracing``: one complete ("X") event per span, organized
+into one process track per layer (compute nodes / I/O nodes / disks /
+background services) with one thread lane per node index.  Timestamps
+are microseconds of simulated time.
+
+The same low-level writer is reused by ``repro telemetry export
+--format chrome`` to render sampled time series as counter ("C")
+events, so spans and telemetry land in one Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from .store import SpanStore
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_json",
+    "to_chrome",
+    "to_chrome_json",
+    "telemetry_counter_events",
+    "to_jsonl",
+    "from_jsonl",
+    "load_jsonl",
+]
+
+_US = 1e6
+
+#: Layer tracks: pid + human name, chosen by span-kind prefix.
+_PID_COMPUTE = 1
+_PID_ION = 2
+_PID_DISK = 3
+_PID_SERVICES = 4
+_PID_TELEMETRY = 5
+
+_PROCESS_NAMES = {
+    _PID_COMPUTE: "compute nodes",
+    _PID_ION: "I/O nodes",
+    _PID_DISK: "disks",
+    _PID_SERVICES: "services",
+    _PID_TELEMETRY: "telemetry",
+}
+
+_PREFIX_PIDS = (
+    ("ion.", _PID_ION),
+    ("disk.", _PID_DISK),
+    ("raid.", _PID_DISK),
+    ("wb.", _PID_SERVICES),
+    ("bb.", _PID_SERVICES),
+    ("fluid.", _PID_SERVICES),
+    ("fault.", _PID_SERVICES),
+)
+
+
+def _kind_pid(kind: str) -> int:
+    for prefix, pid in _PREFIX_PIDS:
+        if kind.startswith(prefix):
+            return pid
+    return _PID_COMPUTE
+
+
+def _thread_label(pid: int, tid: int) -> str:
+    if pid == _PID_ION:
+        return f"ionode {tid}"
+    if pid == _PID_DISK:
+        return f"disk {tid}"
+    if pid == _PID_COMPUTE:
+        return f"node {tid}"
+    return f"lane {tid}"
+
+
+def chrome_trace(events: Iterable[Mapping]) -> dict:
+    """Wrap raw trace events in the Chrome trace-object envelope."""
+    return {"traceEvents": list(events), "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(events: Iterable[Mapping]) -> str:
+    return json.dumps(chrome_trace(events), separators=(",", ":"))
+
+
+def to_chrome(store: SpanStore) -> dict:
+    """Span store -> Chrome trace object (one track per node/ionode/disk)."""
+    events: list[dict] = []
+    seen_threads: set[tuple[int, int]] = set()
+    for span in store.iter_spans():
+        kind = span["kind"]
+        pid = _kind_pid(kind)
+        tid = max(span["node"], 0)
+        seen_threads.add((pid, tid))
+        ts = span["start"] * _US
+        if kind.startswith("mark."):
+            events.append(
+                {"name": kind, "ph": "i", "s": "g", "ts": ts, "pid": pid, "tid": tid}
+            )
+            continue
+        events.append(
+            {
+                "name": kind,
+                "ph": "X",
+                "ts": ts,
+                "dur": max(span["end"] - span["start"], 0.0) * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "id": span["id"],
+                    "parent": span["parent"],
+                    "nbytes": span["nbytes"],
+                    "aux": span["aux"],
+                },
+            }
+        )
+    meta: list[dict] = []
+    for pid in sorted({pid for pid, _ in seen_threads}):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _PROCESS_NAMES.get(pid, f"pid {pid}")},
+            }
+        )
+    for pid, tid in sorted(seen_threads):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": _thread_label(pid, tid)},
+            }
+        )
+    return chrome_trace(meta + events)
+
+
+def to_chrome_json(store: SpanStore) -> str:
+    return json.dumps(to_chrome(store), separators=(",", ":"))
+
+
+def telemetry_counter_events(data: Mapping, pid: int = _PID_TELEMETRY) -> list[dict]:
+    """Sampled telemetry series -> Chrome counter ("C") events.
+
+    ``data`` is the dict form produced by
+    :func:`repro.telemetry.export.load_jsonl` (or ``Telemetry.as_dict``);
+    only the sampled ``series`` block is rendered — one counter lane per
+    column, timestamps in simulated microseconds.
+    """
+    series = data.get("series") or {}
+    columns = series.get("columns") or []
+    rows = series.get("rows") or []
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": _PROCESS_NAMES[_PID_TELEMETRY]},
+        }
+    ]
+    if not columns or not rows:
+        return events
+    try:
+        time_idx = columns.index("time_s")
+    except ValueError:
+        time_idx = 0
+    for row in rows:
+        ts = row[time_idx] * _US
+        for i, name in enumerate(columns):
+            if i == time_idx:
+                continue
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": row[i]},
+                }
+            )
+    return events
+
+
+# -- JSONL round trip ---------------------------------------------------------
+def to_jsonl(store: SpanStore) -> str:
+    """One meta line, then one line per span; bit-exact round trip."""
+    lines = [
+        json.dumps(
+            {"kind": "meta", "format": "repro.spans", "version": 1, "count": len(store)},
+            separators=(",", ":"),
+        )
+    ]
+    for span in store.iter_spans():
+        record = dict(span)
+        record["kind"], record["span"] = "span", record.pop("kind")
+        lines.append(json.dumps(record, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> SpanStore:
+    store = SpanStore()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") != "span":
+            continue
+        store.add(
+            record["span"],
+            record["node"],
+            record["start"],
+            record["end"],
+            record["parent"],
+            record["nbytes"],
+            record["aux"],
+        )
+    return store
+
+
+def load_jsonl(path) -> SpanStore:
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_jsonl(handle.read())

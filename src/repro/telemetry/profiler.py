@@ -8,6 +8,12 @@ named sections — the experiment harness opens per-phase sections
 runtime adds per-subsystem ones (``telemetry.attach``,
 ``telemetry.sample``, ``telemetry.finalize``) — cheap enough to leave on
 whenever telemetry is enabled.
+
+Sections nest: starting a section while another is open records it
+under the parent's path (``simulate/telemetry.sample``), and
+:meth:`render` indents children under their parents so the hierarchy
+reads at a glance.  Because a child's seconds are also inside its
+parent's, totals and shares are computed over root sections only.
 """
 
 from __future__ import annotations
@@ -20,38 +26,57 @@ __all__ = ["RunProfiler"]
 
 
 class RunProfiler:
-    """Named wall-clock sections with call counts."""
+    """Named wall-clock sections with call counts, nested by open order."""
 
-    __slots__ = ("_clock", "_sections", "_open")
+    __slots__ = ("_clock", "_sections", "_open", "_stack")
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
-        self._sections: Dict[str, list] = {}  # name -> [seconds, count]
+        self._sections: Dict[str, list] = {}  # path -> [seconds, count]
         self._open: Dict[str, float] = {}
+        self._stack: list[str] = []  # paths of currently-open sections
+
+    def _path(self, name: str) -> str:
+        """Full path of ``name`` under the innermost open section."""
+        return f"{self._stack[-1]}/{name}" if self._stack else name
 
     @contextmanager
     def section(self, name: str):
         """Time a block: ``with profiler.section("simulate"): ...``"""
-        t0 = self._clock()
+        self.start(name)
         try:
             yield self
         finally:
-            self.add(name, self._clock() - t0)
+            self.stop(name)
 
     def start(self, name: str) -> None:
-        self._open[name] = self._clock()
+        path = self._path(name)
+        self._open[path] = self._clock()
+        self._stack.append(path)
 
     def stop(self, name: str) -> None:
-        t0 = self._open.pop(name, None)
+        if self._stack and self._stack[-1].rpartition("/")[2] == name:
+            path = self._stack.pop()
+        else:
+            # Not the innermost open section: close the flat name (keeps
+            # interleaved, non-nested start/stop pairs working).
+            path = name
+        t0 = self._open.pop(path, None)
         if t0 is None:
             raise ValueError(f"section {name!r} was never started")
-        self.add(name, self._clock() - t0)
+        self._record(path, self._clock() - t0)
 
     def add(self, name: str, seconds: float, count: int = 1) -> None:
-        """Attribute ``seconds`` of wall time to ``name`` directly."""
-        entry = self._sections.get(name)
+        """Attribute ``seconds`` of wall time to ``name`` directly,
+        nested under the innermost open section.  A name that is already
+        a path (contains ``/``) is taken as absolute."""
+        path = name if "/" in name else self._path(name)
+        self._record(path, seconds, count)
+
+    def _record(self, path: str, seconds: float, count: int = 1) -> None:
+        entry = self._sections.get(path)
         if entry is None:
-            self._sections[name] = [seconds, count]
+            self._sections[path] = [seconds, count]
         else:
             entry[0] += seconds
             entry[1] += count
@@ -61,7 +86,10 @@ class RunProfiler:
         return entry[0] if entry else 0.0
 
     def total_seconds(self) -> float:
-        return sum(entry[0] for entry in self._sections.values())
+        """Seconds over root sections only (children are inside them)."""
+        return sum(
+            entry[0] for path, entry in self._sections.items() if "/" not in path
+        )
 
     def as_dict(self) -> dict:
         return {
@@ -73,19 +101,31 @@ class RunProfiler:
     def from_dict(cls, data: Mapping) -> "RunProfiler":
         profiler = cls()
         for name, rec in data.items():
-            profiler.add(name, rec["seconds"], rec.get("count", 1))
+            profiler._record(name, rec["seconds"], rec.get("count", 1))
         return profiler
 
     def render(self) -> str:
-        """Human-readable table, longest section first."""
+        """Human-readable tree, longest section first at every level."""
         if not self._sections:
             return "(no profile sections)"
         total = self.total_seconds() or 1.0
+        children: Dict[str, list[str]] = {}
+        for path in self._sections:
+            parent, sep, _ = path.rpartition("/")
+            children.setdefault(parent if sep else "", []).append(path)
         lines = [f"{'section':<24} {'seconds':>10} {'calls':>8} {'share':>7}"]
-        for name, (seconds, count) in sorted(
-            self._sections.items(), key=lambda kv: -kv[1][0]
-        ):
-            lines.append(
-                f"{name:<24} {seconds:>10.6f} {count:>8d} {seconds / total:>6.1%}"
-            )
+
+        def emit(parent: str, depth: int) -> None:
+            paths = sorted(children.get(parent, ()),
+                           key=lambda p: -self._sections[p][0])
+            for path in paths:
+                seconds, count = self._sections[path]
+                label = "  " * depth + path.rpartition("/")[2]
+                lines.append(
+                    f"{label:<24} {seconds:>10.6f} {count:>8d} "
+                    f"{seconds / total:>6.1%}"
+                )
+                emit(path, depth + 1)
+
+        emit("", 0)
         return "\n".join(lines)

@@ -38,6 +38,17 @@ def render_report(data: Mapping) -> str:
             f"samples: {len(rows)} x {len(series['columns'])} columns, "
             f"t = {_fmt(rows[0][0])} .. {_fmt(rows[-1][0])} s"
         )
+        bb_cols = [c for c in series["columns"] if c.startswith("bb.")]
+        if bb_cols:
+            ts = TimeSeries.from_dict(series)
+            lines.append("")
+            lines.append(f"{'burst buffer':<28} {'last':>14} {'max':>14}")
+            for col in bb_cols:
+                values = ts.column(col)
+                lines.append(
+                    f"{col:<28} {_fmt(values[-1]):>14} "
+                    f"{_fmt(float(values.max())):>14}"
+                )
     registry = MetricsRegistry.from_dict(data.get("registry") or {})
     counters = [m for m in registry if m.kind == "counter" and m.value]
     if counters:
@@ -77,9 +88,24 @@ def render_report(data: Mapping) -> str:
     if profile:
         lines.append("")
         lines.append(f"{'profile section':<24} {'seconds':>10} {'calls':>8}")
-        for name in sorted(profile, key=lambda n: -profile[n]["seconds"]):
-            rec = profile[name]
-            lines.append(f"{name:<24} {rec['seconds']:>10.6f} {rec['count']:>8}")
+        # Section names are nested paths ("simulate/telemetry.sample");
+        # render them as an indented tree, longest-first at each level.
+        children: dict[str, list[str]] = {}
+        for path in profile:
+            parent, sep, _ = path.rpartition("/")
+            children.setdefault(parent if sep else "", []).append(path)
+
+        def emit(parent: str, depth: int) -> None:
+            for path in sorted(children.get(parent, ()),
+                               key=lambda p: -profile[p]["seconds"]):
+                rec = profile[path]
+                label = "  " * depth + path.rpartition("/")[2]
+                lines.append(
+                    f"{label:<24} {rec['seconds']:>10.6f} {rec['count']:>8}"
+                )
+                emit(path, depth + 1)
+
+        emit("", 0)
     return "\n".join(lines)
 
 
@@ -113,7 +139,9 @@ def render_chart(
     span = vmax - vmin
     lines = [f"{label or column}  min={_fmt(vmin)} max={_fmt(vmax)}"]
     if span == 0:
-        lines.append("(flat) " + "▁" * width)
+        # A constant series is still a signal: draw a mid-level bar so
+        # it reads as "level held" rather than an empty/zero chart.
+        lines.append(f"{vmin:>12.6g} |" + "▄" * width)
     else:
         levels = height * (len(_BLOCKS) - 1)
         scaled = [round((v - vmin) / span * levels) for v in buckets]

@@ -314,8 +314,12 @@ class Telemetry:
                 reg.gauge("bb.drain_lag_s").set(bb.max_drain_lag_s)
             sampler = self.sampler
             if sampler is not None:
+                # The overhead accrued while the simulation ran, so file
+                # it under the harness's simulate section, not finalize.
                 self.profiler.add(
-                    "telemetry.sample", sampler.overhead_s, max(sampler.samples, 1)
+                    "simulate/telemetry.sample",
+                    sampler.overhead_s,
+                    max(sampler.samples, 1),
                 )
                 self.meta["samples"] = sampler.samples
         return self

@@ -397,7 +397,7 @@ class TestTelemetryRuntime:
     def test_profiler_has_harness_phases(self, escat_telemetry):
         profile = escat_telemetry.profiler.as_dict()
         for section in ("build.machine", "build.fs", "simulate",
-                        "telemetry.attach", "telemetry.sample"):
+                        "telemetry.attach", "simulate/telemetry.sample"):
             assert section in profile
 
     def test_finalize_idempotent(self, escat_telemetry):
@@ -457,7 +457,9 @@ class TestExporters:
         chart = render_chart(series, "mesh.bytes")
         assert "mesh.bytes" in chart
         flat = TimeSeries.from_rows(["time_s", "v"], [[1.0, 5.0], [2.0, 5.0]])
-        assert "(flat)" in render_chart(flat, "v")
+        flat_chart = render_chart(flat, "v")
+        # Constant series render a mid-level bar at the held value.
+        assert "▄" in flat_chart and "5" in flat_chart
         assert "time_s" not in chartable_columns(series.columns)
 
 
